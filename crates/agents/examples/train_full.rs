@@ -1,0 +1,26 @@
+//! Trains the end-to-end victim policy at full scale (behaviour cloning of
+//! the modular teacher + SAC refinement, ~4 minutes) and saves it under
+//! `artifacts/victim_e2e.ckpt`, where the experiment harnesses pick it up.
+//!
+//! ```sh
+//! cargo run --release -p drive-agents --example train_full
+//! ```
+
+use drive_agents::training::{evaluate_policy, train_victim, VictimTrainConfig};
+use drive_sim::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let scenario = Scenario::default();
+    let features = FeatureConfig::default();
+    let config = VictimTrainConfig::default();
+    let t0 = Instant::now();
+    let policy = train_victim(&scenario, &features, &config);
+    println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
+    let (ret, passed) = evaluate_policy(&policy, &scenario, &features, 30, 5000);
+    println!("eval over 30 episodes: return={ret:.1} passed={passed:.2}");
+    let text = drive_nn::checkpoint::encode_policy(&policy);
+    drive_nn::checkpoint::save_to_file("artifacts/victim_e2e.ckpt", &text)
+        .expect("artifacts directory must be writable");
+    println!("saved artifacts/victim_e2e.ckpt");
+}

@@ -1,0 +1,155 @@
+//! Episode runner: drives any [`Agent`] through a scenario, optionally with
+//! a steering attacker in the loop, and records everything the metrics need.
+
+use crate::reward::{RewardConfig, RewardShaper};
+use crate::Agent;
+use drive_sim::record::EpisodeRecord;
+use drive_sim::scenario::Scenario;
+use drive_sim::vehicle::Actuation;
+use drive_sim::world::{StepOutcome, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An attacker that perturbs the victim's steering variation each step.
+///
+/// Implementations live in `attack-core` (learned camera/IMU attackers,
+/// the geometric oracle). The returned `delta` is *already scaled by the
+/// attack budget*; the runner adds it to the victim's command and re-clamps
+/// to the mechanical limit, exactly as Section IV-C specifies.
+pub trait SteerAttacker {
+    /// Called at episode start.
+    fn reset(&mut self, world: &World);
+    /// Returns the perturbation `delta_t` for the current state.
+    fn delta(&mut self, world: &World) -> f64;
+}
+
+/// Runs one episode and returns its record.
+///
+/// `on_step` is invoked after every world step with the post-step world,
+/// the outcome, and the injected perturbation — attack harnesses use it to
+/// accumulate the adversarial reward.
+pub fn run_episode(
+    agent: &mut dyn Agent,
+    scenario: &Scenario,
+    seed: u64,
+    mut attacker: Option<&mut dyn SteerAttacker>,
+    mut on_step: impl FnMut(&World, &StepOutcome, f64),
+) -> EpisodeRecord {
+    let episode_scenario = {
+        let mut rng = StdRng::seed_from_u64(seed);
+        scenario.jittered(&mut rng)
+    };
+    let mut world = World::new(episode_scenario);
+    agent.reset(&world);
+    if let Some(atk) = attacker.as_deref_mut() {
+        atk.reset(&world);
+    }
+    let mut shaper = RewardShaper::new(
+        RewardConfig::default(),
+        crate::behavior::BehaviorConfig::default(),
+        world.scenario().road.lane_of(world.ego().pose.position.y),
+    );
+    shaper.reset(&world);
+
+    let mut record = EpisodeRecord {
+        dt: world.scenario().dt,
+        ..EpisodeRecord::default()
+    };
+
+    while !world.is_done() {
+        let nominal = agent.act(&world);
+        let delta = match attacker.as_deref_mut() {
+            Some(atk) => atk.delta(&world),
+            None => 0.0,
+        };
+        let perturbed = Actuation::new(nominal.steer + delta, nominal.thrust);
+        let outcome = world.step(perturbed);
+        let reward = shaper.step(&world, &outcome);
+
+        record.steps += 1;
+        record.nominal_return += reward;
+        record.deviation.push(shaper.last_deviation());
+        record.perturbation.push(delta.abs());
+        if delta.abs() > drive_sim::record::ATTACK_START_THRESHOLD && record.attack_start.is_none() {
+            record.attack_start = Some(outcome.step);
+        }
+        record.passed = outcome.passed;
+        record.collision = outcome.collision;
+        record.termination = outcome.termination;
+        on_step(&world, &outcome, delta);
+    }
+    record
+}
+
+/// Runs `episodes` episodes with seeds `base_seed..`, returning all records.
+pub fn run_episodes(
+    agent: &mut dyn Agent,
+    scenario: &Scenario,
+    episodes: usize,
+    base_seed: u64,
+) -> Vec<EpisodeRecord> {
+    (0..episodes)
+        .map(|e| run_episode(agent, scenario, base_seed + e as u64, None, |_, _, _| {}))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::{ModularAgent, ModularConfig};
+    use drive_sim::world::Termination;
+
+    #[test]
+    fn modular_agent_full_episode_record() {
+        let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+        let scenario = Scenario::default();
+        let rec = run_episode(&mut agent, &scenario, 42, None, |_, _, _| {});
+        assert_eq!(rec.steps, scenario.max_steps);
+        assert_eq!(rec.termination, Some(Termination::TimeLimit));
+        assert!(rec.collision.is_none());
+        assert!(rec.nominal_return > 100.0, "return {}", rec.nominal_return);
+        assert_eq!(rec.attack_start, None);
+        assert_eq!(rec.attack_effort(), 0.0);
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_seed() {
+        let scenario = Scenario::default();
+        let mut a1 = ModularAgent::new(ModularConfig::default(), 1);
+        let mut a2 = ModularAgent::new(ModularConfig::default(), 1);
+        let r1 = run_episode(&mut a1, &scenario, 9, None, |_, _, _| {});
+        let r2 = run_episode(&mut a2, &scenario, 9, None, |_, _, _| {});
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn constant_attacker_is_recorded() {
+        struct Push(f64);
+        impl SteerAttacker for Push {
+            fn reset(&mut self, _world: &World) {}
+            fn delta(&mut self, _world: &World) -> f64 {
+                self.0
+            }
+        }
+        let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+        let scenario = Scenario::default();
+        let mut atk = Push(0.3);
+        let mut steps_seen = 0;
+        let rec = run_episode(&mut agent, &scenario, 1, Some(&mut atk), |_, _, d| {
+            assert_eq!(d, 0.3);
+            steps_seen += 1;
+        });
+        assert_eq!(rec.attack_start, Some(0));
+        assert!((rec.attack_effort() - 0.3).abs() < 1e-12);
+        assert_eq!(steps_seen, rec.steps);
+    }
+
+    #[test]
+    fn run_episodes_returns_one_record_each() {
+        let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+        let recs = run_episodes(&mut agent, &Scenario::default(), 3, 100);
+        assert_eq!(recs.len(), 3);
+        // Different seeds → different jitter → (almost surely) different returns.
+        assert!(recs[0] != recs[1] || recs[1] != recs[2]);
+    }
+}

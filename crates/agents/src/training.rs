@@ -1,0 +1,268 @@
+//! Training of the end-to-end victim policy.
+//!
+//! Mirrors Section III-C: the policy is trained "with the knowledge of a
+//! privileged agent" — here, behaviour cloning of the modular pipeline's
+//! demonstrations — and then refined with SAC on the shaped nominal reward.
+//! The SAC stage keeps the best-evaluating checkpoint, so refinement can
+//! only improve on the clone.
+
+use crate::driving_env::DrivingEnv;
+use crate::e2e::E2eAgent;
+use crate::modular::{ModularAgent, ModularConfig};
+use crate::runner::run_episodes;
+use crate::Agent;
+use drive_nn::gaussian::GaussianPolicy;
+use drive_rl::bc::{clone_policy, BcConfig, Demonstrations};
+use drive_rl::env::Env;
+use drive_rl::replay::{ReplayBuffer, Transition};
+use drive_rl::sac::{Sac, SacConfig};
+use drive_sim::scenario::Scenario;
+use drive_sim::sensors::{FeatureConfig, FeatureExtractor};
+use drive_sim::world::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the victim training pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VictimTrainConfig {
+    /// Demonstration episodes collected from the modular teacher.
+    pub demo_episodes: usize,
+    /// Uniform steering noise injected while collecting demonstrations
+    /// (teacher labels stay clean), covering recovery states.
+    pub demo_noise: f64,
+    /// Behaviour-cloning gradient steps.
+    pub bc_steps: usize,
+    /// SAC environment steps after cloning (0 skips refinement).
+    pub sac_steps: usize,
+    /// Gradient updates happen every this many environment steps.
+    pub update_every: usize,
+    /// Hidden sizes of actor and critics.
+    pub hidden: Vec<usize>,
+    /// Evaluation episodes per checkpoint during refinement.
+    pub eval_episodes: usize,
+    /// Checkpoint / evaluation period in environment steps.
+    pub eval_every: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for VictimTrainConfig {
+    fn default() -> Self {
+        VictimTrainConfig {
+            demo_episodes: 80,
+            demo_noise: 0.2,
+            bc_steps: 10_000,
+            sac_steps: 20_000,
+            update_every: 2,
+            hidden: vec![128, 128],
+            eval_episodes: 5,
+            eval_every: 4_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Collects `(stacked features, (nu, gamma))` demonstration pairs from the
+/// modular pipeline over jittered episodes.
+///
+/// `exec_noise` adds uniform noise to the *executed* steering while the
+/// stored label stays the teacher's clean command (DART-style noise
+/// injection), so the clone sees recovery states instead of only the
+/// teacher's narrow on-path distribution. Odd episodes run noise-free.
+pub fn collect_demonstrations(
+    scenario: &Scenario,
+    features: &FeatureConfig,
+    episodes: usize,
+    base_seed: u64,
+    exec_noise: f64,
+) -> Demonstrations {
+    use drive_sim::vehicle::Actuation;
+    let mut demos = Demonstrations::new();
+    for e in 0..episodes {
+        let mut rng = StdRng::seed_from_u64(base_seed + e as u64);
+        let episode = scenario.jittered(&mut rng);
+        let mut world = World::new(episode);
+        let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+        let mut extractor = FeatureExtractor::new(features.clone());
+        agent.reset(&world);
+        extractor.reset();
+        let noisy = e % 2 == 0 && exec_noise > 0.0;
+        while !world.is_done() {
+            let obs = extractor.observe(&world);
+            let a = agent.act(&world);
+            demos.push(obs, vec![a.steer as f32, a.thrust as f32]);
+            let executed = if noisy {
+                Actuation::new(
+                    a.steer + rng.gen_range(-exec_noise..=exec_noise),
+                    a.thrust,
+                )
+            } else {
+                a
+            };
+            world.step(executed);
+        }
+    }
+    demos
+}
+
+/// Mean nominal return and mean passed-count of a policy over deterministic
+/// evaluation episodes.
+pub fn evaluate_policy(
+    policy: &GaussianPolicy,
+    scenario: &Scenario,
+    features: &FeatureConfig,
+    episodes: usize,
+    base_seed: u64,
+) -> (f64, f64) {
+    let mut agent = E2eAgent::new(policy.clone(), features.clone(), base_seed, true);
+    let records = run_episodes(&mut agent, scenario, episodes, base_seed);
+    let n = episodes.max(1) as f64;
+    let mean_return = records.iter().map(|r| r.nominal_return).sum::<f64>() / n;
+    let mean_passed = records.iter().map(|r| r.passed as f64).sum::<f64>() / n;
+    (mean_return, mean_passed)
+}
+
+/// Trains the end-to-end victim policy: behaviour cloning of the modular
+/// teacher followed by best-checkpoint SAC refinement on the shaped reward.
+pub fn train_victim(
+    scenario: &Scenario,
+    features: &FeatureConfig,
+    config: &VictimTrainConfig,
+) -> GaussianPolicy {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x51c7);
+    let demos = collect_demonstrations(
+        scenario,
+        features,
+        config.demo_episodes,
+        config.seed,
+        config.demo_noise,
+    );
+    let mut policy = GaussianPolicy::new(features.observation_dim(), &config.hidden, 2, &mut rng);
+    clone_policy(
+        &mut policy,
+        &demos,
+        BcConfig {
+            steps: config.bc_steps,
+            batch_size: 128,
+            lr: 1e-3,
+        },
+        &mut rng,
+    );
+    if config.sac_steps == 0 {
+        return policy;
+    }
+    refine_with_sac(policy, scenario, features, config)
+}
+
+/// SAC refinement with best-checkpoint selection.
+fn refine_with_sac(
+    policy: GaussianPolicy,
+    scenario: &Scenario,
+    features: &FeatureConfig,
+    config: &VictimTrainConfig,
+) -> GaussianPolicy {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ac0);
+    let eval_seed = 90_000 + config.seed;
+    let mut best = policy.clone();
+    let (mut best_score, _) =
+        evaluate_policy(&best, scenario, features, config.eval_episodes, eval_seed);
+
+    let sac_config = SacConfig {
+        init_alpha: 0.02,
+        actor_delay: 1000,
+        batch_size: 128,
+        ..SacConfig::default()
+    };
+    let mut sac = Sac::with_actor(policy, &config.hidden, sac_config, &mut rng);
+    let mut env = DrivingEnv::new(scenario.clone(), features.clone());
+    let mut buffer = ReplayBuffer::new(100_000, env.obs_dim(), env.action_dim());
+
+    let mut episode_seed = config.seed.wrapping_mul(1000) + 1;
+    let mut obs = env.reset(episode_seed);
+    for step in 0..config.sac_steps {
+        let action = sac.act(&obs, &mut rng, false);
+        let s = env.step(&action);
+        buffer.push(Transition {
+            obs: std::mem::take(&mut obs),
+            action,
+            reward: s.reward,
+            next_obs: s.obs.clone(),
+            terminal: s.done,
+        });
+        let finished = s.finished();
+        obs = s.obs;
+        if finished {
+            episode_seed += 1;
+            obs = env.reset(episode_seed);
+        }
+        if buffer.len() >= 1000 && step % config.update_every.max(1) == 0 {
+            sac.update(&buffer, &mut rng);
+        }
+        if (step + 1) % config.eval_every == 0 {
+            let (score, _) = evaluate_policy(
+                &sac.actor,
+                scenario,
+                features,
+                config.eval_episodes,
+                eval_seed,
+            );
+            if score > best_score {
+                best_score = score;
+                best = sac.actor.clone();
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_features() -> FeatureConfig {
+        FeatureConfig::default()
+    }
+
+    #[test]
+    fn demonstrations_have_consistent_shapes() {
+        let scenario = Scenario::default();
+        let features = quick_features();
+        let demos = collect_demonstrations(&scenario, &features, 2, 0, 0.0);
+        // Two full episodes of 180 steps each.
+        assert_eq!(demos.len(), 2 * scenario.max_steps);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (o, a) = demos.sample_batch(4, &mut rng);
+        assert_eq!(o.cols(), features.observation_dim());
+        assert_eq!(a.cols(), 2);
+    }
+
+    #[test]
+    fn bc_clone_drives_respectably() {
+        // Cloning alone should reproduce most of the teacher's behaviour:
+        // positive return and several NPCs passed, no barrier crash.
+        let scenario = Scenario::default();
+        let features = quick_features();
+        let config = VictimTrainConfig {
+            demo_episodes: 40,
+            bc_steps: 6000,
+            sac_steps: 0,
+            ..VictimTrainConfig::default()
+        };
+        let policy = train_victim(&scenario, &features, &config);
+        let (ret, passed) = evaluate_policy(&policy, &scenario, &features, 5, 777);
+        assert!(ret > 100.0, "mean return {ret}");
+        assert!(passed >= 4.0, "mean passed {passed}");
+    }
+
+    #[test]
+    fn evaluate_policy_is_deterministic() {
+        let scenario = Scenario::default();
+        let features = quick_features();
+        let mut rng = StdRng::seed_from_u64(5);
+        let policy = GaussianPolicy::new(features.observation_dim(), &[16], 2, &mut rng);
+        let a = evaluate_policy(&policy, &scenario, &features, 3, 11);
+        let b = evaluate_policy(&policy, &scenario, &features, 3, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! `cargo bench` figure harness: regenerates every table/figure of the
+//! paper at smoke scale against quick-trained artifacts, so the full
+//! pipeline stays exercised on every bench run. For paper-scale numbers
+//! run the binaries (`cargo run --release -p repro-bench --bin repro_all`)
+//! against fully trained artifacts.
+
+use attack_core::pipeline::{prepare, PipelineConfig};
+use repro_bench::cli::print_experiment;
+use repro_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let dir = std::env::temp_dir().join("repro-bench-figures-bench");
+    let config = PipelineConfig::quick(&dir);
+    let t0 = Instant::now();
+    let artifacts = prepare(&config);
+    eprintln!("[figures] artifacts ready in {:.1}s", t0.elapsed().as_secs_f64());
+    for name in ["baseline", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations"] {
+        let t = Instant::now();
+        print_experiment(name, &artifacts, &config, Scale::smoke());
+        eprintln!("[figures] {name} in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

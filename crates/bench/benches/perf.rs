@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the substrate hot paths: simulator
+//! stepping, collision detection, sensor rendering, policy inference, and
+//! SAC updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drive_agents::modular::{ModularAgent, ModularConfig};
+use drive_agents::Agent;
+use drive_nn::gaussian::GaussianPolicy;
+use drive_rl::replay::{ReplayBuffer, Transition};
+use drive_rl::sac::{Sac, SacConfig};
+use drive_sim::geometry::{Obb, Vec2};
+use drive_sim::scenario::Scenario;
+use drive_sim::sensors::{FeatureConfig, FeatureExtractor, Imu, ImuConfig, SemanticCamera};
+use drive_sim::vehicle::Actuation;
+use drive_sim::world::World;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_world_step(c: &mut Criterion) {
+    c.bench_function("world_step", |b| {
+        let mut world = World::new(Scenario::default());
+        b.iter(|| {
+            if world.is_done() {
+                world = World::new(Scenario::default());
+            }
+            black_box(world.step(Actuation::new(0.0, 0.1)));
+        });
+    });
+}
+
+fn bench_full_episode_modular(c: &mut Criterion) {
+    c.bench_function("full_episode_modular_180_steps", |b| {
+        b.iter(|| {
+            let mut world = World::new(Scenario::default());
+            let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+            agent.reset(&world);
+            while !world.is_done() {
+                let a = agent.act(&world);
+                world.step(a);
+            }
+            black_box(world.passed_count())
+        });
+    });
+}
+
+fn bench_obb_intersection(c: &mut Criterion) {
+    c.bench_function("obb_sat_intersection", |b| {
+        let x = Obb::new(Vec2::new(0.0, 0.0), 4.5, 1.9, 0.2);
+        let y = Obb::new(Vec2::new(3.0, 1.0), 4.5, 1.9, -0.3);
+        b.iter(|| black_box(x.intersects(black_box(&y))));
+    });
+}
+
+fn bench_semantic_camera(c: &mut Criterion) {
+    c.bench_function("semantic_camera_render", |b| {
+        let world = World::new(Scenario::default());
+        let cam = SemanticCamera::default();
+        b.iter(|| black_box(cam.render(&world)));
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    c.bench_function("feature_extraction", |b| {
+        let world = World::new(Scenario::default());
+        let mut fx = FeatureExtractor::new(FeatureConfig::default());
+        b.iter(|| black_box(fx.observe(&world)));
+    });
+}
+
+fn bench_imu_window(c: &mut Criterion) {
+    c.bench_function("imu_record_and_window", |b| {
+        let mut world = World::new(Scenario::default());
+        world.step(Actuation::new(0.1, 0.5));
+        let mut imu = Imu::new(ImuConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            imu.record(&world, &mut rng);
+            black_box(imu.window())
+        });
+    });
+}
+
+fn bench_policy_inference(c: &mut Criterion) {
+    c.bench_function("policy_inference_60d", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dim = FeatureConfig::default().observation_dim();
+        let policy = GaussianPolicy::new(dim, &[128, 128], 2, &mut rng);
+        let obs = vec![0.1f32; dim];
+        b.iter(|| black_box(policy.act(&obs, &mut rng, true)));
+    });
+}
+
+fn bench_sac_update(c: &mut Criterion) {
+    c.bench_function("sac_update_batch128", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dim = FeatureConfig::default().observation_dim();
+        let mut sac = Sac::new(dim, 2, &[128, 128], SacConfig::default(), &mut rng);
+        let mut buffer = ReplayBuffer::new(10_000, dim, 2);
+        for i in 0..2000 {
+            buffer.push(Transition {
+                obs: vec![(i % 17) as f32 * 0.05; dim],
+                action: vec![0.1, -0.2],
+                reward: (i % 5) as f32,
+                next_obs: vec![(i % 13) as f32 * 0.05; dim],
+                terminal: i % 50 == 0,
+            });
+        }
+        b.iter(|| black_box(sac.update(&buffer, &mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_world_step,
+    bench_full_episode_modular,
+    bench_obb_intersection,
+    bench_semantic_camera,
+    bench_feature_extraction,
+    bench_imu_window,
+    bench_policy_inference,
+    bench_sac_update,
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablations report. See `repro_bench::cli`.
+
+fn main() {
+    repro_bench::cli::run_experiment("ablations");
+}

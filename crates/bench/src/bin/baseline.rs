@@ -1,0 +1,5 @@
+//! Regenerates the paper's baseline report. See `repro_bench::cli`.
+
+fn main() {
+    repro_bench::cli::run_experiment("baseline");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 report. See `repro_bench::cli`.
+
+fn main() {
+    repro_bench::cli::run_experiment("fig7");
+}

@@ -1,0 +1,11 @@
+//! Trains (or loads) every artifact of the paper at full scale and exits.
+//! Subsequent figure binaries then run instantly from the cache.
+
+fn main() {
+    let config = repro_bench::cli::pipeline_config();
+    let artifacts = attack_core::pipeline::prepare(&config);
+    eprintln!(
+        "prepared: victim({} params), camera / imu attackers, 2 finetuned, pnn",
+        artifacts.victim.trunk().param_count()
+    );
+}

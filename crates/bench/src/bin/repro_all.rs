@@ -1,0 +1,5 @@
+//! Runs every experiment in sequence (baseline, Fig. 4–8, ablations).
+
+fn main() {
+    repro_bench::cli::run_experiment("all");
+}

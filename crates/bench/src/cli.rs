@@ -1,0 +1,500 @@
+//! Shared entry point for the figure binaries.
+//!
+//! Every binary prepares (or loads) the full artifact set under
+//! `artifacts/` and runs one experiment. Pass `--smoke` (or set
+//! `REPRO_SCALE=smoke`) to use the reduced evaluation scale; pass
+//! `--artifacts <dir>` to point at a different checkpoint directory.
+
+use crate::experiments::{ablations, baseline, fig4, fig5, fig6, fig7, fig8};
+use crate::harness::Scale;
+use attack_core::pipeline::{prepare, Artifacts, PipelineConfig};
+use std::path::PathBuf;
+
+/// Parses the SVG output directory from CLI args (`--svg <dir>`), if any.
+pub fn svg_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Parses the CSV output directory from CLI args (`--csv <dir>`), if any.
+pub fn csv_dir() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Parses the artifacts directory from CLI args (default `artifacts/`).
+pub fn artifacts_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--artifacts")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("artifacts"))
+}
+
+/// Builds the pipeline configuration used by all binaries.
+pub fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        dir: artifacts_dir(),
+        ..PipelineConfig::default()
+    }
+}
+
+/// Prepares artifacts and runs the named experiment, printing its report.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+pub fn run_experiment(name: &str) {
+    let config = pipeline_config();
+    let scale = Scale::from_env();
+    eprintln!(
+        "[{name}] artifacts dir: {} | scale: {} episodes/cell, {} rounds/budget",
+        config.dir.display(),
+        scale.box_episodes,
+        scale.scatter_rounds
+    );
+    let artifacts = prepare(&config);
+    if name == "all" {
+        run_all(&artifacts, &config, scale, csv_dir().as_deref(), svg_dir().as_deref());
+        return;
+    }
+    print_experiment(name, &artifacts, &config, scale);
+    if let Some(dir) = csv_dir() {
+        write_csvs(name, &artifacts, &config, scale, &dir);
+    }
+    if let Some(dir) = svg_dir() {
+        write_svgs(name, &artifacts, &config, scale, &dir);
+    }
+}
+
+/// Runs every experiment exactly once, printing all reports and (when the
+/// directories are given) writing CSV and SVG outputs from the same result
+/// objects — no recomputation.
+pub fn run_all(
+    artifacts: &Artifacts,
+    config: &PipelineConfig,
+    scale: Scale,
+    csv: Option<&std::path::Path>,
+    svg: Option<&std::path::Path>,
+) {
+    use drive_metrics::svg::{bar_chart_svg, box_plot_svg, scatter_svg, write_svg};
+    let save_csv = |stem: &str, c: drive_metrics::export::Csv| {
+        if let Some(dir) = csv {
+            let path = dir.join(format!("{stem}.csv"));
+            match c.write_to(&path) {
+                Ok(()) => eprintln!("[csv] wrote {}", path.display()),
+                Err(e) => eprintln!("[csv] failed {}: {e}", path.display()),
+            }
+        }
+    };
+    let save_svg = |stem: &str, text: String| {
+        if let Some(dir) = svg {
+            let path = dir.join(format!("{stem}.svg"));
+            match write_svg(&path, &text) {
+                Ok(()) => eprintln!("[svg] wrote {}", path.display()),
+                Err(e) => eprintln!("[svg] failed {}: {e}", path.display()),
+            }
+        }
+    };
+    let budgets: Vec<String> = attack_core::budget::AttackBudget::fig4_grid()
+        .iter()
+        .map(|b| format!("{b}"))
+        .collect();
+
+    println!("{}", baseline::run(artifacts, config, scale));
+
+    let f4 = fig4::run(artifacts, config, scale);
+    println!("{f4}");
+    save_csv("fig4", f4.to_csv());
+    for (stem, title, pick) in [
+        (
+            "fig4a_nominal",
+            "Fig. 4a — nominal driving reward vs attack budget",
+            true,
+        ),
+        (
+            "fig4b_adversarial",
+            "Fig. 4b — adversarial reward vs attack budget",
+            false,
+        ),
+    ] {
+        let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> = [
+            attack_core::sensor::SensorKind::Camera,
+            attack_core::sensor::SensorKind::Imu,
+        ]
+        .into_iter()
+        .map(|sensor| {
+            let boxes = attack_core::budget::AttackBudget::fig4_grid()
+                .iter()
+                .filter_map(|b| f4.cell(sensor, b.epsilon()))
+                .map(|c| if pick { c.summary.nominal } else { c.summary.adversarial })
+                .collect();
+            (sensor.to_string(), boxes)
+        })
+        .collect();
+        save_svg(
+            stem,
+            box_plot_svg(title, &budgets, &series, "attack budget", "reward"),
+        );
+    }
+
+    let f5 = fig5::run(artifacts, config, scale);
+    println!("{f5}");
+    save_csv("fig5", f5.to_csv());
+    for s in &f5.series {
+        save_svg(
+            &format!("fig5_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+            scatter_svg(
+                &format!("Fig. 5 — {} under camera attack", s.agent.label()),
+                &s.points,
+                "attack effort",
+                "deviation RMSE",
+            ),
+        );
+    }
+
+    let f6 = fig6::run(artifacts, config, scale);
+    println!("{f6}");
+    save_csv("fig6", f6.to_csv());
+    let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
+        crate::harness::AgentKind::enhanced_lineup()
+            .into_iter()
+            .map(|agent| {
+                let boxes = attack_core::budget::AttackBudget::fig4_grid()
+                    .iter()
+                    .filter_map(|b| f6.nominal_box(agent, b.epsilon()).copied())
+                    .collect();
+                (agent.label().to_string(), boxes)
+            })
+            .collect();
+    save_svg(
+        "fig6_nominal",
+        box_plot_svg(
+            "Fig. 6 — nominal reward of original and enhanced agents",
+            &budgets,
+            &series,
+            "attack budget",
+            "nominal driving reward",
+        ),
+    );
+
+    let f7 = fig7::run(artifacts, config, scale);
+    println!("{f7}");
+    save_csv("fig7", f7.to_csv());
+    for s in &f7.series {
+        save_svg(
+            &format!("fig7_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+            scatter_svg(
+                &format!("Fig. 7 — {} under camera attack", s.agent.label()),
+                &s.points,
+                "attack effort",
+                "deviation RMSE",
+            ),
+        );
+    }
+
+    let f8 = fig8::run(&f5, &f7);
+    println!("{f8}");
+    save_csv("fig8", f8.to_csv());
+    let windows: Vec<String> = f8
+        .series
+        .first()
+        .map(|s| s.windows.iter().map(|w| w.label()).collect())
+        .unwrap_or_default();
+    let series: Vec<(String, Vec<f64>)> = f8
+        .series
+        .iter()
+        .map(|s| {
+            (
+                s.agent.label().to_string(),
+                s.windows.iter().map(|w| w.success_rate).collect(),
+            )
+        })
+        .collect();
+    save_svg(
+        "fig8_success_rates",
+        bar_chart_svg(
+            "Fig. 8 — success rate per effort window",
+            &windows,
+            &series,
+            "attack success rate",
+        ),
+    );
+
+    println!("{}", ablations::run(artifacts, config, scale));
+}
+
+/// Renders the experiment's figures as SVG files under `dir`.
+pub fn write_svgs(
+    name: &str,
+    artifacts: &Artifacts,
+    config: &PipelineConfig,
+    scale: Scale,
+    dir: &std::path::Path,
+) {
+    use attack_core::budget::AttackBudget;
+    use drive_metrics::svg::{bar_chart_svg, box_plot_svg, scatter_svg, write_svg};
+
+    let save = |stem: &str, svg: String| {
+        let path = dir.join(format!("{stem}.svg"));
+        match write_svg(&path, &svg) {
+            Ok(()) => eprintln!("[svg] wrote {}", path.display()),
+            Err(e) => eprintln!("[svg] failed to write {}: {e}", path.display()),
+        }
+    };
+    let budgets: Vec<String> = AttackBudget::fig4_grid()
+        .iter()
+        .map(|b| format!("{b}"))
+        .collect();
+    match name {
+        "fig4" | "all" if name == "fig4" || name == "all" => {
+            let f4 = fig4::run(artifacts, config, scale);
+            let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
+                [attack_core::sensor::SensorKind::Camera, attack_core::sensor::SensorKind::Imu]
+                    .into_iter()
+                    .map(|sensor| {
+                        let boxes = AttackBudget::fig4_grid()
+                            .iter()
+                            .filter_map(|b| f4.cell(sensor, b.epsilon()))
+                            .map(|c| c.summary.nominal)
+                            .collect();
+                        (sensor.to_string(), boxes)
+                    })
+                    .collect();
+            save(
+                "fig4a_nominal",
+                box_plot_svg(
+                    "Fig. 4a — nominal driving reward vs attack budget",
+                    &budgets,
+                    &series,
+                    "attack budget",
+                    "nominal driving reward",
+                ),
+            );
+            let adv_series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
+                [attack_core::sensor::SensorKind::Camera, attack_core::sensor::SensorKind::Imu]
+                    .into_iter()
+                    .map(|sensor| {
+                        let boxes = AttackBudget::fig4_grid()
+                            .iter()
+                            .filter_map(|b| f4.cell(sensor, b.epsilon()))
+                            .map(|c| c.summary.adversarial)
+                            .collect();
+                        (sensor.to_string(), boxes)
+                    })
+                    .collect();
+            save(
+                "fig4b_adversarial",
+                box_plot_svg(
+                    "Fig. 4b — adversarial reward vs attack budget",
+                    &budgets,
+                    &adv_series,
+                    "attack budget",
+                    "cumulative adversarial reward",
+                ),
+            );
+            if name != "all" {
+                return;
+            }
+            let f5 = fig5::run(artifacts, config, scale);
+            for s in &f5.series {
+                save(
+                    &format!("fig5_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+                    scatter_svg(
+                        &format!("Fig. 5 — {} under camera attack", s.agent.label()),
+                        &s.points,
+                        "attack effort",
+                        "deviation RMSE",
+                    ),
+                );
+            }
+            let f6 = fig6::run(artifacts, config, scale);
+            let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
+                crate::harness::AgentKind::enhanced_lineup()
+                    .into_iter()
+                    .map(|agent| {
+                        let boxes = AttackBudget::fig4_grid()
+                            .iter()
+                            .filter_map(|b| f6.nominal_box(agent, b.epsilon()).copied())
+                            .collect();
+                        (agent.label().to_string(), boxes)
+                    })
+                    .collect();
+            save(
+                "fig6_nominal",
+                box_plot_svg(
+                    "Fig. 6 — nominal reward of original and enhanced agents",
+                    &budgets,
+                    &series,
+                    "attack budget",
+                    "nominal driving reward",
+                ),
+            );
+            let f7 = fig7::run(artifacts, config, scale);
+            for s in &f7.series {
+                save(
+                    &format!("fig7_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+                    scatter_svg(
+                        &format!("Fig. 7 — {} under camera attack", s.agent.label()),
+                        &s.points,
+                        "attack effort",
+                        "deviation RMSE",
+                    ),
+                );
+            }
+            let f8 = fig8::run(&f5, &f7);
+            let windows: Vec<String> = f8
+                .series
+                .first()
+                .map(|s| s.windows.iter().map(|w| w.label()).collect())
+                .unwrap_or_default();
+            let series: Vec<(String, Vec<f64>)> = f8
+                .series
+                .iter()
+                .map(|s| {
+                    (
+                        s.agent.label().to_string(),
+                        s.windows.iter().map(|w| w.success_rate).collect(),
+                    )
+                })
+                .collect();
+            save(
+                "fig8_success_rates",
+                bar_chart_svg("Fig. 8 — success rate per effort window", &windows, &series, "attack success rate"),
+            );
+        }
+        "fig5" => {
+            let f5 = fig5::run(artifacts, config, scale);
+            for s in &f5.series {
+                save(
+                    &format!("fig5_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+                    scatter_svg(
+                        &format!("Fig. 5 — {} under camera attack", s.agent.label()),
+                        &s.points,
+                        "attack effort",
+                        "deviation RMSE",
+                    ),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Writes the experiment's data as CSV files under `dir`.
+///
+/// Re-runs the experiment (records are deterministic, so the CSV matches
+/// the printed report exactly).
+pub fn write_csvs(
+    name: &str,
+    artifacts: &Artifacts,
+    config: &PipelineConfig,
+    scale: Scale,
+    dir: &std::path::Path,
+) {
+    let save = |stem: &str, csv: drive_metrics::export::Csv| {
+        let path = dir.join(format!("{stem}.csv"));
+        match csv.write_to(&path) {
+            Ok(()) => eprintln!("[csv] wrote {}", path.display()),
+            Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+        }
+    };
+    match name {
+        "fig4" => save("fig4", fig4::run(artifacts, config, scale).to_csv()),
+        "fig5" => save("fig5", fig5::run(artifacts, config, scale).to_csv()),
+        "fig6" => save("fig6", fig6::run(artifacts, config, scale).to_csv()),
+        "fig7" => save("fig7", fig7::run(artifacts, config, scale).to_csv()),
+        "fig8" | "all" => {
+            let f5 = fig5::run(artifacts, config, scale);
+            let f7 = fig7::run(artifacts, config, scale);
+            if name == "all" {
+                save("fig4", fig4::run(artifacts, config, scale).to_csv());
+                save("fig5", f5.to_csv());
+                save("fig6", fig6::run(artifacts, config, scale).to_csv());
+                save("fig7", f7.to_csv());
+            }
+            save("fig8", fig8::run(&f5, &f7).to_csv());
+        }
+        _ => {}
+    }
+}
+
+/// Runs the named experiment against prepared artifacts.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name.
+pub fn print_experiment(
+    name: &str,
+    artifacts: &Artifacts,
+    config: &PipelineConfig,
+    scale: Scale,
+) {
+    match name {
+        "baseline" => println!("{}", baseline::run(artifacts, config, scale)),
+        "fig4" => println!("{}", fig4::run(artifacts, config, scale)),
+        "fig5" => println!("{}", fig5::run(artifacts, config, scale)),
+        "fig6" => println!("{}", fig6::run(artifacts, config, scale)),
+        "fig7" => println!("{}", fig7::run(artifacts, config, scale)),
+        "fig8" => {
+            let f5 = fig5::run(artifacts, config, scale);
+            let f7 = fig7::run(artifacts, config, scale);
+            println!("{}", fig8::run(&f5, &f7));
+        }
+        "ablations" => println!("{}", ablations::run(artifacts, config, scale)),
+        "all" => {
+            println!("{}", baseline::run(artifacts, config, scale));
+            println!("{}", fig4::run(artifacts, config, scale));
+            let f5 = fig5::run(artifacts, config, scale);
+            println!("{f5}");
+            println!("{}", fig6::run(artifacts, config, scale));
+            let f7 = fig7::run(artifacts, config, scale);
+            println!("{f7}");
+            println!("{}", fig8::run(&f5, &f7));
+            println!("{}", ablations::run(artifacts, config, scale));
+        }
+        other => panic!("unknown experiment '{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_dir_defaults() {
+        // No --artifacts flag in the test binary's args.
+        assert_eq!(artifacts_dir(), PathBuf::from("artifacts"));
+    }
+
+    #[test]
+    fn svg_and_csv_outputs_written() {
+        let dir = std::env::temp_dir().join("repro-bench-cli-svg-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = PipelineConfig::quick(dir.join("artifacts"));
+        let artifacts = prepare(&config);
+        write_csvs("fig4", &artifacts, &config, Scale::smoke(), &dir.join("csv"));
+        write_svgs("fig4", &artifacts, &config, Scale::smoke(), &dir.join("svg"));
+        assert!(dir.join("csv/fig4.csv").exists());
+        let svg = std::fs::read_to_string(dir.join("svg/fig4a_nominal.svg")).unwrap();
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(dir.join("svg/fig4b_adversarial.svg").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let dir = std::env::temp_dir().join("repro-bench-cli-test");
+        let config = PipelineConfig::quick(&dir);
+        let artifacts = prepare(&config);
+        print_experiment("nope", &artifacts, &config, Scale::smoke());
+    }
+}

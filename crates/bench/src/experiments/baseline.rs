@@ -1,0 +1,100 @@
+//! §III sanity baseline — nominal (unattacked) driving performance of both
+//! agents.
+//!
+//! The paper reports that the modular agent passes all NPC vehicles
+//! without collision and the end-to-end agent completes all 180 steps
+//! passing 5.96/6 NPCs on average over 30 episodes with no collisions.
+
+use crate::harness::{attacked_records, AgentKind, Scale};
+use attack_core::budget::AttackBudget;
+use attack_core::pipeline::{Artifacts, PipelineConfig};
+use drive_metrics::episode::CellSummary;
+use drive_metrics::report::{fmt_f, fmt_pct, Table};
+
+/// Nominal driving statistics for one agent.
+#[derive(Debug, Clone)]
+pub struct BaselineCell {
+    /// The agent.
+    pub agent: AgentKind,
+    /// Aggregated statistics over the batch.
+    pub summary: CellSummary,
+}
+
+/// Full baseline result.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Modular and end-to-end cells.
+    pub cells: Vec<BaselineCell>,
+}
+
+impl BaselineResult {
+    /// The cell for an agent, if present.
+    pub fn cell(&self, agent: AgentKind) -> Option<&BaselineCell> {
+        self.cells.iter().find(|c| c.agent == agent)
+    }
+}
+
+/// Runs the baseline experiment.
+pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> BaselineResult {
+    let cells = [AgentKind::Modular, AgentKind::E2e]
+        .into_iter()
+        .map(|agent| {
+            let records = attacked_records(
+                agent,
+                None,
+                AttackBudget::ZERO,
+                artifacts,
+                config,
+                scale.box_episodes,
+                scale.seed,
+            );
+            BaselineCell {
+                agent,
+                summary: CellSummary::from_records(&records),
+            }
+        })
+        .collect();
+    BaselineResult { cells }
+}
+
+impl std::fmt::Display for BaselineResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Baseline — nominal driving performance (no attack)")?;
+        let mut t = Table::new([
+            "agent",
+            "mean passed",
+            "collision rate",
+            "mean nominal reward",
+            "mean deviation RMSE",
+        ]);
+        for c in &self.cells {
+            t.row([
+                c.agent.label().to_string(),
+                fmt_f(c.summary.mean_passed, 2),
+                fmt_pct(c.summary.collision_rate),
+                fmt_f(c.summary.nominal.mean, 1),
+                fmt_f(c.summary.mean_deviation_rmse, 3),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "paper: modular passes all 6; e2e passes 5.96/6, no collisions")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack_core::pipeline::prepare;
+
+    #[test]
+    fn smoke_baseline_runs_both_agents() {
+        let dir = std::env::temp_dir().join("repro-bench-baseline-test");
+        let config = PipelineConfig::quick(&dir);
+        let artifacts = prepare(&config);
+        let result = run(&artifacts, &config, Scale::smoke());
+        assert_eq!(result.cells.len(), 2);
+        let modular = result.cell(AgentKind::Modular).unwrap();
+        assert_eq!(modular.summary.collision_rate, 0.0);
+        assert!(modular.summary.mean_passed >= 4.0);
+    }
+}

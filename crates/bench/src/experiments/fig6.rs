@@ -1,0 +1,140 @@
+//! Fig. 6 — nominal driving reward of the original and enhanced agents
+//! under camera attacks.
+//!
+//! Box plots per budget `{0, 0.25, 0.5, 0.75, 1.0}` for `pi_ori`, the two
+//! fine-tuned agents, and the two PNN agents. The paper's findings:
+//! fine-tuning improves attacked performance but degrades the nominal
+//! (`eps <= 0.25`) cases; PNN keeps nominal performance intact.
+
+use crate::harness::{attacked_records, AgentKind, Scale};
+use attack_core::budget::AttackBudget;
+use attack_core::pipeline::{Artifacts, PipelineConfig};
+use attack_core::sensor::SensorKind;
+use drive_metrics::agg::BoxStats;
+use drive_metrics::episode::CellSummary;
+use drive_metrics::export::Csv;
+use drive_metrics::report::{fmt_f, Table};
+
+/// One (agent, budget) cell.
+#[derive(Debug, Clone)]
+pub struct Fig6Cell {
+    /// The evaluated agent.
+    pub agent: AgentKind,
+    /// Attack budget.
+    pub budget: f64,
+    /// Aggregated statistics.
+    pub summary: CellSummary,
+}
+
+/// Full Fig. 6 result.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// All cells, agents x budgets.
+    pub cells: Vec<Fig6Cell>,
+}
+
+impl Fig6Result {
+    /// Nominal-reward box of one cell.
+    pub fn nominal_box(&self, agent: AgentKind, budget: f64) -> Option<&BoxStats> {
+        self.cells
+            .iter()
+            .find(|c| c.agent == agent && (c.budget - budget).abs() < 1e-9)
+            .map(|c| &c.summary.nominal)
+    }
+}
+
+impl Fig6Result {
+    /// Exports all cells as CSV.
+    pub fn to_csv(&self) -> Csv {
+        let mut csv = Csv::new([
+            "agent", "budget", "nominal_min", "nominal_q1", "nominal_median", "nominal_q3",
+            "nominal_max", "nominal_mean", "success_rate", "episodes",
+        ]);
+        for c in &self.cells {
+            let n = &c.summary.nominal;
+            csv.row([
+                c.agent.label().to_string(),
+                format!("{:.2}", c.budget),
+                format!("{:.3}", n.min), format!("{:.3}", n.q1), format!("{:.3}", n.median),
+                format!("{:.3}", n.q3), format!("{:.3}", n.max), format!("{:.3}", n.mean),
+                format!("{:.3}", c.summary.success_rate),
+                c.summary.episodes.to_string(),
+            ]);
+        }
+        csv
+    }
+}
+
+/// Runs the Fig. 6 experiment.
+pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Fig6Result {
+    let mut cells = Vec::new();
+    for agent in AgentKind::enhanced_lineup() {
+        for budget in AttackBudget::fig4_grid() {
+            let attack = if budget.is_zero() {
+                None
+            } else {
+                Some((&artifacts.camera_attacker, SensorKind::Camera))
+            };
+            let records = attacked_records(
+                agent,
+                attack,
+                budget,
+                artifacts,
+                config,
+                scale.box_episodes,
+                scale.seed + (budget.epsilon() * 100.0) as u64,
+            );
+            cells.push(Fig6Cell {
+                agent,
+                budget: budget.epsilon(),
+                summary: CellSummary::from_records(&records),
+            });
+        }
+    }
+    Fig6Result { cells }
+}
+
+impl std::fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 6 — nominal driving reward of original and enhanced agents (camera attack)"
+        )?;
+        let budgets = AttackBudget::fig4_grid();
+        let mut headers = vec!["agent \\ eps".to_string()];
+        headers.extend(budgets.iter().map(|b| fmt_f(b.epsilon(), 2)));
+        let mut t = Table::new(headers);
+        for agent in AgentKind::enhanced_lineup() {
+            let mut row = vec![agent.label().to_string()];
+            for b in &budgets {
+                let cell = self
+                    .nominal_box(agent, b.epsilon())
+                    .map(|s| format!("{} ({})", fmt_f(s.mean, 0), fmt_f(s.median, 0)))
+                    .unwrap_or_else(|| "-".into());
+                row.push(cell);
+            }
+            t.row(row);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "cells are mean (median) nominal reward over the episode batch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack_core::pipeline::prepare;
+
+    #[test]
+    fn smoke_fig6_covers_lineup_and_budgets() {
+        let dir = std::env::temp_dir().join("repro-bench-fig6-test");
+        let config = PipelineConfig::quick(&dir);
+        let artifacts = prepare(&config);
+        let result = run(&artifacts, &config, Scale::smoke());
+        assert_eq!(result.cells.len(), 5 * 5);
+        assert!(result.nominal_box(AgentKind::PnnSigma02, 0.0).is_some());
+        let text = format!("{result}");
+        assert!(text.contains("pi_pnn(sigma=0.4)"));
+        assert_eq!(result.to_csv().len(), 25);
+    }
+}

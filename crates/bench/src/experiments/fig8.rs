@@ -1,0 +1,129 @@
+//! Fig. 8 — attack success rate per attack-effort window for the nominal
+//! agent and the four enhanced agents.
+//!
+//! Re-bins the Fig. 5 (end-to-end series) and Fig. 7 scatter data with
+//! window width 0.2 from 0.0 to 0.8+. The paper's finding: fine-tuned
+//! agents still show successes at small efforts, PNN agents have the
+//! lowest success rates everywhere.
+
+use crate::experiments::fig5::Fig5Result;
+use crate::experiments::fig7::Fig7Result;
+use crate::harness::AgentKind;
+use drive_metrics::export::Csv;
+use drive_metrics::report::{fmt_pct, Table};
+use drive_metrics::windows::{fig8_windows, EffortWindow};
+
+/// Per-agent windowed success rates.
+#[derive(Debug, Clone)]
+pub struct Fig8Series {
+    /// The agent.
+    pub agent: AgentKind,
+    /// The five effort windows with success rates.
+    pub windows: Vec<EffortWindow>,
+}
+
+/// Full Fig. 8 result.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// Nominal + four enhanced agents.
+    pub series: Vec<Fig8Series>,
+}
+
+impl Fig8Result {
+    /// The series for an agent, if present.
+    pub fn series(&self, agent: AgentKind) -> Option<&Fig8Series> {
+        self.series.iter().find(|s| s.agent == agent)
+    }
+}
+
+/// Builds Fig. 8 from the Fig. 5 and Fig. 7 sweeps (no new episodes).
+pub fn run(fig5: &Fig5Result, fig7: &Fig7Result) -> Fig8Result {
+    let mut series = Vec::new();
+    if let Some(e2e) = fig5.series(AgentKind::E2e) {
+        series.push(Fig8Series {
+            agent: AgentKind::E2e,
+            windows: fig8_windows(&e2e.points),
+        });
+    }
+    for agent in Fig7Result::lineup() {
+        if let Some(s) = fig7.series(agent) {
+            series.push(Fig8Series {
+                agent,
+                windows: fig8_windows(&s.points),
+            });
+        }
+    }
+    Fig8Result { series }
+}
+
+impl Fig8Result {
+    /// Exports per-window success rates as CSV.
+    pub fn to_csv(&self) -> Csv {
+        let mut csv = Csv::new(["agent", "window", "success_rate", "count"]);
+        for s in &self.series {
+            for w in &s.windows {
+                csv.row([
+                    s.agent.label().to_string(),
+                    w.label(),
+                    format!("{:.3}", w.success_rate),
+                    w.count.to_string(),
+                ]);
+            }
+        }
+        csv
+    }
+}
+
+impl std::fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 8 — attack success rate per attack-effort window")?;
+        let labels: Vec<String> = self
+            .series
+            .first()
+            .map(|s| s.windows.iter().map(EffortWindow::label).collect())
+            .unwrap_or_default();
+        let mut headers = vec!["agent \\ effort".to_string()];
+        headers.extend(labels);
+        let mut t = Table::new(headers);
+        for s in &self.series {
+            let mut row = vec![s.agent.label().to_string()];
+            for w in &s.windows {
+                row.push(if w.count == 0 {
+                    "-".into()
+                } else {
+                    format!("{} ({})", fmt_pct(w.success_rate), w.count)
+                });
+            }
+            t.row(row);
+        }
+        write!(f, "{t}")?;
+        writeln!(f, "cells are success rate (episode count); paper: PNN lowest everywhere")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{fig5, fig7};
+    use crate::harness::Scale;
+    use attack_core::pipeline::{prepare, PipelineConfig};
+
+    #[test]
+    fn smoke_fig8_builds_from_sweeps() {
+        let dir = std::env::temp_dir().join("repro-bench-fig8-test");
+        let config = PipelineConfig::quick(&dir);
+        let artifacts = prepare(&config);
+        let f5 = fig5::run(&artifacts, &config, Scale::smoke());
+        let f7 = fig7::run(&artifacts, &config, Scale::smoke());
+        let f8 = run(&f5, &f7);
+        assert_eq!(f8.series.len(), 5);
+        for s in &f8.series {
+            assert_eq!(s.windows.len(), 5);
+            let total: usize = s.windows.iter().map(|w| w.count).sum();
+            assert!(total > 0, "{:?} has no points", s.agent);
+        }
+        let text = format!("{f8}");
+        assert!(text.contains("0.8+"));
+        assert_eq!(f8.to_csv().len(), 25);
+    }
+}

@@ -1,0 +1,10 @@
+//! One module per figure of the paper's evaluation, plus the §III baseline
+//! and the ablation studies.
+
+pub mod ablations;
+pub mod baseline;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;

@@ -1,0 +1,250 @@
+//! Shared plumbing for the figure harnesses: building the cast of agents
+//! and attackers from pipeline artifacts and collecting attacked episode
+//! records.
+
+use attack_core::adv_reward::AdvReward;
+use attack_core::budget::AttackBudget;
+use attack_core::defense::SimplexSwitcher;
+use attack_core::eval::run_attacked_episodes;
+use attack_core::learned::LearnedAttacker;
+use attack_core::pipeline::{Artifacts, PipelineConfig};
+use attack_core::sensor::{AttackerSensor, SensorKind};
+use drive_agents::e2e::E2eAgent;
+use drive_agents::modular::{ModularAgent, ModularConfig};
+use drive_agents::Agent;
+use drive_nn::gaussian::GaussianPolicy;
+use drive_sim::record::EpisodeRecord;
+
+/// The driving agents evaluated across the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentKind {
+    /// The modular planner + PID pipeline.
+    Modular,
+    /// The original end-to-end agent `pi_ori`.
+    E2e,
+    /// Fine-tuned `pi_adv, rho = 1/11`.
+    AdvRhoSmall,
+    /// Fine-tuned `pi_adv, rho = 1/2`.
+    AdvRhoHalf,
+    /// PNN behind a switcher with `sigma = 0.2`.
+    PnnSigma02,
+    /// PNN behind a switcher with `sigma = 0.4`.
+    PnnSigma04,
+}
+
+impl AgentKind {
+    /// The agents of Fig. 6 / Fig. 8 (nominal + four enhanced).
+    pub fn enhanced_lineup() -> [AgentKind; 5] {
+        [
+            AgentKind::E2e,
+            AgentKind::AdvRhoSmall,
+            AgentKind::AdvRhoHalf,
+            AgentKind::PnnSigma02,
+            AgentKind::PnnSigma04,
+        ]
+    }
+
+    /// Paper-style display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AgentKind::Modular => "modular",
+            AgentKind::E2e => "pi_ori",
+            AgentKind::AdvRhoSmall => "pi_adv(rho=1/11)",
+            AgentKind::AdvRhoHalf => "pi_adv(rho=1/2)",
+            AgentKind::PnnSigma02 => "pi_pnn(sigma=0.2)",
+            AgentKind::PnnSigma04 => "pi_pnn(sigma=0.4)",
+        }
+    }
+}
+
+/// Builds a fresh agent of the given kind.
+///
+/// The PNN agents' Simplex switcher is told the active `budget` (the
+/// paper's idealized budget-aware switcher).
+pub fn build_agent(
+    kind: AgentKind,
+    artifacts: &Artifacts,
+    config: &PipelineConfig,
+    budget: AttackBudget,
+    seed: u64,
+) -> Box<dyn Agent> {
+    let features = config.features.clone();
+    match kind {
+        AgentKind::Modular => Box::new(ModularAgent::new(ModularConfig::default(), 1)),
+        AgentKind::E2e => Box::new(E2eAgent::new(artifacts.victim.clone(), features, seed, true)),
+        AgentKind::AdvRhoSmall => Box::new(E2eAgent::new(
+            artifacts.adv_rho_small.clone(),
+            features,
+            seed,
+            true,
+        )),
+        AgentKind::AdvRhoHalf => Box::new(E2eAgent::new(
+            artifacts.adv_rho_half.clone(),
+            features,
+            seed,
+            true,
+        )),
+        AgentKind::PnnSigma02 => Box::new(E2eAgent::new(
+            SimplexSwitcher::new(artifacts.pnn.clone(), 0.2, budget.epsilon()),
+            features,
+            seed,
+            true,
+        )),
+        AgentKind::PnnSigma04 => Box::new(E2eAgent::new(
+            SimplexSwitcher::new(artifacts.pnn.clone(), 0.4, budget.epsilon()),
+            features,
+            seed,
+            true,
+        )),
+    }
+}
+
+/// Collects attacked episode records for one `(agent, attack policy,
+/// budget)` cell.
+///
+/// A zero budget (or `attack == None`) yields the nominal, unattacked cell.
+#[allow(clippy::too_many_arguments)]
+pub fn attacked_records(
+    kind: AgentKind,
+    attack: Option<(&GaussianPolicy, SensorKind)>,
+    budget: AttackBudget,
+    artifacts: &Artifacts,
+    config: &PipelineConfig,
+    episodes: usize,
+    base_seed: u64,
+) -> Vec<EpisodeRecord> {
+    let adv = AdvReward::default();
+    let mut agent = build_agent(kind, artifacts, config, budget, base_seed ^ 0xa6e17);
+    run_attacked_episodes(
+        agent.as_mut(),
+        |seed| {
+            let (policy, sensor_kind) = attack?;
+            if budget.is_zero() {
+                return None;
+            }
+            let sensor = match sensor_kind {
+                SensorKind::Camera => AttackerSensor::camera(config.features.clone()),
+                SensorKind::Imu => AttackerSensor::imu(config.imu.clone(), seed),
+            };
+            Some(LearnedAttacker::new(
+                policy.clone(),
+                sensor,
+                budget,
+                seed,
+                true,
+            ))
+        },
+        &adv,
+        &config.scenario,
+        episodes,
+        base_seed,
+    )
+}
+
+/// Experiment scale: the paper's episode counts or a fast smoke preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Episodes per box-plot cell (paper: 30).
+    pub box_episodes: usize,
+    /// Rounds per budget in the scatter sweeps (paper: 10).
+    pub scatter_rounds: usize,
+    /// Base evaluation seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's evaluation scale.
+    pub fn paper() -> Self {
+        Scale {
+            box_episodes: 30,
+            scatter_rounds: 10,
+            seed: 10_000,
+        }
+    }
+
+    /// A reduced scale for smoke tests and `cargo bench` figure targets.
+    pub fn smoke() -> Self {
+        Scale {
+            box_episodes: 4,
+            scatter_rounds: 2,
+            seed: 10_000,
+        }
+    }
+
+    /// Picks the scale from CLI args (`--smoke`) or an env var
+    /// (`REPRO_SCALE=smoke`).
+    pub fn from_env() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("REPRO_SCALE").is_ok_and(|v| v == "smoke");
+        if smoke {
+            Scale::smoke()
+        } else {
+            Scale::paper()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attack_core::pipeline::prepare;
+
+    fn quick_setup() -> (Artifacts, PipelineConfig) {
+        let dir = std::env::temp_dir().join("repro-bench-harness-test");
+        let config = PipelineConfig::quick(&dir);
+        let artifacts = prepare(&config);
+        (artifacts, config)
+    }
+
+    #[test]
+    fn builds_every_agent_kind() {
+        let (artifacts, config) = quick_setup();
+        for kind in [
+            AgentKind::Modular,
+            AgentKind::E2e,
+            AgentKind::AdvRhoSmall,
+            AgentKind::AdvRhoHalf,
+            AgentKind::PnnSigma02,
+            AgentKind::PnnSigma04,
+        ] {
+            let mut agent = build_agent(kind, &artifacts, &config, AttackBudget::new(0.5), 0);
+            let world = drive_sim::world::World::new(config.scenario.clone());
+            agent.reset(&world);
+            let a = agent.act(&world);
+            assert!(a.steer.abs() <= 1.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn attacked_records_nominal_vs_attacked() {
+        let (artifacts, config) = quick_setup();
+        let nominal = attacked_records(
+            AgentKind::Modular,
+            None,
+            AttackBudget::ZERO,
+            &artifacts,
+            &config,
+            2,
+            100,
+        );
+        assert_eq!(nominal.len(), 2);
+        assert!(nominal.iter().all(|r| r.attack_effort() == 0.0));
+
+        let attacked = attacked_records(
+            AgentKind::Modular,
+            Some((&artifacts.camera_attacker, SensorKind::Camera)),
+            AttackBudget::new(1.0),
+            &artifacts,
+            &config,
+            2,
+            100,
+        );
+        assert!(attacked.iter().any(|r| r.attack_effort() > 0.0));
+    }
+
+    #[test]
+    fn scale_presets() {
+        assert_eq!(Scale::paper().box_episodes, 30);
+        assert!(Scale::smoke().box_episodes < Scale::paper().box_episodes);
+    }
+}

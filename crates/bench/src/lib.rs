@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! # repro-bench — experiment harnesses for every figure of the paper
+//!
+//! Each module of [`experiments`] regenerates one figure (or the baseline /
+//! ablations) from the trained [`attack_core::pipeline::Artifacts`]; the
+//! binaries in `src/bin/` run them at the paper's scale and print the
+//! tables, while the `figures` bench target runs the same code at smoke
+//! scale under `cargo bench`. Criterion micro-benches of the substrate
+//! live in the `perf` bench target.
+
+pub mod cli;
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{attacked_records, build_agent, AgentKind, Scale};

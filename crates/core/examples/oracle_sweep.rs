@@ -1,0 +1,31 @@
+//! Calibration sweep: the geometric oracle attacker vs the modular
+//! pipeline across attack budgets. Prints the side-collision success rate,
+//! collision count, and mean nominal reward per budget — the quickest way
+//! to see the agent's tolerance threshold after tuning.
+//!
+//! ```sh
+//! cargo run --release -p attack-core --example oracle_sweep
+//! ```
+
+use attack_core::prelude::*;
+use drive_agents::prelude::*;
+use drive_sim::prelude::*;
+
+fn main() {
+    let scenario = Scenario::default();
+    let adv = AdvReward::default();
+    println!("budget  success  any_coll  mean_nominal  mean_effort");
+    for eps in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0, 1.2] {
+        let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+        let recs = run_attacked_episodes(
+            &mut agent,
+            |_| (eps > 0.0).then(|| OracleAttacker::new(AttackBudget::new(eps))),
+            &adv, &scenario, 20, 300,
+        );
+        let s = recs.iter().filter(|r| r.side_collision()).count();
+        let c = recs.iter().filter(|r| r.collision.is_some()).count();
+        let nom: f64 = recs.iter().map(|r| r.nominal_return).sum::<f64>() / 20.0;
+        let eff: f64 = recs.iter().map(|r| r.attack_effort()).sum::<f64>() / 20.0;
+        println!("{eps:<7.2} {s:>2}/20    {c:>2}/20    {nom:>8.1}     {eff:.2}");
+    }
+}

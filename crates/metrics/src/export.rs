@@ -1,0 +1,130 @@
+//! CSV export of experiment data (for plotting outside the terminal).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A minimal CSV builder with RFC-4180-style quoting.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+impl Csv {
+    /// Creates a CSV with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Csv {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the headers.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, expected {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the CSV has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes to CSV text.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_rows() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["1", "2"]).row(["x", "y"]);
+        let s = c.to_csv_string();
+        assert_eq!(s, "a,b\n1,2\nx,y\n");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn quotes_special_cells() {
+        let mut c = Csv::new(["label"]);
+        c.row(["has,comma"]).row(["has\"quote"]);
+        let s = c.to_csv_string();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn wrong_arity_panics() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["only-one"]);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("drive-metrics-csv-test");
+        let path = dir.join("t.csv");
+        let mut c = Csv::new(["v"]);
+        c.row(["1"]);
+        c.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,451 @@
+//! Plain-text checkpointing for networks and policies.
+//!
+//! A deliberately simple line-oriented format (no extra dependencies):
+//! each section is a tagged header line followed by whitespace-separated
+//! `f32` values, which Rust formats/parses with guaranteed round-tripping.
+//! Used by the experiment harnesses to cache trained policies under
+//! `artifacts/`.
+
+use crate::activation::Activation;
+use crate::gaussian::GaussianPolicy;
+use crate::linear::Linear;
+use crate::mat::Mat;
+use crate::mlp::Mlp;
+use crate::pnn::{PnnInit, PnnPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors produced when parsing a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The text did not match the expected structure.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Parse(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Parse(msg.into())
+}
+
+/// Line-cursor over checkpoint text.
+struct Reader<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            lines: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, CheckpointError> {
+        loop {
+            self.line_no += 1;
+            match self.lines.next() {
+                Some(l) if l.trim().is_empty() => continue,
+                Some(l) => return Ok(l.trim()),
+                None => return Err(parse_err("unexpected end of checkpoint")),
+            }
+        }
+    }
+
+    fn expect_tag(&mut self, tag: &str) -> Result<Vec<&'a str>, CheckpointError> {
+        let line = self.next_line()?;
+        let mut parts = line.split_whitespace();
+        let head = parts.next().ok_or_else(|| parse_err("empty line"))?;
+        if head != tag {
+            return Err(parse_err(format!(
+                "line {}: expected tag '{tag}', found '{head}'",
+                self.line_no
+            )));
+        }
+        Ok(parts.collect())
+    }
+
+    fn floats(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let line = self.next_line()?;
+            for tok in line.split_whitespace() {
+                let v: f32 = tok
+                    .parse()
+                    .map_err(|_| parse_err(format!("line {}: bad float '{tok}'", self.line_no)))?;
+                out.push(v);
+            }
+        }
+        if out.len() != n {
+            return Err(parse_err(format!("expected {n} floats, found {}", out.len())));
+        }
+        Ok(out)
+    }
+}
+
+fn write_floats(buf: &mut String, values: &[f32]) {
+    for chunk in values.chunks(16) {
+        let mut first = true;
+        for v in chunk {
+            if !first {
+                buf.push(' ');
+            }
+            buf.push_str(&format!("{v}"));
+            first = false;
+        }
+        buf.push('\n');
+    }
+    if values.is_empty() {
+        buf.push('\n');
+    }
+}
+
+fn encode_linear(buf: &mut String, l: &Linear) {
+    buf.push_str(&format!("linear {} {}\n", l.out_dim(), l.in_dim()));
+    write_floats(buf, l.w.data());
+    write_floats(buf, &l.b);
+}
+
+fn decode_linear(r: &mut Reader<'_>) -> Result<Linear, CheckpointError> {
+    let args = r.expect_tag("linear")?;
+    if args.len() != 2 {
+        return Err(parse_err("linear tag needs '<out> <in>'"));
+    }
+    let out: usize = args[0].parse().map_err(|_| parse_err("bad out dim"))?;
+    let inp: usize = args[1].parse().map_err(|_| parse_err("bad in dim"))?;
+    if out == 0 || inp == 0 {
+        return Err(parse_err("linear dims must be positive"));
+    }
+    let w = r.floats(out * inp)?;
+    let b = r.floats(out)?;
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut l = Linear::new(inp, out, &mut rng);
+    l.w = Mat::from_vec(out, inp, w);
+    l.b = b;
+    Ok(l)
+}
+
+fn act_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::Tanh => "tanh",
+        Activation::Identity => "identity",
+    }
+}
+
+fn act_from_name(s: &str) -> Result<Activation, CheckpointError> {
+    match s {
+        "relu" => Ok(Activation::Relu),
+        "tanh" => Ok(Activation::Tanh),
+        "identity" => Ok(Activation::Identity),
+        other => Err(parse_err(format!("unknown activation '{other}'"))),
+    }
+}
+
+/// Serializes an [`Mlp`] to checkpoint text.
+pub fn encode_mlp(net: &Mlp) -> String {
+    let mut buf = String::new();
+    encode_mlp_into(&mut buf, net);
+    buf
+}
+
+fn encode_mlp_into(buf: &mut String, net: &Mlp) {
+    buf.push_str(&format!("mlp {}\n", net.num_layers()));
+    for (i, l) in net.layers().iter().enumerate() {
+        buf.push_str(&format!("act {}\n", act_name(net.activation(i))));
+        encode_linear(buf, l);
+    }
+}
+
+/// Parses an [`Mlp`] from checkpoint text.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Parse`] on any structural mismatch.
+pub fn decode_mlp(text: &str) -> Result<Mlp, CheckpointError> {
+    let mut r = Reader::new(text);
+    decode_mlp_from(&mut r)
+}
+
+fn decode_mlp_from(r: &mut Reader<'_>) -> Result<Mlp, CheckpointError> {
+    let args = r.expect_tag("mlp")?;
+    let n: usize = args
+        .first()
+        .ok_or_else(|| parse_err("mlp tag needs layer count"))?
+        .parse()
+        .map_err(|_| parse_err("bad layer count"))?;
+    if n == 0 {
+        return Err(parse_err("mlp needs at least one layer"));
+    }
+    let mut sizes = Vec::with_capacity(n + 1);
+    let mut layers = Vec::with_capacity(n);
+    let mut acts = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = r.expect_tag("act")?;
+        acts.push(act_from_name(a.first().ok_or_else(|| parse_err("act needs a name"))?)?);
+        let l = decode_linear(r)?;
+        if i == 0 {
+            sizes.push(l.in_dim());
+        } else if l.in_dim() != sizes[sizes.len() - 1] {
+            return Err(parse_err(format!(
+                "layer {i} input dim {} does not chain with previous output {}",
+                l.in_dim(),
+                sizes[sizes.len() - 1]
+            )));
+        }
+        sizes.push(l.out_dim());
+        layers.push(l);
+    }
+    // Rebuild through the public constructor, then overwrite weights.
+    let mut rng = StdRng::seed_from_u64(0);
+    let hidden_act = acts[0];
+    let out_act = *acts.last().expect("n >= 1");
+    let mut net = Mlp::new(&sizes, hidden_act, out_act, &mut rng);
+    // Fix up any mixed activation patterns beyond (hidden.., out).
+    for (i, l) in net.layers_mut().iter_mut().enumerate() {
+        l.copy_params_from(&layers[i]);
+    }
+    for (i, a) in acts.iter().enumerate() {
+        if net.activation(i) != *a {
+            return Err(parse_err(format!(
+                "layer {i} activation pattern {:?} unsupported (expected uniform hidden + output)",
+                a
+            )));
+        }
+    }
+    Ok(net)
+}
+
+/// Serializes a [`GaussianPolicy`].
+pub fn encode_policy(p: &GaussianPolicy) -> String {
+    let mut buf = String::new();
+    encode_policy_into(&mut buf, p);
+    buf
+}
+
+fn encode_policy_into(buf: &mut String, p: &GaussianPolicy) {
+    buf.push_str(&format!("policy {}\n", p.action_dim()));
+    encode_mlp_into(buf, p.trunk());
+}
+
+/// Parses a [`GaussianPolicy`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Parse`] on structural mismatch.
+pub fn decode_policy(text: &str) -> Result<GaussianPolicy, CheckpointError> {
+    let mut r = Reader::new(text);
+    decode_policy_from(&mut r)
+}
+
+fn decode_policy_from(r: &mut Reader<'_>) -> Result<GaussianPolicy, CheckpointError> {
+    let args = r.expect_tag("policy")?;
+    let action_dim: usize = args
+        .first()
+        .ok_or_else(|| parse_err("policy tag needs action dim"))?
+        .parse()
+        .map_err(|_| parse_err("bad action dim"))?;
+    let trunk = decode_mlp_from(r)?;
+    if trunk.out_dim() != 2 * action_dim {
+        return Err(parse_err(format!(
+            "trunk output {} does not match 2 * action_dim {}",
+            trunk.out_dim(),
+            2 * action_dim
+        )));
+    }
+    // Rebuild a policy with matching architecture, then copy the trunk.
+    let hidden: Vec<usize> = trunk.layers()[..trunk.num_layers() - 1]
+        .iter()
+        .map(Linear::out_dim)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut p = GaussianPolicy::new(trunk.in_dim(), &hidden, action_dim, &mut rng);
+    p.trunk_mut().copy_params_from(&trunk);
+    Ok(p)
+}
+
+/// Serializes a [`PnnPolicy`].
+pub fn encode_pnn(p: &PnnPolicy) -> String {
+    let mut buf = String::new();
+    buf.push_str(&format!("pnn {}\n", p.action_dim()));
+    encode_policy_into(&mut buf, p.base());
+    let (column, laterals) = p.parts();
+    buf.push_str(&format!("column {}\n", column.len()));
+    for l in column {
+        encode_linear(&mut buf, l);
+    }
+    buf.push_str(&format!("laterals {}\n", laterals.len()));
+    for l in laterals {
+        encode_linear(&mut buf, l);
+    }
+    buf
+}
+
+/// Parses a [`PnnPolicy`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Parse`] on structural mismatch.
+pub fn decode_pnn(text: &str) -> Result<PnnPolicy, CheckpointError> {
+    let mut r = Reader::new(text);
+    let args = r.expect_tag("pnn")?;
+    let _action_dim: usize = args
+        .first()
+        .ok_or_else(|| parse_err("pnn tag needs action dim"))?
+        .parse()
+        .map_err(|_| parse_err("bad action dim"))?;
+    let base = decode_policy_from(&mut r)?;
+    let cargs = r.expect_tag("column")?;
+    let ncol: usize = cargs
+        .first()
+        .ok_or_else(|| parse_err("column tag needs count"))?
+        .parse()
+        .map_err(|_| parse_err("bad column count"))?;
+    let mut column = Vec::with_capacity(ncol);
+    for _ in 0..ncol {
+        column.push(decode_linear(&mut r)?);
+    }
+    let largs = r.expect_tag("laterals")?;
+    let nlat: usize = largs
+        .first()
+        .ok_or_else(|| parse_err("laterals tag needs count"))?
+        .parse()
+        .map_err(|_| parse_err("bad laterals count"))?;
+    let mut laterals = Vec::with_capacity(nlat);
+    for _ in 0..nlat {
+        laterals.push(decode_linear(&mut r)?);
+    }
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut p = PnnPolicy::new(base, PnnInit::CopyBase, &mut rng);
+    p.set_parts(column, laterals)
+        .map_err(CheckpointError::Parse)?;
+    Ok(p)
+}
+
+/// Writes checkpoint text to a file, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_to_file(path: impl AsRef<Path>, text: &str) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, text)?;
+    Ok(())
+}
+
+/// Reads checkpoint text from a file.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn load_from_file(path: impl AsRef<Path>) -> Result<String, CheckpointError> {
+    Ok(fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::randn_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Mlp::new(&[3, 7, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let text = encode_mlp(&net);
+        let back = decode_mlp(&text).unwrap();
+        let x = Mat::from_vec(2, 3, vec![0.3, -0.2, 0.9, 1.5, -0.4, 0.0]);
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn policy_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = GaussianPolicy::new(6, &[16, 16], 2, &mut rng);
+        let back = decode_policy(&encode_policy(&p)).unwrap();
+        let obs = Mat::from_vec(3, 6, (0..18).map(|i| (i as f32 * 0.11).sin()).collect());
+        assert_eq!(p.mean_action(&obs), back.mean_action(&obs));
+        let noise = randn_mat(3, 2, &mut rng);
+        let s1 = p.sample_with_noise(&obs, noise.clone());
+        let s2 = back.sample_with_noise(&obs, noise);
+        assert_eq!(s1.log_prob(), s2.log_prob());
+    }
+
+    #[test]
+    fn pnn_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = GaussianPolicy::new(4, &[8, 8], 1, &mut rng);
+        let pnn = PnnPolicy::new(base, crate::pnn::PnnInit::Random, &mut rng);
+        let back = decode_pnn(&encode_pnn(&pnn)).unwrap();
+        let obs = Mat::from_vec(2, 4, (0..8).map(|i| (i as f32 * 0.2).cos()).collect());
+        assert_eq!(pnn.mean_action(&obs), back.mean_action(&obs));
+        // Base column preserved too.
+        assert_eq!(pnn.base().mean_action(&obs), back.base().mean_action(&obs));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = GaussianPolicy::new(3, &[8], 1, &mut rng);
+        let dir = std::env::temp_dir().join("drive-nn-test");
+        let path = dir.join("policy.ckpt");
+        save_to_file(&path, &encode_policy(&p)).unwrap();
+        let text = load_from_file(&path).unwrap();
+        let back = decode_policy(&text).unwrap();
+        let obs = Mat::from_row(&[0.1, 0.2, 0.3]);
+        assert_eq!(p.mean_action(&obs), back.mean_action(&obs));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_text_errors_cleanly() {
+        assert!(decode_mlp("garbage").is_err());
+        assert!(decode_policy("policy x\n").is_err());
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let text = encode_mlp(&net);
+        // Truncate the float payload.
+        let cut = &text[..text.len() / 2];
+        assert!(decode_mlp(cut).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = decode_mlp("mlp zero").unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("invalid checkpoint"), "{msg}");
+    }
+}

@@ -1,0 +1,346 @@
+//! A minimal dense `f32` matrix for batched neural-network math.
+//!
+//! Row-major storage; rows index batch elements, columns index features.
+//! Only the operations the training stack needs are provided — this is not a
+//! general linear-algebra library.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a 1-row matrix from a slice (a single observation/action).
+    pub fn from_row(row: &[f32]) -> Self {
+        Mat::from_vec(1, row.len(), row.to_vec())
+    }
+
+    /// Number of rows (batch size).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other` — standard matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.rows, other.cols);
+        // i-k-j loop order: sequential access of `other` rows.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` — product with the transpose of `other`, the common
+    /// shape for `x @ W^T` linear layers without materializing a transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt dims: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` — used for weight-gradient accumulation
+    /// (`x^T @ grad_out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn dims: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.cols, other.cols);
+        for b in 0..self.rows {
+            let a_row = self.row(b);
+            let o_row = other.row(b);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &g) in out_row.iter_mut().zip(o_row) {
+                    *o += a * g;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise addition in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds `row` to every row of the matrix (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols`.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols);
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &b) in dst.iter_mut().zip(row) {
+                *d += b;
+            }
+        }
+    }
+
+    /// Sum over rows, returning a `cols`-length vector (bias gradients).
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hcat(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "hcat needs equal row counts");
+        let mut out = Mat::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Splits columns at `at`, returning `(left, right)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.cols`.
+    pub fn split_cols(&self, at: usize) -> (Mat, Mat) {
+        assert!(at <= self.cols);
+        let mut left = Mat::zeros(self.rows, at);
+        let mut right = Mat::zeros(self.rows, self.cols - at);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..at]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[at..]);
+        }
+        (left, right)
+    }
+
+    /// Mean of all elements (e.g. of a column of losses).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Mat::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Mat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Mat::from_vec(4, 3, (0..12).map(|i| i as f32).collect());
+        let bt = {
+            let mut t = Mat::zeros(3, 4);
+            for r in 0..4 {
+                for c in 0..3 {
+                    t.set(c, r, b.get(r, c));
+                }
+            }
+            t
+        };
+        assert_eq!(a.matmul_nt(&b), a.matmul(&bt));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Mat::from_vec(4, 2, (0..8).map(|i| i as f32).collect());
+        let b = Mat::from_vec(4, 3, (0..12).map(|i| (i as f32) * 0.5).collect());
+        let at = {
+            let mut t = Mat::zeros(2, 4);
+            for r in 0..4 {
+                for c in 0..2 {
+                    t.set(c, r, a.get(r, c));
+                }
+            }
+            t
+        };
+        assert_eq!(a.matmul_tn(&b), at.matmul(&b));
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_inverse_ish() {
+        let mut m = Mat::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, -2.0]);
+        assert_eq!(m.sum_rows(), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn hcat_and_split_round_trip() {
+        let a = Mat::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Mat::from_vec(2, 1, vec![5., 6.]);
+        let c = a.hcat(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(0), &[1., 2., 5.]);
+        let (l, r) = c.split_cols(2);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn map_and_mean() {
+        let mut m = Mat::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        m.map_inplace(|v| v * 2.0);
+        assert_eq!(m.mean(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn from_row_is_single_row() {
+        let m = Mat::from_row(&[1.0, 2.0]);
+        assert_eq!((m.rows(), m.cols()), (1, 2));
+    }
+}

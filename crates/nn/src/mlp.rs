@@ -1,0 +1,294 @@
+//! Multi-layer perceptron with explicit forward caches and backprop.
+
+use crate::activation::Activation;
+use crate::linear::Linear;
+use crate::mat::Mat;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network: alternating [`Linear`] layers and activations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    acts: Vec<Activation>,
+}
+
+/// Forward-pass intermediates needed by [`Mlp::backward`].
+///
+/// `post[i]` is the post-activation output of layer `i`; `post.last()` is the
+/// network output. The original input is kept separately.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    input: Mat,
+    post: Vec<Mat>,
+}
+
+impl MlpCache {
+    /// The network output this cache corresponds to.
+    pub fn output(&self) -> &Mat {
+        self.post.last().expect("cache has at least one layer")
+    }
+
+    /// Post-activation hidden states, one per layer (last entry = output).
+    pub fn hidden(&self) -> &[Mat] {
+        &self.post
+    }
+
+    /// The input that produced this cache.
+    pub fn input(&self) -> &Mat {
+        &self.input
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP from layer sizes, e.g. `[obs, 128, 128, out]`.
+    ///
+    /// Hidden layers use `hidden_act`; the final layer uses `out_act`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng>(
+        sizes: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let n = sizes.len() - 1;
+        let layers = (0..n)
+            .map(|i| Linear::new(sizes[i], sizes[i + 1], rng))
+            .collect();
+        let acts = (0..n)
+            .map(|i| if i + 1 == n { out_act } else { hidden_act })
+            .collect();
+        Mlp { layers, acts }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Read access to the layers (used by PNN lateral connections).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    ///
+    /// Prefer [`Mlp::visit_params`] for optimization; this exists for weight
+    /// surgery (checkpoint loading, tests, PNN column grafts).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Activation of layer `i`.
+    pub fn activation(&self, i: usize) -> Activation {
+        self.acts[i]
+    }
+
+    /// Forward pass without keeping intermediates (inference).
+    pub fn forward(&self, x: &Mat) -> Mat {
+        let mut h = x.clone();
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            h = act.forward(&layer.forward(&h));
+        }
+        h
+    }
+
+    /// Forward pass that records intermediates for [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &Mat) -> MlpCache {
+        let mut post = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (layer, act) in self.layers.iter().zip(&self.acts) {
+            h = act.forward(&layer.forward(&h));
+            post.push(h.clone());
+        }
+        MlpCache {
+            input: x.clone(),
+            post,
+        }
+    }
+
+    /// Backward pass from `grad_out` (gradient of the loss w.r.t. the
+    /// network output). Accumulates parameter gradients and returns the
+    /// gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not match this network's depth.
+    pub fn backward(&mut self, cache: &MlpCache, grad_out: &Mat) -> Mat {
+        assert_eq!(cache.post.len(), self.layers.len(), "cache/network depth mismatch");
+        let mut g = grad_out.clone();
+        for i in (0..self.layers.len()).rev() {
+            g = self.acts[i].backward(&cache.post[i], &g);
+            let input = if i == 0 { &cache.input } else { &cache.post[i - 1] };
+            g = self.layers[i].backward(input, &g);
+        }
+        g
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Visits every `(params, grads)` slice in deterministic order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Copies all parameters from a same-shaped network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.copy_params_from(b);
+        }
+    }
+
+    /// Polyak-averages all parameters towards `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn polyak_from(&mut self, other: &Mlp, tau: f32) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.polyak_from(b, tau);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(11);
+        Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_dims() {
+        let n = net();
+        assert_eq!(n.in_dim(), 4);
+        assert_eq!(n.out_dim(), 3);
+        assert_eq!(n.num_layers(), 2);
+        assert_eq!(n.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        let x = Mat::zeros(5, 4);
+        assert_eq!((n.forward(&x).rows(), n.forward(&x).cols()), (5, 3));
+    }
+
+    #[test]
+    fn cached_forward_matches_plain_forward() {
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Mat::from_vec(3, 4, (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let cache = n.forward_cached(&x);
+        assert_eq!(cache.output(), &n.forward(&x));
+        assert_eq!(cache.hidden().len(), 2);
+        assert_eq!(cache.input(), &x);
+    }
+
+    #[test]
+    fn full_backward_matches_finite_differences() {
+        let mut n = net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Mat::from_vec(2, 4, (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let cache = n.forward_cached(&x);
+        let grad_out = Mat::from_vec(2, 3, vec![1.0; 6]); // loss = sum(outputs)
+        n.zero_grad();
+        let grad_in = n.backward(&cache, &grad_out);
+
+        let loss = |n: &Mlp, x: &Mat| n.forward(x).data().iter().sum::<f32>();
+        let eps = 1e-2f32;
+
+        // Input gradients.
+        for c in 0..4 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let up = loss(&n, &xp);
+            xp.set(0, c, x.get(0, c) - eps);
+            let down = loss(&n, &xp);
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grad_in.get(0, c)).abs() < 0.05,
+                "dX[0,{c}] fd {fd} vs {}",
+                grad_in.get(0, c)
+            );
+        }
+
+        // A few weight gradients in both layers.
+        for layer_idx in 0..2 {
+            for &(r, c) in &[(0usize, 0usize), (1, 1)] {
+                let mut np = n.clone();
+                let v = np.layers[layer_idx].w.get(r, c);
+                np.layers[layer_idx].w.set(r, c, v + eps);
+                let up = loss(&np, &x);
+                np.layers[layer_idx].w.set(r, c, v - eps);
+                let down = loss(&np, &x);
+                let fd = (up - down) / (2.0 * eps);
+                let got = n.layers[layer_idx].grad_w.get(r, c);
+                assert!(
+                    (fd - got).abs() < 0.05,
+                    "layer {layer_idx} dW[{r},{c}] fd {fd} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn copy_and_polyak() {
+        let mut a = net();
+        let mut rng = StdRng::seed_from_u64(77);
+        let b = Mlp::new(&[4, 8, 3], Activation::Relu, Activation::Identity, &mut rng);
+        a.copy_params_from(&b);
+        let x = Mat::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(a.forward(&x), b.forward(&x));
+
+        let mut c = net();
+        c.polyak_from(&b, 1.0);
+        assert_eq!(c.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn visit_params_count() {
+        let mut n = net();
+        let mut total = 0;
+        n.visit_params(&mut |p, _| total += p.len());
+        assert_eq!(total, n.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_sizes_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Mlp::new(&[3], Activation::Relu, Activation::Identity, &mut rng);
+    }
+}

@@ -1,0 +1,168 @@
+//! The environment interface shared by the driving task and the attacker
+//! task.
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvStep {
+    /// Observation after the step.
+    pub obs: Vec<f32>,
+    /// Scalar reward.
+    pub reward: f32,
+    /// Whether the episode ended for an environment-intrinsic reason
+    /// (collision, goal). Terminal states do **not** bootstrap.
+    pub done: bool,
+    /// Whether the episode was cut off by a time limit. Truncated states
+    /// *do* bootstrap in the SAC target.
+    pub truncated: bool,
+}
+
+impl EnvStep {
+    /// Whether the episode is over for either reason.
+    pub fn finished(&self) -> bool {
+        self.done || self.truncated
+    }
+}
+
+/// A reinforcement-learning environment with continuous observations and
+/// actions in `[-1, 1]^action_dim`.
+///
+/// Implemented by the end-to-end driving task
+/// (`drive_agents::driving_env::DrivingEnv`) and the attacker's environment
+/// (`attack_core::attack_env::AttackEnv`).
+pub trait Env {
+    /// Observation dimensionality.
+    fn obs_dim(&self) -> usize;
+    /// Action dimensionality.
+    fn action_dim(&self) -> usize;
+    /// Starts a new episode, returning the initial observation. `seed`
+    /// controls all episode randomness (spawn jitter, sensor noise).
+    fn reset(&mut self, seed: u64) -> Vec<f32>;
+    /// Applies one action.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called after the episode finished
+    /// without an intervening [`Env::reset`], or if `action` has the wrong
+    /// length.
+    fn step(&mut self, action: &[f32]) -> EnvStep;
+}
+
+/// Rolls out one episode with the given policy, returning the total reward
+/// and episode length.
+pub fn rollout<E: Env + ?Sized, F: FnMut(&[f32]) -> Vec<f32>>(
+    env: &mut E,
+    mut policy: F,
+    seed: u64,
+) -> (f32, usize) {
+    let mut obs = env.reset(seed);
+    let mut total = 0.0;
+    let mut len = 0;
+    loop {
+        let action = policy(&obs);
+        let step = env.step(&action);
+        total += step.reward;
+        len += 1;
+        let finished = step.finished();
+        obs = step.obs;
+        if finished {
+            return (total, len);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_env {
+    use super::*;
+
+    /// A 1-D "move to the origin" toy environment for substrate tests:
+    /// state x in [-2, 2], action a in [-1, 1], x' = x + 0.2 a,
+    /// reward = -x'^2. Episodes last 30 steps; |x| > 1.9 terminates with a
+    /// penalty.
+    #[derive(Debug, Clone)]
+    pub struct PointEnv {
+        x: f32,
+        t: usize,
+        pub max_steps: usize,
+    }
+
+    impl PointEnv {
+        pub fn new() -> Self {
+            PointEnv {
+                x: 0.0,
+                t: 0,
+                max_steps: 30,
+            }
+        }
+    }
+
+    impl Env for PointEnv {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_dim(&self) -> usize {
+            1
+        }
+        fn reset(&mut self, seed: u64) -> Vec<f32> {
+            // Deterministic spread of start positions from the seed.
+            self.x = ((seed % 17) as f32 / 8.0) - 1.0;
+            self.t = 0;
+            vec![self.x]
+        }
+        fn step(&mut self, action: &[f32]) -> EnvStep {
+            assert_eq!(action.len(), 1);
+            self.x += 0.2 * action[0].clamp(-1.0, 1.0);
+            self.t += 1;
+            let done = self.x.abs() > 1.9;
+            let reward = if done { -10.0 } else { -self.x * self.x };
+            EnvStep {
+                obs: vec![self.x],
+                reward,
+                done,
+                truncated: !done && self.t >= self.max_steps,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_env::PointEnv;
+    use super::*;
+
+    #[test]
+    fn rollout_runs_to_truncation() {
+        let mut env = PointEnv::new();
+        let (ret, len) = rollout(&mut env, |_| vec![0.0], 3);
+        assert_eq!(len, 30);
+        assert!(ret <= 0.0);
+    }
+
+    #[test]
+    fn rollout_terminates_on_done() {
+        let mut env = PointEnv::new();
+        // Always push right: x grows 0.2/step, exits at |x| > 1.9.
+        let (ret, len) = rollout(&mut env, |_| vec![1.0], 0);
+        assert!(len < 30);
+        assert!(ret < -9.0, "must include the exit penalty, got {ret}");
+    }
+
+    #[test]
+    fn good_policy_beats_bad_policy() {
+        let mut env = PointEnv::new();
+        // Proportional controller towards the origin vs a runaway policy.
+        let (good, _) = rollout(&mut env, |o| vec![(-2.0 * o[0]).clamp(-1.0, 1.0)], 5);
+        let (bad, _) = rollout(&mut env, |_| vec![1.0], 5);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn env_step_finished() {
+        let s = EnvStep {
+            obs: vec![],
+            reward: 0.0,
+            done: false,
+            truncated: true,
+        };
+        assert!(s.finished());
+    }
+}

@@ -1,0 +1,215 @@
+//! Uniform experience replay buffer.
+
+use drive_nn::mat::Mat;
+use rand::Rng;
+
+/// One stored transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Observation before the action.
+    pub obs: Vec<f32>,
+    /// Action taken, in `[-1, 1]^action_dim`.
+    pub action: Vec<f32>,
+    /// Reward received.
+    pub reward: f32,
+    /// Observation after the action.
+    pub next_obs: Vec<f32>,
+    /// True terminal (no bootstrapping); time-limit truncations store
+    /// `false` here.
+    pub terminal: bool,
+}
+
+/// A sampled mini-batch in matrix form, ready for network passes.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Observations, `(batch, obs_dim)`.
+    pub obs: Mat,
+    /// Actions, `(batch, action_dim)`.
+    pub actions: Mat,
+    /// Rewards.
+    pub rewards: Vec<f32>,
+    /// Next observations.
+    pub next_obs: Mat,
+    /// Terminal flags as 0/1 masks.
+    pub terminals: Vec<f32>,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+}
+
+/// Fixed-capacity ring buffer with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    storage: Vec<Transition>,
+    capacity: usize,
+    next: usize,
+    obs_dim: usize,
+    action_dim: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer for transitions of the given shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, obs_dim: usize, action_dim: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            storage: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            next: 0,
+            obs_dim,
+            action_dim,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Whether the buffer holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Maximum number of transitions retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds a transition, evicting the oldest once full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition's shapes do not match the buffer.
+    pub fn push(&mut self, t: Transition) {
+        assert_eq!(t.obs.len(), self.obs_dim, "obs dim mismatch");
+        assert_eq!(t.next_obs.len(), self.obs_dim, "next_obs dim mismatch");
+        assert_eq!(t.action.len(), self.action_dim, "action dim mismatch");
+        if self.storage.len() < self.capacity {
+            self.storage.push(t);
+        } else {
+            self.storage[self.next] = t;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Samples a uniform mini-batch with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or `batch == 0`.
+    pub fn sample<R: Rng>(&self, batch: usize, rng: &mut R) -> Batch {
+        assert!(!self.is_empty(), "cannot sample from an empty buffer");
+        assert!(batch > 0, "batch size must be positive");
+        let mut obs = Mat::zeros(batch, self.obs_dim);
+        let mut actions = Mat::zeros(batch, self.action_dim);
+        let mut next_obs = Mat::zeros(batch, self.obs_dim);
+        let mut rewards = Vec::with_capacity(batch);
+        let mut terminals = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let t = &self.storage[rng.gen_range(0..self.storage.len())];
+            obs.row_mut(b).copy_from_slice(&t.obs);
+            actions.row_mut(b).copy_from_slice(&t.action);
+            next_obs.row_mut(b).copy_from_slice(&t.next_obs);
+            rewards.push(t.reward);
+            terminals.push(if t.terminal { 1.0 } else { 0.0 });
+        }
+        Batch {
+            obs,
+            actions,
+            rewards,
+            next_obs,
+            terminals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tr(v: f32) -> Transition {
+        Transition {
+            obs: vec![v, v],
+            action: vec![v],
+            reward: v,
+            next_obs: vec![v + 1.0, v + 1.0],
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut rb = ReplayBuffer::new(10, 2, 1);
+        assert!(rb.is_empty());
+        for i in 0..5 {
+            rb.push(tr(i as f32));
+        }
+        assert_eq!(rb.len(), 5);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_capacity() {
+        let mut rb = ReplayBuffer::new(4, 2, 1);
+        for i in 0..10 {
+            rb.push(tr(i as f32));
+        }
+        assert_eq!(rb.len(), 4);
+        // Oldest entries were evicted: all rewards must be >= 2.
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = rb.sample(64, &mut rng);
+        assert!(batch.rewards.iter().all(|&r| r >= 2.0));
+    }
+
+    #[test]
+    fn sample_shapes() {
+        let mut rb = ReplayBuffer::new(8, 2, 1);
+        rb.push(tr(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = rb.sample(3, &mut rng);
+        assert_eq!(b.len(), 3);
+        assert_eq!((b.obs.rows(), b.obs.cols()), (3, 2));
+        assert_eq!((b.actions.rows(), b.actions.cols()), (3, 1));
+        assert_eq!(b.terminals, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn terminal_flag_round_trips() {
+        let mut rb = ReplayBuffer::new(2, 2, 1);
+        let mut t = tr(0.0);
+        t.terminal = true;
+        rb.push(t);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = rb.sample(4, &mut rng);
+        assert!(b.terminals.iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn sampling_empty_panics() {
+        let rb = ReplayBuffer::new(2, 2, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rb.sample(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "obs dim mismatch")]
+    fn shape_mismatch_panics() {
+        let mut rb = ReplayBuffer::new(2, 3, 1);
+        rb.push(tr(0.0));
+    }
+}

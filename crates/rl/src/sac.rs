@@ -1,0 +1,505 @@
+//! Soft actor-critic (Haarnoja et al., 2018) with twin critics, Polyak
+//! target networks, and automatic entropy-temperature tuning.
+//!
+//! This is the algorithm the paper uses for **both** sides of the game: the
+//! end-to-end driving agent (Section III-C) and the adversarial attack
+//! policies (Section IV).
+
+use crate::actor::{Actor, ActorSample};
+use crate::replay::{Batch, ReplayBuffer};
+use drive_nn::activation::Activation;
+use drive_nn::adam::Adam;
+use drive_nn::gaussian::GaussianPolicy;
+use drive_nn::mat::Mat;
+use drive_nn::mlp::Mlp;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// SAC hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SacConfig {
+    /// Discount factor.
+    pub gamma: f32,
+    /// Polyak averaging rate for target networks.
+    pub tau: f32,
+    /// Actor learning rate.
+    pub actor_lr: f32,
+    /// Critic learning rate.
+    pub critic_lr: f32,
+    /// Entropy-temperature learning rate.
+    pub alpha_lr: f32,
+    /// Initial entropy temperature.
+    pub init_alpha: f32,
+    /// Target policy entropy; `None` defaults to `-action_dim`.
+    pub target_entropy: Option<f32>,
+    /// Mini-batch size per update.
+    pub batch_size: usize,
+    /// Number of updates during which only the critics train (actor and
+    /// temperature frozen). A critic warm-up protects a pre-trained actor
+    /// (behaviour-cloned victim, fine-tuned defense) from being wrecked by
+    /// the gradients of freshly initialized critics.
+    pub actor_delay: usize,
+}
+
+impl Default for SacConfig {
+    fn default() -> Self {
+        SacConfig {
+            gamma: 0.99,
+            tau: 0.005,
+            actor_lr: 3e-4,
+            critic_lr: 3e-4,
+            alpha_lr: 3e-4,
+            init_alpha: 0.1,
+            target_entropy: None,
+            batch_size: 128,
+            actor_delay: 0,
+        }
+    }
+}
+
+/// Diagnostic losses from one SAC update.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SacLosses {
+    /// Mean squared Bellman error of critic 1.
+    pub q1_loss: f32,
+    /// Mean squared Bellman error of critic 2.
+    pub q2_loss: f32,
+    /// Actor objective `E[alpha log pi - min Q]`.
+    pub actor_loss: f32,
+    /// Current entropy temperature.
+    pub alpha: f32,
+    /// Mean policy entropy estimate (`-log pi`).
+    pub entropy: f32,
+}
+
+/// A soft actor-critic learner, generic over the actor architecture
+/// (plain Gaussian policy or progressive network).
+#[derive(Debug, Clone)]
+pub struct Sac<A: Actor = GaussianPolicy> {
+    /// The stochastic policy being learned.
+    pub actor: A,
+    q1: Mlp,
+    q2: Mlp,
+    q1_target: Mlp,
+    q2_target: Mlp,
+    opt_actor: Adam,
+    opt_q1: Adam,
+    opt_q2: Adam,
+    opt_alpha: Adam,
+    log_alpha: Vec<f32>,
+    target_entropy: f32,
+    config: SacConfig,
+    obs_dim: usize,
+    action_dim: usize,
+    updates: usize,
+}
+
+impl Sac<GaussianPolicy> {
+    /// Creates a learner with fresh actor/critic networks using the given
+    /// hidden sizes.
+    pub fn new(
+        obs_dim: usize,
+        action_dim: usize,
+        hidden: &[usize],
+        config: SacConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let actor = GaussianPolicy::new(obs_dim, hidden, action_dim, rng);
+        Self::with_actor(actor, hidden, config, rng)
+    }
+}
+
+impl<A: Actor> Sac<A> {
+    /// Creates a learner around an existing (e.g. behaviour-cloned or
+    /// progressive) actor.
+    pub fn with_actor(
+        actor: A,
+        critic_hidden: &[usize],
+        config: SacConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let obs_dim = actor.obs_dim();
+        let action_dim = actor.action_dim();
+        let mut sizes = Vec::with_capacity(critic_hidden.len() + 2);
+        sizes.push(obs_dim + action_dim);
+        sizes.extend_from_slice(critic_hidden);
+        sizes.push(1);
+        let q1 = Mlp::new(&sizes, Activation::Relu, Activation::Identity, rng);
+        let q2 = Mlp::new(&sizes, Activation::Relu, Activation::Identity, rng);
+        let q1_target = q1.clone();
+        let q2_target = q2.clone();
+        let target_entropy = config
+            .target_entropy
+            .unwrap_or(-(action_dim as f32));
+        Sac {
+            actor,
+            q1,
+            q2,
+            q1_target,
+            q2_target,
+            opt_actor: Adam::with_lr(config.actor_lr),
+            opt_q1: Adam::with_lr(config.critic_lr),
+            opt_q2: Adam::with_lr(config.critic_lr),
+            opt_alpha: Adam::with_lr(config.alpha_lr),
+            log_alpha: vec![config.init_alpha.max(1e-6).ln()],
+            target_entropy,
+            config,
+            obs_dim,
+            action_dim,
+            updates: 0,
+        }
+    }
+
+    /// Current entropy temperature.
+    pub fn alpha(&self) -> f32 {
+        self.log_alpha[0].exp()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SacConfig {
+        &self.config
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// Q-value of critic 1 for a single `(obs, action)` pair — exposed for
+    /// diagnostics and tests.
+    pub fn q1_value(&self, obs: &[f32], action: &[f32]) -> f32 {
+        let x = Mat::from_row(obs).hcat(&Mat::from_row(action));
+        self.q1.forward(&x).get(0, 0)
+    }
+
+    /// Acts on a single observation (stochastic unless `deterministic`).
+    pub fn act(&self, obs: &[f32], rng: &mut StdRng, deterministic: bool) -> Vec<f32> {
+        self.actor.act(obs, rng, deterministic)
+    }
+
+    /// Performs one gradient update from a replay sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer shapes do not match the learner or the buffer is
+    /// empty.
+    pub fn update(&mut self, buffer: &ReplayBuffer, rng: &mut StdRng) -> SacLosses {
+        let batch = buffer.sample(self.config.batch_size, rng);
+        self.update_batch(&batch, rng)
+    }
+
+    /// Number of gradient updates performed.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Performs one gradient update on a pre-sampled batch.
+    pub fn update_batch(&mut self, batch: &Batch, rng: &mut StdRng) -> SacLosses {
+        self.updates += 1;
+        let actor_frozen = self.updates <= self.config.actor_delay;
+        let n = batch.len();
+        let nf = n as f32;
+        let alpha = self.alpha();
+
+        // ------- Critic update -------
+        // Target actions and values from the *current* policy at next_obs.
+        let next_sample = self.actor.sample(&batch.next_obs, rng);
+        let next_in = batch.next_obs.hcat(next_sample.actions());
+        let q1t = self.q1_target.forward(&next_in);
+        let q2t = self.q2_target.forward(&next_in);
+        let mut targets = vec![0.0f32; n];
+        for b in 0..n {
+            let qmin = q1t.get(b, 0).min(q2t.get(b, 0));
+            let soft = qmin - alpha * next_sample.log_prob()[b];
+            targets[b] =
+                batch.rewards[b] + self.config.gamma * (1.0 - batch.terminals[b]) * soft;
+        }
+
+        let critic_in = batch.obs.hcat(&batch.actions);
+        let c1 = self.q1.forward_cached(&critic_in);
+        let c2 = self.q2.forward_cached(&critic_in);
+        let mut g1 = Mat::zeros(n, 1);
+        let mut g2 = Mat::zeros(n, 1);
+        let mut q1_loss = 0.0;
+        let mut q2_loss = 0.0;
+        for b in 0..n {
+            let e1 = c1.output().get(b, 0) - targets[b];
+            let e2 = c2.output().get(b, 0) - targets[b];
+            q1_loss += e1 * e1 / nf;
+            q2_loss += e2 * e2 / nf;
+            g1.set(b, 0, 2.0 * e1 / nf);
+            g2.set(b, 0, 2.0 * e2 / nf);
+        }
+        self.q1.zero_grad();
+        self.q2.zero_grad();
+        self.q1.backward(&c1, &g1);
+        self.q2.backward(&c2, &g2);
+        self.opt_q1.step(|f| self.q1.visit_params(f));
+        self.opt_q2.step(|f| self.q2.visit_params(f));
+
+        // ------- Actor update -------
+        // a ~ pi(s) with reparameterization; loss = E[alpha logp - min Q].
+        // During the critic warm-up (actor_delay) only diagnostics are
+        // computed; actor and temperature stay frozen.
+        let pi = self.actor.sample(&batch.obs, rng);
+        let actor_in = batch.obs.hcat(pi.actions());
+        let a1 = self.q1.forward_cached(&actor_in);
+        let a2 = self.q2.forward_cached(&actor_in);
+        // Per-sample, gradient flows through the smaller critic.
+        let mut pick1 = Mat::zeros(n, 1);
+        let mut pick2 = Mat::zeros(n, 1);
+        let mut actor_loss = 0.0;
+        for b in 0..n {
+            let (v1, v2) = (a1.output().get(b, 0), a2.output().get(b, 0));
+            let qmin = v1.min(v2);
+            actor_loss += (alpha * pi.log_prob()[b] - qmin) / nf;
+            // dL/dq = -1/n through the selected critic.
+            if v1 <= v2 {
+                pick1.set(b, 0, -1.0 / nf);
+            } else {
+                pick2.set(b, 0, -1.0 / nf);
+            }
+        }
+        // Input gradients of the critics (their parameter grads from this
+        // pass are discarded below).
+        self.q1.zero_grad();
+        self.q2.zero_grad();
+        let gi1 = self.q1.backward(&a1, &pick1);
+        let gi2 = self.q2.backward(&a2, &pick2);
+        self.q1.zero_grad();
+        self.q2.zero_grad();
+        let mut grad_action = Mat::zeros(n, self.action_dim);
+        for b in 0..n {
+            for i in 0..self.action_dim {
+                grad_action.set(
+                    b,
+                    i,
+                    gi1.get(b, self.obs_dim + i) + gi2.get(b, self.obs_dim + i),
+                );
+            }
+        }
+        let mean_logp = pi.log_prob().iter().sum::<f32>() / nf;
+        if !actor_frozen {
+            let grad_logp = vec![alpha / nf; n];
+            self.actor.zero_grad();
+            self.actor.backward_sample(&pi, &grad_action, &grad_logp);
+            self.opt_actor.step(|f| self.actor.visit_params(f));
+
+            // ------- Temperature update -------
+            // L(alpha) = -log_alpha * E[logp + target_entropy].
+            let mut alpha_grad = vec![-(mean_logp + self.target_entropy)];
+            let log_alpha = &mut self.log_alpha;
+            self.opt_alpha.step(|f| f(log_alpha, &mut alpha_grad));
+            // Keep alpha in a sane range.
+            self.log_alpha[0] = self.log_alpha[0].clamp(-10.0, 2.0);
+        }
+
+        // ------- Target network update -------
+        self.q1_target.polyak_from(&self.q1, self.config.tau);
+        self.q2_target.polyak_from(&self.q2, self.config.tau);
+
+        SacLosses {
+            q1_loss,
+            q2_loss,
+            actor_loss,
+            alpha: self.alpha(),
+            entropy: -mean_logp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_env::PointEnv;
+    use crate::env::{rollout, Env};
+    use crate::replay::Transition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn learner(rng: &mut StdRng) -> Sac {
+        Sac::new(1, 1, &[32, 32], SacConfig::default(), rng)
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sac = learner(&mut rng);
+        assert_eq!(sac.obs_dim(), 1);
+        assert_eq!(sac.action_dim(), 1);
+        assert!((sac.alpha() - 0.1).abs() < 1e-6);
+        let a = sac.act(&[0.5], &mut rng, true);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn update_runs_and_reports_finite_losses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sac = learner(&mut rng);
+        let mut rb = ReplayBuffer::new(1000, 1, 1);
+        for i in 0..200 {
+            let x = (i as f32 / 100.0) - 1.0;
+            rb.push(Transition {
+                obs: vec![x],
+                action: vec![-x],
+                reward: -x * x,
+                next_obs: vec![x * 0.8],
+                terminal: false,
+            });
+        }
+        let losses = sac.update(&rb, &mut rng);
+        assert!(losses.q1_loss.is_finite());
+        assert!(losses.q2_loss.is_finite());
+        assert!(losses.actor_loss.is_finite());
+        assert!(losses.alpha > 0.0);
+    }
+
+    #[test]
+    fn solves_point_env() {
+        // End-to-end sanity: SAC should learn to drive the point to the
+        // origin well above the random policy's return.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut env = PointEnv::new();
+        let mut sac = Sac::new(
+            1,
+            1,
+            &[32, 32],
+            SacConfig {
+                batch_size: 64,
+                actor_lr: 1e-3,
+                critic_lr: 1e-3,
+                alpha_lr: 1e-3,
+                ..SacConfig::default()
+            },
+            &mut rng,
+        );
+        let mut rb = ReplayBuffer::new(20_000, 1, 1);
+        let mut seed = 0u64;
+        let mut obs = env.reset(seed);
+        for step in 0..4000 {
+            let action = if step < 200 {
+                vec![rng.gen_range(-1.0f32..1.0)]
+            } else {
+                sac.act(&obs, &mut rng, false)
+            };
+            let s = env.step(&action);
+            rb.push(Transition {
+                obs: obs.clone(),
+                action,
+                reward: s.reward,
+                next_obs: s.obs.clone(),
+                terminal: s.done,
+            });
+            let finished = s.finished();
+            obs = s.obs;
+            if finished {
+                seed += 1;
+                obs = env.reset(seed);
+            }
+            if step >= 200 {
+                sac.update(&rb, &mut rng);
+            }
+        }
+        // Evaluate deterministically over a few starts.
+        let mut total = 0.0;
+        for es in 100..105 {
+            let (r, _) = rollout(&mut env, |o| sac.act(o, &mut StdRng::seed_from_u64(0), true), es);
+            total += r;
+        }
+        let mean = total / 5.0;
+        // A decent policy keeps x near 0: return > -6 (random is ~ -15..-30).
+        assert!(mean > -6.0, "mean return {mean}");
+    }
+
+    #[test]
+    fn target_networks_track_critics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sac = learner(&mut rng);
+        let mut rb = ReplayBuffer::new(100, 1, 1);
+        for _ in 0..50 {
+            rb.push(Transition {
+                obs: vec![0.1],
+                action: vec![0.2],
+                reward: 1.0,
+                next_obs: vec![0.1],
+                terminal: false,
+            });
+        }
+        let before = sac.q1_target.forward(&Mat::from_row(&[0.1, 0.2])).get(0, 0);
+        for _ in 0..50 {
+            sac.update(&rb, &mut rng);
+        }
+        let after = sac.q1_target.forward(&Mat::from_row(&[0.1, 0.2])).get(0, 0);
+        // Constant reward 1, gamma 0.99 → values drift up towards ~100.
+        assert!(after > before, "target q should move: {before} -> {after}");
+    }
+
+    #[test]
+    fn terminal_mask_stops_bootstrap() {
+        // Two identical one-state problems, one with terminal transitions:
+        // the terminal variant's Q must converge near the raw reward.
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SacConfig {
+            batch_size: 32,
+            critic_lr: 3e-3,
+            ..SacConfig::default()
+        };
+        let mut sac = Sac::new(1, 1, &[16], cfg, &mut rng);
+        let mut rb = ReplayBuffer::new(100, 1, 1);
+        for _ in 0..50 {
+            rb.push(Transition {
+                obs: vec![0.0],
+                action: vec![0.0],
+                reward: 1.0,
+                next_obs: vec![0.0],
+                terminal: true,
+            });
+        }
+        for _ in 0..400 {
+            sac.update(&rb, &mut rng);
+        }
+        let q = sac.q1_value(&[0.0], &[0.0]);
+        assert!((q - 1.0).abs() < 0.4, "terminal Q should be ~1, got {q}");
+    }
+
+    #[test]
+    fn actor_delay_freezes_actor_during_warmup() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = SacConfig {
+            actor_delay: 10,
+            batch_size: 16,
+            ..SacConfig::default()
+        };
+        let mut sac = Sac::new(1, 1, &[16], cfg, &mut rng);
+        let before = sac.actor.clone();
+        let mut rb = ReplayBuffer::new(100, 1, 1);
+        for _ in 0..40 {
+            rb.push(Transition {
+                obs: vec![0.3],
+                action: vec![0.1],
+                reward: 1.0,
+                next_obs: vec![0.3],
+                terminal: false,
+            });
+        }
+        for _ in 0..10 {
+            sac.update(&rb, &mut rng);
+        }
+        let obs = Mat::from_row(&[0.3]);
+        assert_eq!(
+            before.mean_action(&obs),
+            sac.actor.mean_action(&obs),
+            "actor must be untouched during warm-up"
+        );
+        assert_eq!(sac.updates(), 10);
+        sac.update(&rb, &mut rng);
+        assert_ne!(before.mean_action(&obs), sac.actor.mean_action(&obs));
+    }
+
+    use rand::Rng;
+}

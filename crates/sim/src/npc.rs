@@ -1,0 +1,200 @@
+//! Non-player-character (NPC) traffic vehicles.
+//!
+//! The paper's scenario has six NPC vehicles traveling at a slow reference
+//! speed (6 m/s) that the ego vehicle must overtake. Each NPC is a full
+//! [`crate::vehicle::Vehicle`] driven by a simple lane-keeping
+//! controller with car-following: it holds its lane center, regulates to its
+//! reference speed, and slows down behind any slower vehicle ahead in the
+//! same lane.
+
+use crate::road::Road;
+use crate::vehicle::{Actuation, Vehicle};
+use serde::{Deserialize, Serialize};
+
+/// Gains and limits of the NPC lane-keeping controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpcControllerParams {
+    /// Proportional gain on lateral offset, 1/m.
+    pub k_lateral: f64,
+    /// Proportional gain on heading error.
+    pub k_heading: f64,
+    /// Proportional gain on speed error, s/m.
+    pub k_speed: f64,
+    /// Desired time headway to the vehicle ahead, seconds.
+    pub time_headway: f64,
+    /// Minimum standstill gap, meters.
+    pub min_gap: f64,
+}
+
+impl Default for NpcControllerParams {
+    fn default() -> Self {
+        NpcControllerParams {
+            k_lateral: 0.15,
+            k_heading: 1.2,
+            k_speed: 0.5,
+            time_headway: 1.5,
+            min_gap: 6.0,
+        }
+    }
+}
+
+/// An NPC vehicle: dynamics plus its lane assignment and reference speed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Npc {
+    /// Underlying vehicle dynamics.
+    pub vehicle: Vehicle,
+    /// Lane this NPC keeps.
+    pub lane: usize,
+    /// Cruise speed when unobstructed, m/s.
+    pub ref_speed: f64,
+    /// Controller parameters.
+    pub controller: NpcControllerParams,
+}
+
+/// Minimal view of another vehicle used for car-following decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeadInfo {
+    /// Longitudinal position (x) of the lead vehicle's center.
+    pub x: f64,
+    /// Lane the lead vehicle currently occupies.
+    pub lane: usize,
+    /// Speed of the lead vehicle, m/s.
+    pub speed: f64,
+}
+
+impl Npc {
+    /// Creates an NPC keeping `lane` at `ref_speed`.
+    pub fn new(vehicle: Vehicle, lane: usize, ref_speed: f64) -> Self {
+        Npc {
+            vehicle,
+            lane,
+            ref_speed,
+            controller: NpcControllerParams::default(),
+        }
+    }
+
+    /// Computes this NPC's actuation-variation command.
+    ///
+    /// `others` lists every other vehicle on the road (ego included); the
+    /// nearest one ahead in the same lane bounds the target speed through a
+    /// constant-time-headway rule.
+    pub fn control(&self, road: &Road, others: &[LeadInfo]) -> Actuation {
+        let p = &self.controller;
+        let pos = self.vehicle.pose.position;
+        let offset = pos.y - road.lane_center_y(self.lane);
+        let steer = -(p.k_lateral * offset + p.k_heading * self.vehicle.pose.heading);
+
+        // Car following: find the nearest lead in the same lane.
+        let mut target_speed = self.ref_speed;
+        let lead = others
+            .iter()
+            .filter(|o| o.lane == self.lane && o.x > pos.x)
+            .min_by(|a, b| a.x.total_cmp(&b.x));
+        if let Some(lead) = lead {
+            let gap = lead.x - pos.x;
+            let desired_gap = p.min_gap + p.time_headway * self.vehicle.speed;
+            if gap < desired_gap {
+                // Scale down towards the lead's speed as the gap closes.
+                let ratio = ((gap - p.min_gap) / (desired_gap - p.min_gap)).clamp(0.0, 1.0);
+                target_speed = lead.speed + ratio * (self.ref_speed - lead.speed).max(0.0);
+                target_speed = target_speed.min(self.ref_speed);
+            }
+        }
+        let thrust = p.k_speed * (target_speed - self.vehicle.speed);
+        Actuation::new(steer, thrust)
+    }
+
+    /// This NPC summarized as a [`LeadInfo`] for other vehicles' controllers.
+    pub fn lead_info(&self, road: &Road) -> LeadInfo {
+        LeadInfo {
+            x: self.vehicle.pose.position.x,
+            lane: road.lane_of(self.vehicle.pose.position.y),
+            speed: self.vehicle.speed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Pose;
+    use crate::vehicle::VehicleParams;
+
+    fn npc_at(road: &Road, lane: usize, x: f64, speed: f64) -> Npc {
+        let pose = Pose::new(x, road.lane_center_y(lane), 0.0);
+        Npc::new(Vehicle::new(VehicleParams::default(), pose, speed), lane, 6.0)
+    }
+
+    #[test]
+    fn holds_lane_center_over_time() {
+        let road = Road::default();
+        let mut npc = npc_at(&road, 1, 0.0, 6.0);
+        // Perturb laterally, then let the controller settle.
+        npc.vehicle.pose.position.y += 0.8;
+        for _ in 0..300 {
+            let a = npc.control(&road, &[]);
+            npc.vehicle.step(a, 0.1, 5);
+        }
+        let offset = npc.vehicle.pose.position.y - road.lane_center_y(1);
+        assert!(offset.abs() < 0.15, "offset {offset} should settle near 0");
+        assert!(npc.vehicle.pose.heading.abs() < 0.05);
+    }
+
+    #[test]
+    fn regulates_to_reference_speed() {
+        let road = Road::default();
+        let mut npc = npc_at(&road, 0, 0.0, 2.0);
+        for _ in 0..300 {
+            let a = npc.control(&road, &[]);
+            npc.vehicle.step(a, 0.1, 5);
+        }
+        assert!((npc.vehicle.speed - 6.0).abs() < 0.5, "speed {}", npc.vehicle.speed);
+    }
+
+    #[test]
+    fn slows_behind_lead_in_same_lane() {
+        let road = Road::default();
+        let mut npc = npc_at(&road, 1, 0.0, 6.0);
+        let mut lead = LeadInfo { x: 10.0, lane: 1, speed: 2.0 };
+        for _ in 0..300 {
+            let a = npc.control(&road, &[lead]);
+            npc.vehicle.step(a, 0.1, 5);
+            lead.x += lead.speed * 0.1;
+        }
+        // The follower must have matched the slow lead without passing it.
+        assert!(npc.vehicle.speed < 3.5, "speed {}", npc.vehicle.speed);
+        assert!(npc.vehicle.pose.position.x < lead.x, "must not pass the lead");
+    }
+
+    #[test]
+    fn ignores_lead_in_other_lane() {
+        let road = Road::default();
+        let npc = npc_at(&road, 1, 0.0, 6.0);
+        let other_lane = LeadInfo { x: 8.0, lane: 0, speed: 2.0 };
+        let a = npc.control(&road, &[other_lane]);
+        let a_free = npc.control(&road, &[]);
+        assert_eq!(a, a_free);
+    }
+
+    #[test]
+    fn ignores_vehicles_behind() {
+        let road = Road::default();
+        let npc = npc_at(&road, 1, 50.0, 6.0);
+        let behind = LeadInfo { x: 40.0, lane: 1, speed: 20.0 };
+        let a = npc.control(&road, &[behind]);
+        let a_free = npc.control(&road, &[]);
+        assert_eq!(a, a_free);
+    }
+
+    #[test]
+    fn lead_info_reports_current_lane() {
+        let road = Road::default();
+        let mut npc = npc_at(&road, 2, 10.0, 6.0);
+        let info = npc.lead_info(&road);
+        assert_eq!(info.lane, 2);
+        assert_eq!(info.x, 10.0);
+        // Drift into lane 1 and the reported lane follows.
+        npc.vehicle.pose.position.y = road.lane_center_y(1);
+        assert_eq!(npc.lead_info(&road).lane, 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-episode recording shared by every experiment harness.
+//!
+//! An [`EpisodeRecord`] is filled in by the agent/attack runners and
+//! consumed by `drive-metrics` to build the paper's figures: nominal and
+//! adversarial returns (Fig. 4, Fig. 6), normalized trajectory deviation
+//! and attack effort (Fig. 5, Fig. 7), success classification and timing
+//! (Fig. 8, §V-B).
+
+use crate::world::{CollisionEvent, CollisionKind, Termination};
+use serde::{Deserialize, Serialize};
+
+/// Perturbations below this magnitude do not count as the start of an
+/// attack attempt (learned policies emit tiny non-zero means even when
+/// "quiet"; the paper's attack effort is measured over the attempt).
+pub const ATTACK_START_THRESHOLD: f64 = 0.02;
+
+/// Everything measured over one episode.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpisodeRecord {
+    /// Control steps executed.
+    pub steps: usize,
+    /// Control period, seconds.
+    pub dt: f64,
+    /// How the episode ended.
+    pub termination: Option<Termination>,
+    /// Collision, if one ended the episode.
+    pub collision: Option<CollisionEvent>,
+    /// NPC vehicles fully passed.
+    pub passed: usize,
+    /// Cumulative nominal driving reward.
+    pub nominal_return: f64,
+    /// Cumulative adversarial reward (0 when unattacked).
+    pub adv_return: f64,
+    /// Per-step trajectory deviation, normalized by half the lane width.
+    pub deviation: Vec<f64>,
+    /// Per-step injected steering perturbation magnitude `|delta|`
+    /// (empty / zeros when unattacked).
+    pub perturbation: Vec<f64>,
+    /// Step at which the attacker first injected a non-zero perturbation.
+    pub attack_start: Option<usize>,
+}
+
+impl EpisodeRecord {
+    /// Whether the episode ended in the attacker's desired side collision.
+    pub fn side_collision(&self) -> bool {
+        matches!(
+            self.collision,
+            Some(CollisionEvent {
+                kind: CollisionKind::Side,
+                ..
+            })
+        )
+    }
+
+    /// Whether the episode counts as a *successful attack*: a side
+    /// collision that happened at or after the attack attempt began. A
+    /// side collision with no preceding perturbation is the victim's own
+    /// doing and is not credited to the attacker.
+    pub fn attack_success(&self) -> bool {
+        match (self.attack_start, self.collision) {
+            (Some(start), Some(c)) => {
+                matches!(c.kind, CollisionKind::Side) && c.step >= start
+            }
+            _ => false,
+        }
+    }
+
+    /// Root-mean-square of the normalized trajectory deviation.
+    pub fn deviation_rmse(&self) -> f64 {
+        if self.deviation.is_empty() {
+            return 0.0;
+        }
+        let ms = self.deviation.iter().map(|d| d * d).sum::<f64>() / self.deviation.len() as f64;
+        ms.sqrt()
+    }
+
+    /// The paper's *attack effort* (x-axis of Fig. 5 and Fig. 7): total
+    /// perturbation injected during the attack attempt, averaged over the
+    /// attempt's steps (from the first non-zero perturbation to episode
+    /// end). Zero when no attack was ever injected.
+    pub fn attack_effort(&self) -> f64 {
+        let Some(start) = self.attack_start else {
+            return 0.0;
+        };
+        let active = &self.perturbation[start.min(self.perturbation.len())..];
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().sum::<f64>() / active.len() as f64
+    }
+
+    /// Fraction of episode steps with an active (above-threshold)
+    /// perturbation — a stealthiness measure: the paper's attacker is
+    /// designed to "lurk until a safety-critical moment arises".
+    pub fn attack_duty_cycle(&self) -> f64 {
+        if self.perturbation.is_empty() {
+            return 0.0;
+        }
+        let active = self
+            .perturbation
+            .iter()
+            .filter(|p| **p > ATTACK_START_THRESHOLD)
+            .count();
+        active as f64 / self.perturbation.len() as f64
+    }
+
+    /// Time from attack activation to the collision, seconds, if the attack
+    /// produced one (the §V-B timing statistic).
+    pub fn time_to_collision(&self) -> Option<f64> {
+        let start = self.attack_start?;
+        let collision = self.collision?;
+        if collision.step >= start {
+            Some((collision.step - start) as f64 * self.dt)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> EpisodeRecord {
+        EpisodeRecord {
+            steps: 4,
+            dt: 0.1,
+            deviation: vec![0.0, 0.3, -0.4, 0.0],
+            perturbation: vec![0.0, 0.5, 1.0, 0.5],
+            attack_start: Some(1),
+            collision: Some(CollisionEvent {
+                kind: CollisionKind::Side,
+                npc_index: Some(0),
+                step: 3,
+            }),
+            termination: None,
+            passed: 0,
+            nominal_return: 0.0,
+            adv_return: 0.0,
+        }
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let r = rec();
+        let expected = ((0.09 + 0.16) / 4.0f64).sqrt();
+        assert!((r.deviation_rmse() - expected).abs() < 1e-12);
+        assert_eq!(EpisodeRecord::default().deviation_rmse(), 0.0);
+    }
+
+    #[test]
+    fn effort_is_mean_over_attack_attempt() {
+        // Attack starts at step 1: effort = (0.5 + 1.0 + 0.5) / 3.
+        let r = rec();
+        assert!((r.attack_effort() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(EpisodeRecord::default().attack_effort(), 0.0);
+        // No attack_start → zero even with recorded perturbations.
+        let mut r2 = rec();
+        r2.attack_start = None;
+        assert_eq!(r2.attack_effort(), 0.0);
+    }
+
+    #[test]
+    fn duty_cycle_counts_active_steps() {
+        let r = rec();
+        // Steps with |delta| > threshold: 0.5, 1.0, 0.5 of 4 steps.
+        assert!((r.attack_duty_cycle() - 0.75).abs() < 1e-12);
+        assert_eq!(EpisodeRecord::default().attack_duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn attack_success_requires_attacker_involvement() {
+        assert!(rec().attack_success());
+        // Same side collision without any attack attempt: not a success.
+        let mut own_goal = rec();
+        own_goal.attack_start = None;
+        assert!(own_goal.side_collision());
+        assert!(!own_goal.attack_success());
+        // Collision before the attack began: not a success either.
+        let mut early = rec();
+        early.attack_start = Some(4);
+        assert!(!early.attack_success());
+    }
+
+    #[test]
+    fn side_collision_detection() {
+        assert!(rec().side_collision());
+        let mut r = rec();
+        r.collision = Some(CollisionEvent {
+            kind: CollisionKind::RearEnd,
+            npc_index: Some(0),
+            step: 3,
+        });
+        assert!(!r.side_collision());
+        r.collision = None;
+        assert!(!r.side_collision());
+    }
+
+    #[test]
+    fn time_to_collision_uses_attack_start() {
+        let r = rec();
+        assert!((r.time_to_collision().unwrap() - 0.2).abs() < 1e-12);
+        let mut r2 = rec();
+        r2.attack_start = None;
+        assert_eq!(r2.time_to_collision(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! ASCII rendering of world state — a dependency-free way to *watch* an
+//! episode in the terminal (the `overtaking_ascii` example) or to embed
+//! human-readable snapshots in bug reports and test failures.
+
+use crate::world::World;
+
+/// Configuration of the ASCII viewport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderConfig {
+    /// Character columns of the road strip.
+    pub cols: usize,
+    /// Meters of road covered by the strip.
+    pub span: f64,
+    /// Meters shown behind the ego vehicle.
+    pub behind: f64,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            cols: 72,
+            span: 90.0,
+            behind: 15.0,
+        }
+    }
+}
+
+/// Renders a top-down strip of the road centered on the ego vehicle.
+///
+/// One text row per lane (leftmost lane on top), `E` for the ego vehicle,
+/// `N` for NPCs, `=` for the barriers, plus a header line with time,
+/// position, and speed.
+///
+/// ```
+/// use drive_sim::prelude::*;
+/// use drive_sim::render::{render_strip, RenderConfig};
+///
+/// let world = World::new(Scenario::default());
+/// let strip = render_strip(&world, &RenderConfig::default());
+/// assert!(strip.contains('E'));
+/// assert!(strip.contains('N'));
+/// ```
+pub fn render_strip(world: &World, config: &RenderConfig) -> String {
+    let road = &world.scenario().road;
+    let ego = world.ego().pose.position;
+    let cols = config.cols.max(8);
+    let x0 = ego.x - config.behind;
+    let mut lanes: Vec<Vec<char>> = (0..road.num_lanes).map(|_| vec!['.'; cols]).collect();
+    let col_of = |x: f64| -> Option<usize> {
+        let f = (x - x0) / config.span;
+        (0.0..1.0).contains(&f).then(|| ((f * cols as f64) as usize).min(cols - 1))
+    };
+    for npc in world.npcs() {
+        let p = npc.vehicle.pose.position;
+        if let Some(c) = col_of(p.x) {
+            let lane = road.lane_of(p.y);
+            lanes[lane][c] = 'N';
+        }
+    }
+    if let Some(c) = col_of(ego.x) {
+        let lane = road.lane_of(ego.y);
+        lanes[lane][c] = 'E';
+    }
+    let barrier: String = "=".repeat(cols);
+    let mut out = format!(
+        "t={:5.1}s  x={:6.1} m  v={:4.1} m/s\n{barrier}\n",
+        world.time(),
+        ego.x,
+        world.ego().speed
+    );
+    for lane in lanes.iter().rev() {
+        out.push_str(&lane.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&barrier);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::vehicle::Actuation;
+
+    #[test]
+    fn strip_shape_and_markers() {
+        let world = World::new(Scenario::default());
+        let config = RenderConfig::default();
+        let s = render_strip(&world, &config);
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + barrier + 3 lanes + barrier.
+        assert_eq!(lines.len(), 1 + 1 + 3 + 1);
+        assert!(lines[1].chars().all(|c| c == '='));
+        assert_eq!(s.matches('E').count(), 1);
+        // NPCs at 30/55/85 m are inside the default 90 m span from -15 m.
+        assert!(s.matches('N').count() >= 2);
+    }
+
+    #[test]
+    fn ego_marker_tracks_lane() {
+        let mut s = Scenario::default();
+        s.ego_lane = 0;
+        s.npcs.clear();
+        let world = World::new(s);
+        let text = render_strip(&world, &RenderConfig::default());
+        let lines: Vec<&str> = text.lines().collect();
+        // Lane 0 is the bottom lane row (just above the lower barrier).
+        assert!(lines[4].contains('E'));
+        assert!(!lines[2].contains('E'));
+    }
+
+    #[test]
+    fn out_of_span_npcs_are_hidden() {
+        let mut s = Scenario::default();
+        s.npcs = vec![crate::scenario::NpcSpawn { lane: 1, x: 500.0, speed: 6.0 }];
+        let world = World::new(s);
+        let text = render_strip(&world, &RenderConfig::default());
+        assert_eq!(text.matches('N').count(), 0);
+    }
+
+    #[test]
+    fn render_follows_moving_ego() {
+        let mut s = Scenario::default();
+        s.npcs.clear();
+        let mut world = World::new(s);
+        for _ in 0..50 {
+            world.step(Actuation::new(0.0, 0.2));
+        }
+        let text = render_strip(&world, &RenderConfig::default());
+        assert!(text.contains("t=  5.0s"));
+        assert_eq!(text.matches('E').count(), 1);
+    }
+}

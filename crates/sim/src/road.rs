@@ -1,0 +1,177 @@
+//! Road model: a straight multi-lane freeway with shoulder barriers.
+//!
+//! The paper's scenario (CARLA Town 4 Road 23) is a freeway stretch with no
+//! intersections or traffic lights; the relevant structure is lane geometry
+//! and the hard barriers at the road edges. The road runs along the world +x
+//! axis; lane 0 is the rightmost lane (most negative y).
+
+use crate::geometry::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Static description of the freeway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Road {
+    /// Number of parallel lanes (≥ 1).
+    pub num_lanes: usize,
+    /// Width of each lane in meters.
+    pub lane_width: f64,
+    /// Total drivable length in meters (episodes start at x = 0).
+    pub length: f64,
+    /// Thickness of the edge barriers in meters (purely for rendering /
+    /// collision extents).
+    pub barrier_thickness: f64,
+}
+
+impl Default for Road {
+    /// Three 3.5 m lanes over 1.5 km — the Town-4-like freeway used by every
+    /// scenario in this crate.
+    fn default() -> Self {
+        Road {
+            num_lanes: 3,
+            lane_width: 3.5,
+            length: 1500.0,
+            barrier_thickness: 0.5,
+        }
+    }
+}
+
+impl Road {
+    /// Creates a road, validating the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lanes == 0` or any dimension is non-positive.
+    pub fn new(num_lanes: usize, lane_width: f64, length: f64) -> Self {
+        assert!(num_lanes > 0, "road must have at least one lane");
+        assert!(
+            lane_width > 0.0 && length > 0.0,
+            "lane width and length must be positive"
+        );
+        Road {
+            num_lanes,
+            lane_width,
+            length,
+            barrier_thickness: 0.5,
+        }
+    }
+
+    /// Total width of the drivable surface.
+    pub fn width(&self) -> f64 {
+        self.num_lanes as f64 * self.lane_width
+    }
+
+    /// y coordinate of the right road edge (barrier inner face).
+    pub fn right_edge_y(&self) -> f64 {
+        -self.width() / 2.0
+    }
+
+    /// y coordinate of the left road edge (barrier inner face).
+    pub fn left_edge_y(&self) -> f64 {
+        self.width() / 2.0
+    }
+
+    /// y coordinate of the centerline of `lane` (0 = rightmost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= num_lanes`.
+    pub fn lane_center_y(&self, lane: usize) -> f64 {
+        assert!(lane < self.num_lanes, "lane {lane} out of range");
+        self.right_edge_y() + (lane as f64 + 0.5) * self.lane_width
+    }
+
+    /// Index of the lane containing lateral position `y`, clamped to the
+    /// nearest lane when `y` is off the road.
+    pub fn lane_of(&self, y: f64) -> usize {
+        let rel = (y - self.right_edge_y()) / self.lane_width;
+        (rel.floor().max(0.0) as usize).min(self.num_lanes - 1)
+    }
+
+    /// Signed lateral offset of `y` from the center of its (clamped) lane,
+    /// positive towards the left.
+    pub fn lane_offset(&self, y: f64) -> f64 {
+        y - self.lane_center_y(self.lane_of(y))
+    }
+
+    /// Whether the point is on the drivable surface.
+    pub fn on_road(&self, p: Vec2) -> bool {
+        p.y > self.right_edge_y() && p.y < self.left_edge_y() && p.x >= 0.0 && p.x <= self.length
+    }
+
+    /// Signed distance from `y` to the nearest barrier face; positive while
+    /// on the road, negative once past the edge.
+    pub fn distance_to_nearest_edge(&self, y: f64) -> f64 {
+        (self.left_edge_y() - y).min(y - self.right_edge_y())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_road_dimensions() {
+        let r = Road::default();
+        assert_eq!(r.num_lanes, 3);
+        assert!((r.width() - 10.5).abs() < 1e-12);
+        assert!((r.left_edge_y() - 5.25).abs() < 1e-12);
+        assert!((r.right_edge_y() + 5.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_centers_are_evenly_spaced() {
+        let r = Road::default();
+        let c0 = r.lane_center_y(0);
+        let c1 = r.lane_center_y(1);
+        let c2 = r.lane_center_y(2);
+        assert!((c1 - c0 - r.lane_width).abs() < 1e-12);
+        assert!((c2 - c1 - r.lane_width).abs() < 1e-12);
+        // Middle lane of 3 is centered on y = 0.
+        assert!(c1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_of_round_trips_lane_centers() {
+        let r = Road::default();
+        for lane in 0..r.num_lanes {
+            assert_eq!(r.lane_of(r.lane_center_y(lane)), lane);
+        }
+    }
+
+    #[test]
+    fn lane_of_clamps_off_road() {
+        let r = Road::default();
+        assert_eq!(r.lane_of(-100.0), 0);
+        assert_eq!(r.lane_of(100.0), r.num_lanes - 1);
+    }
+
+    #[test]
+    fn lane_offset_zero_at_center() {
+        let r = Road::default();
+        assert!(r.lane_offset(r.lane_center_y(1)).abs() < 1e-12);
+        assert!((r.lane_offset(r.lane_center_y(1) + 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_road_respects_edges() {
+        let r = Road::default();
+        assert!(r.on_road(Vec2::new(10.0, 0.0)));
+        assert!(!r.on_road(Vec2::new(10.0, 5.3)));
+        assert!(!r.on_road(Vec2::new(-1.0, 0.0)));
+        assert!(!r.on_road(Vec2::new(r.length + 1.0, 0.0)));
+    }
+
+    #[test]
+    fn edge_distance_sign() {
+        let r = Road::default();
+        assert!(r.distance_to_nearest_edge(0.0) > 5.0);
+        assert!(r.distance_to_nearest_edge(5.25) <= 1e-12);
+        assert!(r.distance_to_nearest_edge(6.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lane_road_rejected() {
+        let _ = Road::new(0, 3.5, 100.0);
+    }
+}

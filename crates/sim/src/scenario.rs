@@ -1,0 +1,241 @@
+//! Scenario configuration: the Town-4-like freeway episode of the paper.
+//!
+//! The ego vehicle starts in the middle lane at a 16 m/s reference speed and
+//! must pass six NPC vehicles cruising at 6 m/s within 180 control steps of
+//! 0.1 s each (Section III-A). Spawn positions can be jittered per episode
+//! seed for training/evaluation variety.
+
+use crate::road::Road;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Spawn description for one NPC vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NpcSpawn {
+    /// Lane index (0 = rightmost).
+    pub lane: usize,
+    /// Longitudinal start position, meters.
+    pub x: f64,
+    /// Cruise speed, m/s.
+    pub speed: f64,
+}
+
+/// Full episode configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Road geometry.
+    pub road: Road,
+    /// Control period, seconds (0.1 s in the paper).
+    pub dt: f64,
+    /// Integration substeps per control period.
+    pub substeps: usize,
+    /// Episode length in control steps (180 in the paper).
+    pub max_steps: usize,
+    /// Ego spawn lane.
+    pub ego_lane: usize,
+    /// Ego spawn longitudinal position, meters.
+    pub ego_x: f64,
+    /// Ego spawn speed, m/s.
+    pub ego_speed: f64,
+    /// Ego reference (desired cruise) speed, m/s.
+    pub ego_ref_speed: f64,
+    /// NPC spawns.
+    pub npcs: Vec<NpcSpawn>,
+    /// Max longitudinal jitter applied per episode, meters.
+    pub spawn_jitter_x: f64,
+    /// Max speed jitter applied per episode, m/s.
+    pub spawn_jitter_speed: f64,
+}
+
+impl Default for Scenario {
+    /// The paper's freeway overtaking scenario: six 6 m/s NPCs spread over
+    /// the three lanes ahead of a 16 m/s ego vehicle.
+    fn default() -> Self {
+        let npcs = vec![
+            NpcSpawn { lane: 1, x: 30.0, speed: 6.0 },
+            NpcSpawn { lane: 0, x: 55.0, speed: 6.0 },
+            NpcSpawn { lane: 2, x: 85.0, speed: 6.0 },
+            NpcSpawn { lane: 1, x: 110.0, speed: 6.0 },
+            NpcSpawn { lane: 0, x: 135.0, speed: 6.0 },
+            NpcSpawn { lane: 2, x: 160.0, speed: 6.0 },
+        ];
+        Scenario {
+            road: Road::default(),
+            dt: 0.1,
+            substeps: 5,
+            max_steps: 180,
+            ego_lane: 1,
+            ego_x: 0.0,
+            ego_speed: 16.0,
+            ego_ref_speed: 16.0,
+            npcs,
+            spawn_jitter_x: 3.0,
+            spawn_jitter_speed: 0.5,
+        }
+    }
+}
+
+impl Scenario {
+    /// A denser variant: eight NPCs with tighter spacing. Overtaking
+    /// requires more lane changes and offers the attacker more critical
+    /// windows.
+    pub fn dense_traffic() -> Self {
+        let npcs = vec![
+            NpcSpawn { lane: 1, x: 28.0, speed: 6.0 },
+            NpcSpawn { lane: 0, x: 46.0, speed: 6.0 },
+            NpcSpawn { lane: 2, x: 66.0, speed: 6.0 },
+            NpcSpawn { lane: 1, x: 88.0, speed: 6.0 },
+            NpcSpawn { lane: 0, x: 108.0, speed: 6.0 },
+            NpcSpawn { lane: 2, x: 128.0, speed: 6.0 },
+            NpcSpawn { lane: 1, x: 148.0, speed: 6.0 },
+            NpcSpawn { lane: 0, x: 168.0, speed: 6.0 },
+        ];
+        Scenario {
+            npcs,
+            ..Scenario::default()
+        }
+    }
+
+    /// A sparse variant: three NPCs far apart. Fewer critical windows, so
+    /// a lurking attacker must stay quiet longer.
+    pub fn sparse_traffic() -> Self {
+        let npcs = vec![
+            NpcSpawn { lane: 1, x: 40.0, speed: 6.0 },
+            NpcSpawn { lane: 2, x: 110.0, speed: 6.0 },
+            NpcSpawn { lane: 0, x: 180.0, speed: 6.0 },
+        ];
+        Scenario {
+            npcs,
+            ..Scenario::default()
+        }
+    }
+
+    /// A two-lane variant (no middle escape lane): lane changes are
+    /// all-or-nothing, which favors the attacker.
+    pub fn two_lane() -> Self {
+        let road = crate::road::Road::new(2, 3.5, 1500.0);
+        let npcs = vec![
+            NpcSpawn { lane: 0, x: 35.0, speed: 6.0 },
+            NpcSpawn { lane: 1, x: 70.0, speed: 6.0 },
+            NpcSpawn { lane: 0, x: 105.0, speed: 6.0 },
+            NpcSpawn { lane: 1, x: 140.0, speed: 6.0 },
+        ];
+        Scenario {
+            road,
+            ego_lane: 0,
+            npcs,
+            ..Scenario::default()
+        }
+    }
+
+    /// Returns a copy with per-NPC spawn jitter drawn from `rng`.
+    ///
+    /// Jitter keeps ordering gaps sane: positions move by at most
+    /// `spawn_jitter_x` and speeds by at most `spawn_jitter_speed`.
+    pub fn jittered<R: Rng>(&self, rng: &mut R) -> Scenario {
+        let mut s = self.clone();
+        for npc in &mut s.npcs {
+            npc.x += rng.gen_range(-self.spawn_jitter_x..=self.spawn_jitter_x);
+            npc.speed = (npc.speed
+                + rng.gen_range(-self.spawn_jitter_speed..=self.spawn_jitter_speed))
+            .max(0.5);
+        }
+        s
+    }
+
+    /// Episode duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.max_steps as f64 * self.dt
+    }
+
+    /// Validates internal consistency (lanes in range, positive timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dt <= 0.0 {
+            return Err(format!("dt must be positive, got {}", self.dt));
+        }
+        if self.substeps == 0 {
+            return Err("substeps must be at least 1".into());
+        }
+        if self.max_steps == 0 {
+            return Err("max_steps must be at least 1".into());
+        }
+        if self.ego_lane >= self.road.num_lanes {
+            return Err(format!(
+                "ego lane {} out of range for {}-lane road",
+                self.ego_lane, self.road.num_lanes
+            ));
+        }
+        for (i, n) in self.npcs.iter().enumerate() {
+            if n.lane >= self.road.num_lanes {
+                return Err(format!("npc {i} lane {} out of range", n.lane));
+            }
+            if n.speed < 0.0 {
+                return Err(format!("npc {i} has negative speed"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_scenario_is_valid() {
+        let s = Scenario::default();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.npcs.len(), 6);
+        assert!((s.duration() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let s = Scenario::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let j1 = s.jittered(&mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let j2 = s.jittered(&mut rng);
+        assert_eq!(j1, j2, "same seed must give same jitter");
+        for (orig, jit) in s.npcs.iter().zip(&j1.npcs) {
+            assert!((orig.x - jit.x).abs() <= s.spawn_jitter_x + 1e-12);
+            assert!((orig.speed - jit.speed).abs() <= s.spawn_jitter_speed + 1e-12);
+            assert_eq!(orig.lane, jit.lane);
+        }
+    }
+
+    #[test]
+    fn preset_scenarios_are_valid() {
+        for s in [
+            Scenario::dense_traffic(),
+            Scenario::sparse_traffic(),
+            Scenario::two_lane(),
+        ] {
+            assert!(s.validate().is_ok(), "{s:?}");
+        }
+        assert_eq!(Scenario::dense_traffic().npcs.len(), 8);
+        assert_eq!(Scenario::sparse_traffic().npcs.len(), 3);
+        assert_eq!(Scenario::two_lane().road.num_lanes, 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut s = Scenario::default();
+        s.dt = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::default();
+        s.ego_lane = 3;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::default();
+        s.npcs[0].lane = 9;
+        assert!(s.validate().is_err());
+    }
+}

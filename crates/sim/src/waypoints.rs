@@ -1,0 +1,269 @@
+//! Waypoint paths and path-generation primitives.
+//!
+//! The modular pipeline plans "safe and legal driving waypoints" (the green
+//! arrows of the paper's Fig. 1a) and its PID controllers track them; the
+//! end-to-end agent's shaped reward also uses the same privileged path
+//! (Section III-C). This module provides the shared path representation,
+//! lane-keeping and lane-change path generators, and projection queries
+//! (cross-track error, heading error).
+
+use crate::geometry::{angle_diff, Vec2};
+use crate::road::Road;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a planned path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// World-frame position.
+    pub position: Vec2,
+    /// Tangent direction of the path at this sample, radians.
+    pub heading: f64,
+    /// Desired speed at this sample, m/s.
+    pub target_speed: f64,
+}
+
+/// Result of projecting a query point onto a [`Path`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathProjection {
+    /// Index of the nearest waypoint.
+    pub index: usize,
+    /// Signed lateral offset from the path, positive to the left of travel.
+    pub cross_track: f64,
+    /// Heading error `query_heading - path_heading`, radians in `[-pi, pi)`.
+    pub heading_error: f64,
+    /// Target speed at the nearest waypoint.
+    pub target_speed: f64,
+}
+
+/// A polyline of waypoints, ordered by increasing longitudinal position.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Path {
+    points: Vec<Waypoint>,
+}
+
+impl Path {
+    /// Creates a path from waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn new(points: Vec<Waypoint>) -> Self {
+        assert!(!points.is_empty(), "path must contain at least one waypoint");
+        Path { points }
+    }
+
+    /// The waypoints in order.
+    pub fn waypoints(&self) -> &[Waypoint] {
+        &self.points
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the path has no waypoints (never true for a constructed path).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Projects a pose onto the path.
+    ///
+    /// Finds the nearest waypoint, then computes the signed cross-track
+    /// error relative to that waypoint's tangent and the heading error.
+    pub fn project(&self, position: Vec2, heading: f64) -> PathProjection {
+        let (index, _) = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i, w.position.distance(position)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("path is non-empty");
+        let w = self.points[index];
+        let to_query = position - w.position;
+        // Signed lateral offset: positive when the query point is to the
+        // left of the path tangent.
+        let cross_track = Vec2::from_angle(w.heading).cross(to_query);
+        PathProjection {
+            index,
+            cross_track,
+            heading_error: angle_diff(heading, w.heading),
+            target_speed: w.target_speed,
+        }
+    }
+
+    /// Returns the waypoint `lookahead` samples past the nearest one
+    /// (saturating at the end of the path). This is the classic pure-pursuit
+    /// style target used by the lateral PID controller.
+    pub fn lookahead(&self, position: Vec2, lookahead: usize) -> Waypoint {
+        let proj = self.project(position, 0.0);
+        let idx = (proj.index + lookahead).min(self.points.len() - 1);
+        self.points[idx]
+    }
+}
+
+/// Smoothstep-style quintic blend: 0 at `u = 0`, 1 at `u = 1`, with zero
+/// first and second derivatives at both ends. This is the standard smooth
+/// lateral profile for a comfortable lane change.
+pub fn quintic_blend(u: f64) -> f64 {
+    let u = u.clamp(0.0, 1.0);
+    u * u * u * (10.0 + u * (-15.0 + 6.0 * u))
+}
+
+/// Generates a lane-keeping path along `lane`, starting at `x0`, with `n`
+/// samples spaced `spacing` meters apart.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `spacing <= 0`.
+pub fn lane_keep_path(road: &Road, lane: usize, x0: f64, n: usize, spacing: f64, speed: f64) -> Path {
+    assert!(n > 0 && spacing > 0.0, "need n > 0 samples and positive spacing");
+    let y = road.lane_center_y(lane);
+    let points = (0..n)
+        .map(|i| Waypoint {
+            position: Vec2::new(x0 + i as f64 * spacing, y),
+            heading: 0.0,
+            target_speed: speed,
+        })
+        .collect();
+    Path::new(points)
+}
+
+/// Generates a lane-change path: starting from lateral position `y0` at
+/// `x0`, blending into the center of `target_lane` over `change_distance`
+/// meters, then continuing straight until `n` samples are produced.
+///
+/// The lateral profile is a quintic blend, so the generated headings are
+/// continuous and settle back to zero.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `spacing <= 0`, or `change_distance <= 0`.
+pub fn lane_change_path(
+    road: &Road,
+    y0: f64,
+    target_lane: usize,
+    x0: f64,
+    change_distance: f64,
+    n: usize,
+    spacing: f64,
+    speed: f64,
+) -> Path {
+    assert!(n > 0 && spacing > 0.0, "need n > 0 samples and positive spacing");
+    assert!(change_distance > 0.0, "change distance must be positive");
+    let y1 = road.lane_center_y(target_lane);
+    let dy = y1 - y0;
+    let points = (0..n)
+        .map(|i| {
+            let x = x0 + i as f64 * spacing;
+            let u = ((x - x0) / change_distance).clamp(0.0, 1.0);
+            let y = y0 + dy * quintic_blend(u);
+            // Tangent from the derivative of the blend.
+            let du = 1.0 / change_distance;
+            let dblend = {
+                let u = u.clamp(0.0, 1.0);
+                30.0 * u * u * (1.0 - u) * (1.0 - u)
+            };
+            let slope = dy * dblend * du;
+            Waypoint {
+                position: Vec2::new(x, y),
+                heading: slope.atan(),
+                target_speed: speed,
+            }
+        })
+        .collect();
+    Path::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn road() -> Road {
+        Road::default()
+    }
+
+    #[test]
+    fn quintic_blend_endpoints_and_monotone() {
+        assert_eq!(quintic_blend(0.0), 0.0);
+        assert_eq!(quintic_blend(1.0), 1.0);
+        assert_eq!(quintic_blend(-1.0), 0.0);
+        assert_eq!(quintic_blend(2.0), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let v = quintic_blend(i as f64 / 100.0);
+            assert!(v >= prev - 1e-12, "blend must be monotone");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lane_keep_path_stays_on_center() {
+        let r = road();
+        let p = lane_keep_path(&r, 1, 0.0, 20, 2.0, 16.0);
+        assert_eq!(p.len(), 20);
+        for w in p.waypoints() {
+            assert!((w.position.y - r.lane_center_y(1)).abs() < 1e-12);
+            assert_eq!(w.heading, 0.0);
+            assert_eq!(w.target_speed, 16.0);
+        }
+    }
+
+    #[test]
+    fn lane_change_path_reaches_target_lane() {
+        let r = road();
+        let y0 = r.lane_center_y(0);
+        let p = lane_change_path(&r, y0, 1, 0.0, 40.0, 40, 2.0, 16.0);
+        let last = p.waypoints().last().unwrap();
+        assert!((last.position.y - r.lane_center_y(1)).abs() < 1e-9);
+        // Heading returns to straight at the end.
+        assert!(last.heading.abs() < 1e-9);
+        // Mid-change heading is positive (moving left).
+        let mid = p.waypoints()[10];
+        assert!(mid.heading > 0.0);
+    }
+
+    #[test]
+    fn projection_cross_track_sign() {
+        let r = road();
+        let p = lane_keep_path(&r, 1, 0.0, 50, 2.0, 16.0);
+        let y_center = r.lane_center_y(1);
+        // Left of the path: positive cross-track.
+        let proj = p.project(Vec2::new(10.0, y_center + 0.5), 0.0);
+        assert!(proj.cross_track > 0.49 && proj.cross_track < 0.51);
+        // Right of the path: negative.
+        let proj = p.project(Vec2::new(10.0, y_center - 0.5), 0.0);
+        assert!(proj.cross_track < -0.49);
+    }
+
+    #[test]
+    fn projection_heading_error() {
+        let r = road();
+        let p = lane_keep_path(&r, 1, 0.0, 50, 2.0, 16.0);
+        let proj = p.project(Vec2::new(10.0, 0.0), 0.2);
+        assert!((proj.heading_error - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookahead_saturates_at_path_end() {
+        let r = road();
+        let p = lane_keep_path(&r, 0, 0.0, 10, 2.0, 16.0);
+        let w = p.lookahead(Vec2::new(100.0, r.lane_center_y(0)), 50);
+        assert_eq!(w.position, p.waypoints()[9].position);
+    }
+
+    #[test]
+    fn projection_picks_nearest_index() {
+        let r = road();
+        let p = lane_keep_path(&r, 0, 0.0, 50, 2.0, 16.0);
+        let proj = p.project(Vec2::new(21.0, r.lane_center_y(0)), 0.0);
+        // x = 21 with spacing 2 → nearest sample index 10 or 11.
+        assert!(proj.index == 10 || proj.index == 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one waypoint")]
+    fn empty_path_rejected() {
+        let _ = Path::new(vec![]);
+    }
+}

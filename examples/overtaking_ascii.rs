@@ -1,0 +1,29 @@
+//! Watch the modular agent slalom through traffic, rendered as ASCII
+//! frames of the road around the ego vehicle (via `drive_sim::render`).
+//!
+//! ```sh
+//! cargo run --release --example overtaking_ascii
+//! ```
+
+use ad_action_attacks::prelude::*;
+use ad_action_attacks::sim::render::{render_strip, RenderConfig};
+
+fn main() {
+    let scenario = Scenario::default();
+    let mut world = World::new(scenario);
+    let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+    agent.reset(&world);
+    let config = RenderConfig::default();
+    while !world.is_done() {
+        let a = agent.act(&world);
+        world.step(a);
+        if world.step_index() % 15 == 0 || world.is_done() {
+            println!("{}\n", render_strip(&world, &config));
+        }
+    }
+    println!(
+        "episode over: {:?}, passed {}/6",
+        world.termination(),
+        world.passed_count()
+    );
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # ad-action-attacks
+//!
+//! A complete Rust reproduction of *"Susceptibility of Autonomous Driving
+//! Agents to Learning-Based Action-Space Attacks"* (DSN 2023): a
+//! deterministic freeway driving simulator, a from-scratch SAC deep-RL
+//! stack, the two driving agents the paper studies (modular planner+PID
+//! pipeline and end-to-end DRL), learned camera/IMU action-space attack
+//! policies, and the fine-tuning / progressive-neural-network defenses —
+//! plus harnesses regenerating every figure of the paper's evaluation.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`sim`] — simulator substrate ([`drive_sim`])
+//! * [`nn`] — neural networks ([`drive_nn`])
+//! * [`rl`] — soft actor-critic ([`drive_rl`])
+//! * [`agents`] — driving agents ([`drive_agents`])
+//! * [`attacks`] — attacks & defenses ([`attack_core`])
+//! * [`metrics`] — evaluation metrics ([`drive_metrics`])
+//!
+//! ```
+//! use ad_action_attacks::prelude::*;
+//!
+//! // Drive the paper's freeway scenario with the modular pipeline.
+//! let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+//! let record = run_episode(&mut agent, &Scenario::default(), 42, None, |_, _, _| {});
+//! assert!(record.collision.is_none());
+//! ```
+
+pub use attack_core as attacks;
+pub use drive_agents as agents;
+pub use drive_metrics as metrics;
+pub use drive_nn as nn;
+pub use drive_rl as rl;
+pub use drive_sim as sim;
+
+/// One prelude across the whole stack.
+pub mod prelude {
+    pub use attack_core::prelude::*;
+    pub use drive_agents::prelude::*;
+    pub use drive_metrics::prelude::*;
+    pub use drive_nn::prelude::*;
+    pub use drive_rl::prelude::*;
+    pub use drive_sim::prelude::*;
+}
