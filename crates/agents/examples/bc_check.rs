@@ -11,12 +11,21 @@ fn main() {
     let scenario = Scenario::default();
     let features = FeatureConfig::default();
     for (eps, steps, noise) in [(80usize, 10000usize, 0.2f64), (100, 12000, 0.2)] {
-        let config = VictimTrainConfig { demo_episodes: eps, bc_steps: steps, demo_noise: noise, sac_steps: 0, ..Default::default() };
+        let config = VictimTrainConfig {
+            demo_episodes: eps,
+            bc_steps: steps,
+            demo_noise: noise,
+            sac_steps: 0,
+            ..Default::default()
+        };
         let policy = train_victim(&scenario, &features, &config);
         let mut agent = E2eAgent::new(policy, features.clone(), 0, true);
         let recs = run_episodes(&mut agent, &scenario, 15, 700);
         let col = recs.iter().filter(|r| r.collision.is_some()).count();
-        let kinds: Vec<_> = recs.iter().filter_map(|r| r.collision.map(|c| c.kind)).collect();
+        let kinds: Vec<_> = recs
+            .iter()
+            .filter_map(|r| r.collision.map(|c| c.kind))
+            .collect();
         let passed: f64 = recs.iter().map(|r| r.passed as f64).sum::<f64>() / 15.0;
         let ret: f64 = recs.iter().map(|r| r.nominal_return).sum::<f64>() / 15.0;
         println!("demos={eps} steps={steps} noise={noise}: ret={ret:.1} passed={passed:.2} collisions={col}/15 {kinds:?}");

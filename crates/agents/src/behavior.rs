@@ -229,7 +229,14 @@ impl BehaviorPlanner {
         // vehicle in an adjacent lane, bias the path away from it (within
         // the own lane) to maximize the margin a steering fault or attack
         // would have to cross.
-        let mut path = lane_keep_path(road, self.target_lane, pos.x, c.horizon, c.spacing, c.ref_speed);
+        let mut path = lane_keep_path(
+            road,
+            self.target_lane,
+            pos.x,
+            c.horizon,
+            c.spacing,
+            c.ref_speed,
+        );
         let lane_y = road.lane_center_y(self.target_lane);
         let mut bias: f64 = 0.0;
         for npc in world.npcs() {
@@ -285,7 +292,13 @@ impl BehaviorPlanner {
                 .iter()
                 .filter(|n| road.lane_of(n.vehicle.pose.position.y) == lane)
                 .filter(|n| n.vehicle.pose.position.x > pos.x)
-                .min_by(|a, b| a.vehicle.pose.position.x.total_cmp(&b.vehicle.pose.position.x))
+                .min_by(|a, b| {
+                    a.vehicle
+                        .pose
+                        .position
+                        .x
+                        .total_cmp(&b.vehicle.pose.position.x)
+                })
         };
         // Full headway control against the target lane's lead.
         if let Some(lead) = lead_in(self.target_lane) {
@@ -359,9 +372,10 @@ mod tests {
     use drive_sim::vehicle::Actuation;
 
     fn scenario_with(npcs: Vec<NpcSpawn>) -> World {
-        let mut s = Scenario::default();
-        s.npcs = npcs;
-        World::new(s)
+        World::new(Scenario {
+            npcs,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -380,7 +394,11 @@ mod tests {
     #[test]
     fn initiates_change_for_slow_lead() {
         // Lead in ego's lane, left lane clear → change left.
-        let world = scenario_with(vec![NpcSpawn { lane: 1, x: 30.0, speed: 6.0 }]);
+        let world = scenario_with(vec![NpcSpawn {
+            lane: 1,
+            x: 30.0,
+            speed: 6.0,
+        }]);
         let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         let _ = p.plan(&world);
         assert_eq!(p.target_lane(), 2, "prefers the left lane");
@@ -390,8 +408,16 @@ mod tests {
     #[test]
     fn falls_back_right_when_left_blocked() {
         let world = scenario_with(vec![
-            NpcSpawn { lane: 1, x: 30.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 20.0, speed: 6.0 },
+            NpcSpawn {
+                lane: 1,
+                x: 30.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 2,
+                x: 20.0,
+                speed: 6.0,
+            },
         ]);
         let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         let _ = p.plan(&world);
@@ -401,9 +427,21 @@ mod tests {
     #[test]
     fn stays_when_both_sides_blocked() {
         let world = scenario_with(vec![
-            NpcSpawn { lane: 1, x: 30.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 20.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 15.0, speed: 6.0 },
+            NpcSpawn {
+                lane: 1,
+                x: 30.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 2,
+                x: 20.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 15.0,
+                speed: 6.0,
+            },
         ]);
         let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         let _ = p.plan(&world);
@@ -413,7 +451,11 @@ mod tests {
 
     #[test]
     fn desired_speed_drops_behind_close_lead() {
-        let world = scenario_with(vec![NpcSpawn { lane: 1, x: 12.0, speed: 6.0 }]);
+        let world = scenario_with(vec![NpcSpawn {
+            lane: 1,
+            x: 12.0,
+            speed: 6.0,
+        }]);
         let p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         let v = p.desired_speed(&world);
         assert!(v < 16.0, "desired speed {v} should drop");
@@ -425,7 +467,11 @@ mod tests {
     fn wide_berth_biases_away_from_alongside_npc() {
         // NPC alongside in lane 0 while ego keeps lane 1: the plan shifts
         // towards lane 2's side (positive y bias).
-        let world = scenario_with(vec![NpcSpawn { lane: 0, x: 2.0, speed: 6.0 }]);
+        let world = scenario_with(vec![NpcSpawn {
+            lane: 0,
+            x: 2.0,
+            speed: 6.0,
+        }]);
         let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         let path = p.plan(&world);
         let road = &world.scenario().road;
@@ -440,9 +486,15 @@ mod tests {
     fn wide_berth_capped_near_road_edge() {
         // Ego in the leftmost lane with an NPC on its right: the bias would
         // point at the barrier and must be capped to keep edge margin.
-        let mut s = Scenario::default();
-        s.ego_lane = 2;
-        s.npcs = vec![NpcSpawn { lane: 1, x: 2.0, speed: 6.0 }];
+        let s = Scenario {
+            ego_lane: 2,
+            npcs: vec![NpcSpawn {
+                lane: 1,
+                x: 2.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let world = World::new(s);
         let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 2);
         let path = p.plan(&world);
@@ -460,16 +512,30 @@ mod tests {
         // Start a change towards lane 2, then teleport an NPC beside the
         // ego in lane 2 before the boundary is crossed: the planner must
         // abort back to lane 1.
-        let mut world = scenario_with(vec![NpcSpawn { lane: 1, x: 35.0, speed: 6.0 }]);
+        let mut world = scenario_with(vec![NpcSpawn {
+            lane: 1,
+            x: 35.0,
+            speed: 6.0,
+        }]);
         let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         let _ = p.plan(&world);
         assert_eq!(p.target_lane(), 2);
         // Rebuild the world with an NPC blocking lane 2 right beside x=0.
-        let mut s = Scenario::default();
-        s.npcs = vec![
-            NpcSpawn { lane: 1, x: 35.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 4.0, speed: 6.0 },
-        ];
+        let s = Scenario {
+            npcs: vec![
+                NpcSpawn {
+                    lane: 1,
+                    x: 35.0,
+                    speed: 6.0,
+                },
+                NpcSpawn {
+                    lane: 2,
+                    x: 4.0,
+                    speed: 6.0,
+                },
+            ],
+            ..Default::default()
+        };
         world = World::new(s);
         let _ = p.plan(&world);
         assert_eq!(p.target_lane(), 1, "abort must retarget the origin lane");
@@ -480,8 +546,14 @@ mod tests {
     fn defensive_brake_on_lateral_drift_towards_npc() {
         // NPC alongside; give the ego a heading towards it → lateral
         // closing velocity → desired speed collapses.
-        let mut s = Scenario::default();
-        s.npcs = vec![NpcSpawn { lane: 2, x: 3.0, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![NpcSpawn {
+                lane: 2,
+                x: 3.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let mut world = World::new(s);
         // Induce a leftward drift.
         for _ in 0..4 {
@@ -494,7 +566,11 @@ mod tests {
 
     #[test]
     fn change_completes_and_returns_to_keep_lane() {
-        let mut world = scenario_with(vec![NpcSpawn { lane: 1, x: 30.0, speed: 6.0 }]);
+        let mut world = scenario_with(vec![NpcSpawn {
+            lane: 1,
+            x: 30.0,
+            speed: 6.0,
+        }]);
         let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         // Drive the world forward with a simple tracker: steer from the
         // plan's projected heading.
@@ -503,8 +579,7 @@ mod tests {
             let proj = path.project(world.ego().pose.position, world.ego().pose.heading);
             let look = path.lookahead(world.ego().pose.position, 4);
             let to = look.position - world.ego().pose.position;
-            let heading_err =
-                drive_sim::geometry::angle_diff(to.angle(), world.ego().pose.heading);
+            let heading_err = drive_sim::geometry::angle_diff(to.angle(), world.ego().pose.heading);
             let steer = (3.0 * heading_err - 0.1 * proj.cross_track).clamp(-1.0, 1.0);
             world.step(Actuation::new(steer, 0.0));
             if world.is_done() {
@@ -514,6 +589,9 @@ mod tests {
         assert_eq!(p.maneuver(), Maneuver::KeepLane, "change should complete");
         let road = &world.scenario().road;
         let offset = world.ego().pose.position.y - road.lane_center_y(2);
-        assert!(offset.abs() < 1.0, "ended near lane 2 center, offset {offset}");
+        assert!(
+            offset.abs() < 1.0,
+            "ended near lane 2 center, offset {offset}"
+        );
     }
 }

@@ -100,7 +100,10 @@ impl Env for DrivingEnv {
 
     fn step(&mut self, action: &[f32]) -> EnvStep {
         assert_eq!(action.len(), 2, "driving actions are (steer, thrust)");
-        assert!(!self.world.is_done(), "step called after episode end; reset first");
+        assert!(
+            !self.world.is_done(),
+            "step called after episode end; reset first"
+        );
         let delta = match self.attack.as_mut() {
             Some(f) => f(&self.world),
             None => 0.0,
@@ -113,7 +116,9 @@ impl Env for DrivingEnv {
         self.record.nominal_return += reward as f64;
         self.record.deviation.push(self.shaper.last_deviation());
         self.record.perturbation.push(delta.abs());
-        if delta.abs() > drive_sim::record::ATTACK_START_THRESHOLD && self.record.attack_start.is_none() {
+        if delta.abs() > drive_sim::record::ATTACK_START_THRESHOLD
+            && self.record.attack_start.is_none()
+        {
             self.record.attack_start = Some(outcome.step);
         }
         self.record.passed = outcome.passed;

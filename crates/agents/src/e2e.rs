@@ -70,7 +70,11 @@ impl<P: Policy> E2eAgent<P> {
             features.observation_dim(),
             "policy obs dim must match feature extractor"
         );
-        assert_eq!(policy.action_dim(), 2, "driving actions are (steer, thrust)");
+        assert_eq!(
+            policy.action_dim(),
+            2,
+            "driving actions are (steer, thrust)"
+        );
         E2eAgent {
             policy,
             extractor: FeatureExtractor::new(features),

@@ -38,7 +38,7 @@ pub mod prelude {
     pub use crate::modular::{ModularAgent, ModularConfig};
     pub use crate::pid::{Pid, PidConfig};
     pub use crate::reward::{RewardConfig, RewardShaper};
-    pub use crate::runner::{run_episode, run_episodes, SteerAttacker};
+    pub use crate::runner::{run_episode, run_episode_with_faults, run_episodes, SteerAttacker};
     pub use crate::training::{
         collect_demonstrations, evaluate_policy, train_victim, VictimTrainConfig,
     };

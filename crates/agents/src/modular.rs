@@ -86,10 +86,7 @@ impl ModularAgent {
 
 impl Agent for ModularAgent {
     fn reset(&mut self, world: &World) {
-        let lane = world
-            .scenario()
-            .road
-            .lane_of(world.ego().pose.position.y);
+        let lane = world.scenario().road.lane_of(world.ego().pose.position.y);
         self.planner = BehaviorPlanner::new(self.config.behavior, lane);
         self.steer_pid.reset();
         self.speed_pid.reset();
@@ -151,7 +148,11 @@ mod tests {
             agent.last_cross_track()
         );
         // Speed regulated near the 16 m/s reference.
-        assert!((world.ego().speed - 16.0).abs() < 0.5, "speed {}", world.ego().speed);
+        assert!(
+            (world.ego().speed - 16.0).abs() < 0.5,
+            "speed {}",
+            world.ego().speed
+        );
     }
 
     #[test]

@@ -70,8 +70,8 @@ impl Pid {
     pub fn step(&mut self, error: f64, dt: f64) -> f64 {
         assert!(dt > 0.0, "dt must be positive");
         let c = self.config;
-        self.integral = (self.integral + error * dt)
-            .clamp(-c.integral_limit.abs(), c.integral_limit.abs());
+        self.integral =
+            (self.integral + error * dt).clamp(-c.integral_limit.abs(), c.integral_limit.abs());
         let derivative = match self.prev_error {
             Some(prev) => (error - prev) / dt,
             None => 0.0,

@@ -84,8 +84,8 @@ impl RewardShaper {
         let progress = ego.velocity().dot(wp_dir) / ref_speed;
         let speed_term = 1.0 - ((ego.speed - wp.target_speed).abs() / ref_speed).min(1.0);
 
-        let mut r = c.w_progress * progress + c.w_speed * speed_term
-            - c.w_track * deviation * deviation;
+        let mut r =
+            c.w_progress * progress + c.w_speed * speed_term - c.w_track * deviation * deviation;
         if outcome.collision.is_some() {
             r -= c.collision_penalty;
         }
@@ -148,7 +148,10 @@ mod tests {
             let out = straight_world.step(Actuation::new(0.0, 0.0));
             straight = rs2.step(&straight_world, &out);
         }
-        assert!(drifted < straight, "drifted {drifted} vs straight {straight}");
+        assert!(
+            drifted < straight,
+            "drifted {drifted} vs straight {straight}"
+        );
         assert!(rs.last_deviation().abs() > 0.05);
     }
 

@@ -3,6 +3,7 @@
 
 use crate::reward::{RewardConfig, RewardShaper};
 use crate::Agent;
+use drive_sim::faults::FaultInjector;
 use drive_sim::record::EpisodeRecord;
 use drive_sim::scenario::Scenario;
 use drive_sim::vehicle::Actuation;
@@ -32,7 +33,28 @@ pub fn run_episode(
     agent: &mut dyn Agent,
     scenario: &Scenario,
     seed: u64,
+    attacker: Option<&mut dyn SteerAttacker>,
+    on_step: impl FnMut(&World, &StepOutcome, f64),
+) -> EpisodeRecord {
+    run_episode_with_faults(agent, scenario, seed, attacker, None, on_step)
+}
+
+/// Runs one episode with an optional actuation-side fault injector in the
+/// loop: the perturbed command passes through
+/// [`FaultInjector::corrupt_actuation`] before the simulator steps, so
+/// stuck / dead-zone / delayed actuators act on exactly what the plant
+/// would have received. The injector's step clock is advanced here — do
+/// not share one injector instance between the runner and a sensor
+/// wrapper.
+///
+/// With `faults: None` (or a no-op schedule) this is bit-identical to
+/// [`run_episode`].
+pub fn run_episode_with_faults(
+    agent: &mut dyn Agent,
+    scenario: &Scenario,
+    seed: u64,
     mut attacker: Option<&mut dyn SteerAttacker>,
+    mut faults: Option<&mut FaultInjector>,
     mut on_step: impl FnMut(&World, &StepOutcome, f64),
 ) -> EpisodeRecord {
     let episode_scenario = {
@@ -63,14 +85,22 @@ pub fn run_episode(
             None => 0.0,
         };
         let perturbed = Actuation::new(nominal.steer + delta, nominal.thrust);
-        let outcome = world.step(perturbed);
+        let realized = match faults.as_deref_mut() {
+            Some(inj) => {
+                inj.begin_step();
+                inj.corrupt_actuation(perturbed)
+            }
+            None => perturbed,
+        };
+        let outcome = world.step(realized);
         let reward = shaper.step(&world, &outcome);
 
         record.steps += 1;
         record.nominal_return += reward;
         record.deviation.push(shaper.last_deviation());
         record.perturbation.push(delta.abs());
-        if delta.abs() > drive_sim::record::ATTACK_START_THRESHOLD && record.attack_start.is_none() {
+        if delta.abs() > drive_sim::record::ATTACK_START_THRESHOLD && record.attack_start.is_none()
+        {
             record.attack_start = Some(outcome.step);
         }
         record.passed = outcome.passed;
@@ -78,6 +108,7 @@ pub fn run_episode(
         record.termination = outcome.termination;
         on_step(&world, &outcome, delta);
     }
+    record.nonfinite_actions = world.nonfinite_action_count();
     record
 }
 
@@ -142,6 +173,33 @@ mod tests {
         assert_eq!(rec.attack_start, Some(0));
         assert!((rec.attack_effort() - 0.3).abs() < 1e-12);
         assert_eq!(steps_seen, rec.steps);
+    }
+
+    #[test]
+    fn noop_faults_leave_episode_bit_identical() {
+        use drive_sim::faults::{FaultInjector, FaultSchedule};
+        let scenario = Scenario::default();
+        let mut a1 = ModularAgent::new(ModularConfig::default(), 1);
+        let mut a2 = ModularAgent::new(ModularConfig::default(), 1);
+        let clean = run_episode(&mut a1, &scenario, 5, None, |_, _, _| {});
+        let mut inj = FaultInjector::new(&FaultSchedule::benign(0.0, 123));
+        let faulted =
+            run_episode_with_faults(&mut a2, &scenario, 5, None, Some(&mut inj), |_, _, _| {});
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn faulted_episodes_are_deterministic_per_seed() {
+        use drive_sim::faults::{FaultInjector, FaultSchedule};
+        let scenario = Scenario::default();
+        let schedule = FaultSchedule::benign(1.0, 77);
+        let mut a1 = ModularAgent::new(ModularConfig::default(), 1);
+        let mut a2 = ModularAgent::new(ModularConfig::default(), 1);
+        let mut i1 = FaultInjector::for_episode(&schedule, 9);
+        let mut i2 = FaultInjector::for_episode(&schedule, 9);
+        let r1 = run_episode_with_faults(&mut a1, &scenario, 9, None, Some(&mut i1), |_, _, _| {});
+        let r2 = run_episode_with_faults(&mut a2, &scenario, 9, None, Some(&mut i2), |_, _, _| {});
+        assert_eq!(r1, r2);
     }
 
     #[test]

@@ -93,10 +93,7 @@ pub fn collect_demonstrations(
             let a = agent.act(&world);
             demos.push(obs, vec![a.steer as f32, a.thrust as f32]);
             let executed = if noisy {
-                Actuation::new(
-                    a.steer + rng.gen_range(-exec_noise..=exec_noise),
-                    a.thrust,
-                )
+                Actuation::new(a.steer + rng.gen_range(-exec_noise..=exec_noise), a.thrust)
             } else {
                 a
             };

@@ -14,8 +14,19 @@ fn main() {
     let config = PipelineConfig::quick(&dir);
     let t0 = Instant::now();
     let artifacts = prepare(&config);
-    eprintln!("[figures] artifacts ready in {:.1}s", t0.elapsed().as_secs_f64());
-    for name in ["baseline", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations"] {
+    eprintln!(
+        "[figures] artifacts ready in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    for name in [
+        "baseline",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "ablations",
+    ] {
         let t = Instant::now();
         print_experiment(name, &artifacts, &config, Scale::smoke());
         eprintln!("[figures] {name} in {:.1}s", t.elapsed().as_secs_f64());

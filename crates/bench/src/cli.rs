@@ -62,7 +62,13 @@ pub fn run_experiment(name: &str) {
     );
     let artifacts = prepare(&config);
     if name == "all" {
-        run_all(&artifacts, &config, scale, csv_dir().as_deref(), svg_dir().as_deref());
+        run_all(
+            &artifacts,
+            &config,
+            scale,
+            csv_dir().as_deref(),
+            svg_dir().as_deref(),
+        );
         return;
     }
     print_experiment(name, &artifacts, &config, scale);
@@ -134,7 +140,13 @@ pub fn run_all(
             let boxes = attack_core::budget::AttackBudget::fig4_grid()
                 .iter()
                 .filter_map(|b| f4.cell(sensor, b.epsilon()))
-                .map(|c| if pick { c.summary.nominal } else { c.summary.adversarial })
+                .map(|c| {
+                    if pick {
+                        c.summary.nominal
+                    } else {
+                        c.summary.adversarial
+                    }
+                })
                 .collect();
             (sensor.to_string(), boxes)
         })
@@ -150,7 +162,10 @@ pub fn run_all(
     save_csv("fig5", f5.to_csv());
     for s in &f5.series {
         save_svg(
-            &format!("fig5_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+            &format!(
+                "fig5_{}",
+                s.agent.label().replace(['(', ')', '=', '/'], "_")
+            ),
             scatter_svg(
                 &format!("Fig. 5 — {} under camera attack", s.agent.label()),
                 &s.points,
@@ -190,7 +205,10 @@ pub fn run_all(
     save_csv("fig7", f7.to_csv());
     for s in &f7.series {
         save_svg(
-            &format!("fig7_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+            &format!(
+                "fig7_{}",
+                s.agent.label().replace(['(', ')', '=', '/'], "_")
+            ),
             scatter_svg(
                 &format!("Fig. 7 — {} under camera attack", s.agent.label()),
                 &s.points,
@@ -256,18 +274,20 @@ pub fn write_svgs(
     match name {
         "fig4" | "all" if name == "fig4" || name == "all" => {
             let f4 = fig4::run(artifacts, config, scale);
-            let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
-                [attack_core::sensor::SensorKind::Camera, attack_core::sensor::SensorKind::Imu]
-                    .into_iter()
-                    .map(|sensor| {
-                        let boxes = AttackBudget::fig4_grid()
-                            .iter()
-                            .filter_map(|b| f4.cell(sensor, b.epsilon()))
-                            .map(|c| c.summary.nominal)
-                            .collect();
-                        (sensor.to_string(), boxes)
-                    })
+            let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> = [
+                attack_core::sensor::SensorKind::Camera,
+                attack_core::sensor::SensorKind::Imu,
+            ]
+            .into_iter()
+            .map(|sensor| {
+                let boxes = AttackBudget::fig4_grid()
+                    .iter()
+                    .filter_map(|b| f4.cell(sensor, b.epsilon()))
+                    .map(|c| c.summary.nominal)
                     .collect();
+                (sensor.to_string(), boxes)
+            })
+            .collect();
             save(
                 "fig4a_nominal",
                 box_plot_svg(
@@ -278,18 +298,20 @@ pub fn write_svgs(
                     "nominal driving reward",
                 ),
             );
-            let adv_series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
-                [attack_core::sensor::SensorKind::Camera, attack_core::sensor::SensorKind::Imu]
-                    .into_iter()
-                    .map(|sensor| {
-                        let boxes = AttackBudget::fig4_grid()
-                            .iter()
-                            .filter_map(|b| f4.cell(sensor, b.epsilon()))
-                            .map(|c| c.summary.adversarial)
-                            .collect();
-                        (sensor.to_string(), boxes)
-                    })
+            let adv_series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> = [
+                attack_core::sensor::SensorKind::Camera,
+                attack_core::sensor::SensorKind::Imu,
+            ]
+            .into_iter()
+            .map(|sensor| {
+                let boxes = AttackBudget::fig4_grid()
+                    .iter()
+                    .filter_map(|b| f4.cell(sensor, b.epsilon()))
+                    .map(|c| c.summary.adversarial)
                     .collect();
+                (sensor.to_string(), boxes)
+            })
+            .collect();
             save(
                 "fig4b_adversarial",
                 box_plot_svg(
@@ -306,7 +328,10 @@ pub fn write_svgs(
             let f5 = fig5::run(artifacts, config, scale);
             for s in &f5.series {
                 save(
-                    &format!("fig5_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+                    &format!(
+                        "fig5_{}",
+                        s.agent.label().replace(['(', ')', '=', '/'], "_")
+                    ),
                     scatter_svg(
                         &format!("Fig. 5 — {} under camera attack", s.agent.label()),
                         &s.points,
@@ -340,7 +365,10 @@ pub fn write_svgs(
             let f7 = fig7::run(artifacts, config, scale);
             for s in &f7.series {
                 save(
-                    &format!("fig7_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+                    &format!(
+                        "fig7_{}",
+                        s.agent.label().replace(['(', ')', '=', '/'], "_")
+                    ),
                     scatter_svg(
                         &format!("Fig. 7 — {} under camera attack", s.agent.label()),
                         &s.points,
@@ -367,14 +395,22 @@ pub fn write_svgs(
                 .collect();
             save(
                 "fig8_success_rates",
-                bar_chart_svg("Fig. 8 — success rate per effort window", &windows, &series, "attack success rate"),
+                bar_chart_svg(
+                    "Fig. 8 — success rate per effort window",
+                    &windows,
+                    &series,
+                    "attack success rate",
+                ),
             );
         }
         "fig5" => {
             let f5 = fig5::run(artifacts, config, scale);
             for s in &f5.series {
                 save(
-                    &format!("fig5_{}", s.agent.label().replace(['(', ')', '=', '/'], "_")),
+                    &format!(
+                        "fig5_{}",
+                        s.agent.label().replace(['(', ')', '=', '/'], "_")
+                    ),
                     scatter_svg(
                         &format!("Fig. 5 — {} under camera attack", s.agent.label()),
                         &s.points,
@@ -431,12 +467,7 @@ pub fn write_csvs(
 /// # Panics
 ///
 /// Panics on an unknown experiment name.
-pub fn print_experiment(
-    name: &str,
-    artifacts: &Artifacts,
-    config: &PipelineConfig,
-    scale: Scale,
-) {
+pub fn print_experiment(name: &str, artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) {
     match name {
         "baseline" => println!("{}", baseline::run(artifacts, config, scale)),
         "fig4" => println!("{}", fig4::run(artifacts, config, scale)),
@@ -480,8 +511,20 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let config = PipelineConfig::quick(dir.join("artifacts"));
         let artifacts = prepare(&config);
-        write_csvs("fig4", &artifacts, &config, Scale::smoke(), &dir.join("csv"));
-        write_svgs("fig4", &artifacts, &config, Scale::smoke(), &dir.join("svg"));
+        write_csvs(
+            "fig4",
+            &artifacts,
+            &config,
+            Scale::smoke(),
+            &dir.join("csv"),
+        );
+        write_svgs(
+            "fig4",
+            &artifacts,
+            &config,
+            Scale::smoke(),
+            &dir.join("svg"),
+        );
         assert!(dir.join("csv/fig4.csv").exists());
         let svg = std::fs::read_to_string(dir.join("svg/fig4a_nominal.svg")).unwrap();
         assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));

@@ -18,13 +18,18 @@
 //!    of Section II: what does the state-space attacker's much stronger
 //!    threat model (white-box policy + sensor write access) buy over the
 //!    black-box action-space attack?
+//! 7. **Detector robustness to benign faults** — the §VII residual
+//!    detector under seeded hardware faults (`drive-sim::faults`): its
+//!    false-positive rate on fault-injected but *unattacked* episodes
+//!    versus its true-positive rate against the learned camera and IMU
+//!    attackers, across fault intensities.
 
 use crate::harness::{attacked_records, AgentKind, Scale};
 use attack_core::adv_reward::AdvReward;
 use attack_core::budget::AttackBudget;
 use attack_core::defense::SimplexSwitcher;
 use attack_core::detector::{DetectorConfig, DetectorSimplexAgent};
-use attack_core::eval::run_attacked_episodes;
+use attack_core::eval::{run_attacked_episode_with_faults, run_attacked_episodes};
 use attack_core::learned::LearnedAttacker;
 use attack_core::oracle::OracleAttacker;
 use attack_core::pipeline::{Artifacts, PipelineConfig};
@@ -33,6 +38,7 @@ use attack_core::state_attack::{StateAttackConfig, StateAttackedAgent};
 use drive_agents::e2e::E2eAgent;
 use drive_metrics::episode::CellSummary;
 use drive_metrics::report::{fmt_f, fmt_pct, Table};
+use drive_sim::faults::{FaultInjector, FaultSchedule};
 
 /// Result of one ablation arm.
 #[derive(Debug, Clone)]
@@ -58,6 +64,26 @@ pub struct AblationResult {
     pub transfer_arms: Vec<AblationCell>,
     /// Black-box action-space vs white-box state-space attacks.
     pub paradigm_arms: Vec<AblationCell>,
+    /// Detector FPR under benign faults vs TPR under learned attacks,
+    /// per fault intensity.
+    pub fault_detector_arms: Vec<FaultDetectorCell>,
+}
+
+/// One fault-intensity row of ablation 7: how often the residual detector
+/// fires (hardened column engages at least once) with and without a real
+/// attack in the loop.
+#[derive(Debug, Clone)]
+pub struct FaultDetectorCell {
+    /// Benign-fault schedule intensity (0 = clean).
+    pub intensity: f64,
+    /// Detector fired on a fault-injected but unattacked episode.
+    pub benign_fpr: f64,
+    /// Detector fired under the learned camera attack (eps = 1.0).
+    pub camera_tpr: f64,
+    /// Detector fired under the learned IMU attack (eps = 1.0).
+    pub imu_tpr: f64,
+    /// Mean fraction of benign-episode steps driven hardened.
+    pub mean_hardened_benign: f64,
 }
 
 /// Runs all ablations.
@@ -179,8 +205,14 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             4,
             true,
         );
-        let records =
-            run_attacked_episodes(&mut ideal, attack, &adv, &config.scenario, episodes, scale.seed + 7);
+        let records = run_attacked_episodes(
+            &mut ideal,
+            attack,
+            &adv,
+            &config.scenario,
+            episodes,
+            scale.seed + 7,
+        );
         detector_arms.push(AblationCell {
             label: format!("ideal switcher eps={eps:.1}"),
             summary: CellSummary::from_records(&records),
@@ -286,6 +318,70 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
         });
     }
 
+    // --- 7. Detector FPR under benign faults vs TPR under attack ---
+    // Episodes run one at a time (not through `run_attacked_episodes`)
+    // because the detection verdict is read off the agent after each
+    // episode: with latching on, `hardened_fraction() > 0` means the
+    // detector fired at least once.
+    let mut fault_detector_arms = Vec::new();
+    for intensity in [0.0, 0.5, 1.0] {
+        let schedule = FaultSchedule::benign(intensity, 0xfa17);
+        let mut fired = [0usize; 3]; // benign, camera, imu
+        let mut hardened_sum = 0.0;
+        for e in 0..episodes {
+            let seed = scale.seed + 400 + e as u64;
+            let mut run_one = |attack_sensor: Option<SensorKind>| -> bool {
+                let mut agent = DetectorSimplexAgent::new(
+                    artifacts.pnn.clone(),
+                    0.2,
+                    config.features.clone(),
+                    DetectorConfig::default(),
+                    7,
+                )
+                .with_observation_faults(FaultInjector::for_episode(&schedule, seed));
+                let mut attacker = attack_sensor.map(|sk| {
+                    let sensor = match sk {
+                        SensorKind::Camera => AttackerSensor::camera(config.features.clone()),
+                        SensorKind::Imu => AttackerSensor::imu(config.imu.clone(), seed),
+                    };
+                    let policy = match sk {
+                        SensorKind::Camera => artifacts.camera_attacker.clone(),
+                        SensorKind::Imu => artifacts.imu_attacker.clone(),
+                    };
+                    LearnedAttacker::new(policy, sensor, budget, seed, true)
+                });
+                let mut act_faults = FaultInjector::for_episode(&schedule, seed ^ 0x5f5f);
+                let _ = run_attacked_episode_with_faults(
+                    &mut agent,
+                    attacker
+                        .as_mut()
+                        .map(|a| a as &mut dyn drive_agents::runner::SteerAttacker),
+                    &adv,
+                    &config.scenario,
+                    seed,
+                    Some(&mut act_faults),
+                );
+                hardened_sum += if attack_sensor.is_none() {
+                    agent.hardened_fraction()
+                } else {
+                    0.0
+                };
+                agent.hardened_fraction() > 0.0
+            };
+            fired[0] += usize::from(run_one(None));
+            fired[1] += usize::from(run_one(Some(SensorKind::Camera)));
+            fired[2] += usize::from(run_one(Some(SensorKind::Imu)));
+        }
+        let n = episodes.max(1) as f64;
+        fault_detector_arms.push(FaultDetectorCell {
+            intensity,
+            benign_fpr: fired[0] as f64 / n,
+            camera_tpr: fired[1] as f64 / n,
+            imu_tpr: fired[2] as f64 / n,
+            mean_hardened_benign: hardened_sum / n,
+        });
+    }
+
     AblationResult {
         attacker_arms,
         switcher_arms,
@@ -293,6 +389,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
         detector_arms,
         transfer_arms,
         paradigm_arms,
+        fault_detector_arms,
     }
 }
 
@@ -312,12 +409,75 @@ fn arm_table(title: &str, arms: &[AblationCell]) -> String {
 
 impl std::fmt::Display for AblationResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{}", arm_table("Ablation 1 — oracle vs learned camera attacker (eps=1.0)", &self.attacker_arms))?;
-        writeln!(f, "{}", arm_table("Ablation 2 — PNN switcher threshold sweep (eps=0.5)", &self.switcher_arms))?;
-        writeln!(f, "{}", arm_table("Ablation 3 — IMU attack vs sensor noise (eps=1.0)", &self.imu_noise_arms))?;
-        writeln!(f, "{}", arm_table("Ablation 4 — idealized vs detector-driven PNN switcher (sigma=0.2)", &self.detector_arms))?;
-        writeln!(f, "{}", arm_table("Ablation 5 — attack/victim transfer to unseen traffic (eps=1.0)", &self.transfer_arms))?;
-        writeln!(f, "{}", arm_table("Ablation 6 — action-space (black-box) vs state-space (white-box) attacks", &self.paradigm_arms))?;
+        writeln!(
+            f,
+            "{}",
+            arm_table(
+                "Ablation 1 — oracle vs learned camera attacker (eps=1.0)",
+                &self.attacker_arms
+            )
+        )?;
+        writeln!(
+            f,
+            "{}",
+            arm_table(
+                "Ablation 2 — PNN switcher threshold sweep (eps=0.5)",
+                &self.switcher_arms
+            )
+        )?;
+        writeln!(
+            f,
+            "{}",
+            arm_table(
+                "Ablation 3 — IMU attack vs sensor noise (eps=1.0)",
+                &self.imu_noise_arms
+            )
+        )?;
+        writeln!(
+            f,
+            "{}",
+            arm_table(
+                "Ablation 4 — idealized vs detector-driven PNN switcher (sigma=0.2)",
+                &self.detector_arms
+            )
+        )?;
+        writeln!(
+            f,
+            "{}",
+            arm_table(
+                "Ablation 5 — attack/victim transfer to unseen traffic (eps=1.0)",
+                &self.transfer_arms
+            )
+        )?;
+        writeln!(
+            f,
+            "{}",
+            arm_table(
+                "Ablation 6 — action-space (black-box) vs state-space (white-box) attacks",
+                &self.paradigm_arms
+            )
+        )?;
+        writeln!(
+            f,
+            "Ablation 7 — detector FPR under benign faults vs TPR under attack (eps=1.0)"
+        )?;
+        let mut t = Table::new([
+            "fault intensity",
+            "benign FPR",
+            "TPR (camera)",
+            "TPR (imu)",
+            "hardened frac (benign)",
+        ]);
+        for c in &self.fault_detector_arms {
+            t.row([
+                fmt_f(c.intensity, 1),
+                fmt_pct(c.benign_fpr),
+                fmt_pct(c.camera_tpr),
+                fmt_pct(c.imu_tpr),
+                fmt_f(c.mean_hardened_benign, 3),
+            ]);
+        }
+        writeln!(f, "{t}")?;
         Ok(())
     }
 }
@@ -339,6 +499,21 @@ mod tests {
         assert_eq!(result.detector_arms.len(), 6);
         assert_eq!(result.transfer_arms.len(), 4);
         assert_eq!(result.paradigm_arms.len(), 4);
+        assert_eq!(result.fault_detector_arms.len(), 3);
+        // Clean episodes must not trip the detector; a full-budget camera
+        // attack must (regardless of fault intensity).
+        let clean = &result.fault_detector_arms[0];
+        assert_eq!(clean.intensity, 0.0);
+        assert_eq!(clean.benign_fpr, 0.0, "no faults, no attack, no alarm");
+        // The quick-pipeline attacker is barely trained, so absolute TPR
+        // is scale-dependent; the ordering TPR >= FPR must still hold on
+        // clean episodes.
+        assert!(
+            clean.camera_tpr >= clean.benign_fpr,
+            "camera TPR {} vs FPR {}",
+            clean.camera_tpr,
+            clean.benign_fpr
+        );
         let text = format!("{result}");
         assert!(text.contains("oracle"));
         assert!(text.contains("sigma=0.4"));
@@ -346,5 +521,6 @@ mod tests {
         assert!(text.contains("detector switcher"));
         assert!(text.contains("two-lane"));
         assert!(text.contains("state-space"));
+        assert!(text.contains("benign FPR"));
     }
 }

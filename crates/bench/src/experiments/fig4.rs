@@ -97,9 +97,23 @@ impl Fig4Result {
     /// Exports all cells as CSV (one row per sensor/budget cell).
     pub fn to_csv(&self) -> Csv {
         let mut csv = Csv::new([
-            "sensor", "budget", "nominal_min", "nominal_q1", "nominal_median", "nominal_q3",
-            "nominal_max", "nominal_mean", "adv_min", "adv_q1", "adv_median", "adv_q3",
-            "adv_max", "adv_mean", "success_rate", "mean_passed", "episodes",
+            "sensor",
+            "budget",
+            "nominal_min",
+            "nominal_q1",
+            "nominal_median",
+            "nominal_q3",
+            "nominal_max",
+            "nominal_mean",
+            "adv_min",
+            "adv_q1",
+            "adv_median",
+            "adv_q3",
+            "adv_max",
+            "adv_mean",
+            "success_rate",
+            "mean_passed",
+            "episodes",
         ]);
         for c in &self.cells {
             let n = &c.summary.nominal;
@@ -107,10 +121,18 @@ impl Fig4Result {
             csv.row([
                 c.sensor.to_string(),
                 format!("{:.2}", c.budget),
-                format!("{:.3}", n.min), format!("{:.3}", n.q1), format!("{:.3}", n.median),
-                format!("{:.3}", n.q3), format!("{:.3}", n.max), format!("{:.3}", n.mean),
-                format!("{:.3}", a.min), format!("{:.3}", a.q1), format!("{:.3}", a.median),
-                format!("{:.3}", a.q3), format!("{:.3}", a.max), format!("{:.3}", a.mean),
+                format!("{:.3}", n.min),
+                format!("{:.3}", n.q1),
+                format!("{:.3}", n.median),
+                format!("{:.3}", n.q3),
+                format!("{:.3}", n.max),
+                format!("{:.3}", n.mean),
+                format!("{:.3}", a.min),
+                format!("{:.3}", a.q1),
+                format!("{:.3}", a.median),
+                format!("{:.3}", a.q3),
+                format!("{:.3}", a.max),
+                format!("{:.3}", a.mean),
                 format!("{:.3}", c.summary.success_rate),
                 format!("{:.3}", c.summary.mean_passed),
                 c.summary.episodes.to_string(),
@@ -122,9 +144,18 @@ impl Fig4Result {
 
 impl std::fmt::Display for Fig4Result {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 4 — attack effects vs budget (victim: end-to-end agent)")?;
+        writeln!(
+            f,
+            "Fig. 4 — attack effects vs budget (victim: end-to-end agent)"
+        )?;
         let mut t = Table::new([
-            "attack", "eps", "nominal mean", "nominal med", "passed", "adv mean", "adv med",
+            "attack",
+            "eps",
+            "nominal mean",
+            "nominal med",
+            "passed",
+            "adv mean",
+            "adv med",
             "success",
         ]);
         for c in &self.cells {

@@ -147,7 +147,9 @@ impl std::fmt::Display for Fig5Result {
                 s.agent.label().to_string(),
                 s.points.len().to_string(),
                 successes.to_string(),
-                s.dominance.map(|d| fmt_f(d, 2)).unwrap_or_else(|| "-".into()),
+                s.dominance
+                    .map(|d| fmt_f(d, 2))
+                    .unwrap_or_else(|| "-".into()),
                 fmt_f(s.low_effort_deviation, 3),
                 ttc_mean,
                 ttc_min,
@@ -181,6 +183,9 @@ mod tests {
         assert!(e2e.points.iter().any(|p| p.effort == 0.0));
         let text = format!("{result}");
         assert!(text.contains("modular"));
-        assert_eq!(result.to_csv().len(), 2 * 13 * Scale::smoke().scatter_rounds);
+        assert_eq!(
+            result.to_csv().len(),
+            2 * 13 * Scale::smoke().scatter_rounds
+        );
     }
 }

@@ -47,16 +47,28 @@ impl Fig6Result {
     /// Exports all cells as CSV.
     pub fn to_csv(&self) -> Csv {
         let mut csv = Csv::new([
-            "agent", "budget", "nominal_min", "nominal_q1", "nominal_median", "nominal_q3",
-            "nominal_max", "nominal_mean", "success_rate", "episodes",
+            "agent",
+            "budget",
+            "nominal_min",
+            "nominal_q1",
+            "nominal_median",
+            "nominal_q3",
+            "nominal_max",
+            "nominal_mean",
+            "success_rate",
+            "episodes",
         ]);
         for c in &self.cells {
             let n = &c.summary.nominal;
             csv.row([
                 c.agent.label().to_string(),
                 format!("{:.2}", c.budget),
-                format!("{:.3}", n.min), format!("{:.3}", n.q1), format!("{:.3}", n.median),
-                format!("{:.3}", n.q3), format!("{:.3}", n.max), format!("{:.3}", n.mean),
+                format!("{:.3}", n.min),
+                format!("{:.3}", n.q1),
+                format!("{:.3}", n.median),
+                format!("{:.3}", n.q3),
+                format!("{:.3}", n.max),
+                format!("{:.3}", n.mean),
                 format!("{:.3}", c.summary.success_rate),
                 c.summary.episodes.to_string(),
             ]);
@@ -116,7 +128,10 @@ impl std::fmt::Display for Fig6Result {
             t.row(row);
         }
         write!(f, "{t}")?;
-        writeln!(f, "cells are mean (median) nominal reward over the episode batch")
+        writeln!(
+            f,
+            "cells are mean (median) nominal reward over the episode batch"
+        )
     }
 }
 

@@ -39,7 +39,12 @@ impl Fig7Result {
     /// Average tracking error across all efforts for one agent.
     pub fn avg_tracking_error(&self, agent: AgentKind) -> Option<f64> {
         self.series(agent).map(|s| {
-            mean(&s.points.iter().map(|p| p.deviation_rmse).collect::<Vec<_>>())
+            mean(
+                &s.points
+                    .iter()
+                    .map(|p| p.deviation_rmse)
+                    .collect::<Vec<_>>(),
+            )
         })
     }
 
@@ -98,7 +103,9 @@ impl std::fmt::Display for Fig7Result {
             t.row([
                 agent.label().to_string(),
                 fmt_f(self.avg_tracking_error(agent).unwrap_or(0.0), 3),
-                s.dominance.map(|d| fmt_f(d, 2)).unwrap_or_else(|| "-".into()),
+                s.dominance
+                    .map(|d| fmt_f(d, 2))
+                    .unwrap_or_else(|| "-".into()),
                 self.first_success_effort(agent)
                     .map(|e| fmt_f(e, 2))
                     .unwrap_or_else(|| "-".into()),

@@ -97,7 +97,10 @@ impl std::fmt::Display for Fig8Result {
             t.row(row);
         }
         write!(f, "{t}")?;
-        writeln!(f, "cells are success rate (episode count); paper: PNN lowest everywhere")
+        writeln!(
+            f,
+            "cells are success rate (episode count); paper: PNN lowest everywhere"
+        )
     }
 }
 

@@ -5,7 +5,7 @@
 use attack_core::adv_reward::AdvReward;
 use attack_core::budget::AttackBudget;
 use attack_core::defense::SimplexSwitcher;
-use attack_core::eval::run_attacked_episodes;
+use attack_core::eval::run_attacked_episode;
 use attack_core::learned::LearnedAttacker;
 use attack_core::pipeline::{Artifacts, PipelineConfig};
 use attack_core::sensor::{AttackerSensor, SensorKind};
@@ -71,7 +71,12 @@ pub fn build_agent(
     let features = config.features.clone();
     match kind {
         AgentKind::Modular => Box::new(ModularAgent::new(ModularConfig::default(), 1)),
-        AgentKind::E2e => Box::new(E2eAgent::new(artifacts.victim.clone(), features, seed, true)),
+        AgentKind::E2e => Box::new(E2eAgent::new(
+            artifacts.victim.clone(),
+            features,
+            seed,
+            true,
+        )),
         AgentKind::AdvRhoSmall => Box::new(E2eAgent::new(
             artifacts.adv_rho_small.clone(),
             features,
@@ -115,30 +120,51 @@ pub fn attacked_records(
 ) -> Vec<EpisodeRecord> {
     let adv = AdvReward::default();
     let mut agent = build_agent(kind, artifacts, config, budget, base_seed ^ 0xa6e17);
-    run_attacked_episodes(
-        agent.as_mut(),
-        |seed| {
-            let (policy, sensor_kind) = attack?;
-            if budget.is_zero() {
-                return None;
-            }
-            let sensor = match sensor_kind {
-                SensorKind::Camera => AttackerSensor::camera(config.features.clone()),
-                SensorKind::Imu => AttackerSensor::imu(config.imu.clone(), seed),
-            };
-            Some(LearnedAttacker::new(
-                policy.clone(),
-                sensor,
-                budget,
-                seed,
-                true,
-            ))
-        },
-        &adv,
-        &config.scenario,
+    // Episodes run through the hardened cell executor: one panicking
+    // episode is retried with a fresh seed instead of aborting the whole
+    // figure run. First attempts use `base_seed + e`, so healthy runs are
+    // bit-identical to the naive loop this replaces.
+    let outcome = crate::resilience::run_cell(
         episodes,
         base_seed,
-    )
+        &crate::resilience::ResilienceConfig::default(),
+        |seed| {
+            let mut attacker = attack.and_then(|(policy, sensor_kind)| {
+                if budget.is_zero() {
+                    return None;
+                }
+                let sensor = match sensor_kind {
+                    SensorKind::Camera => AttackerSensor::camera(config.features.clone()),
+                    SensorKind::Imu => AttackerSensor::imu(config.imu.clone(), seed),
+                };
+                Some(LearnedAttacker::new(
+                    policy.clone(),
+                    sensor,
+                    budget,
+                    seed,
+                    true,
+                ))
+            });
+            run_attacked_episode(
+                agent.as_mut(),
+                attacker
+                    .as_mut()
+                    .map(|a| a as &mut dyn drive_agents::runner::SteerAttacker),
+                &adv,
+                &config.scenario,
+                seed,
+            )
+        },
+    );
+    if !outcome.failures.is_empty() {
+        eprintln!(
+            "warning: {}/{} episode(s) failed after retries ({} agent); continuing with partial results",
+            outcome.failures.len(),
+            episodes,
+            kind.label(),
+        );
+    }
+    outcome.into_records()
 }
 
 /// Experiment scale: the paper's episode counts or a fast smoke preset.

@@ -12,5 +12,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod resilience;
 
 pub use harness::{attacked_records, build_agent, AgentKind, Scale};
+pub use resilience::{run_cell, CellOutcome, ResilienceConfig};

@@ -20,7 +20,10 @@ fn main() {
         let recs = run_attacked_episodes(
             &mut agent,
             |_| (eps > 0.0).then(|| OracleAttacker::new(AttackBudget::new(eps))),
-            &adv, &scenario, 20, 300,
+            &adv,
+            &scenario,
+            20,
+            300,
         );
         let s = recs.iter().filter(|r| r.side_collision()).count();
         let c = recs.iter().filter(|r| r.collision.is_some()).count();

@@ -3,8 +3,8 @@
 
 use attack_core::prelude::*;
 use drive_agents::prelude::*;
-use drive_nn::checkpoint;
 use drive_metrics::prelude::*;
+use drive_nn::checkpoint;
 use drive_sim::prelude::*;
 
 fn main() {
@@ -22,7 +22,12 @@ fn main() {
     let mut agent = E2eAgent::new(victim.clone(), features.clone(), 0, true);
     let recs = run_episodes(&mut agent, &scenario, 20, 700);
     let s = CellSummary::from_records(&recs);
-    println!("victim nominal: return={:.1} passed={:.2} collisions={:.0}%", s.nominal.mean, s.mean_passed, s.collision_rate*100.0);
+    println!(
+        "victim nominal: return={:.1} passed={:.2} collisions={:.0}%",
+        s.nominal.mean,
+        s.mean_passed,
+        s.collision_rate * 100.0
+    );
 
     let Some(attacker) = attacker else {
         println!("(no camera attacker checkpoint yet — nominal check only)");
@@ -33,15 +38,29 @@ fn main() {
         let mut agent = E2eAgent::new(victim.clone(), features.clone(), 0, true);
         let recs = run_attacked_episodes(
             &mut agent,
-            |seed| Some(LearnedAttacker::new(
-                attacker.clone(),
-                AttackerSensor::camera(features.clone()),
-                AttackBudget::new(eps), seed, true,
-            )),
-            &adv, &scenario, 20, 700,
+            |seed| {
+                Some(LearnedAttacker::new(
+                    attacker.clone(),
+                    AttackerSensor::camera(features.clone()),
+                    AttackBudget::new(eps),
+                    seed,
+                    true,
+                ))
+            },
+            &adv,
+            &scenario,
+            20,
+            700,
         );
         let s = CellSummary::from_records(&recs);
-        let ttc = time_to_collision_stats(&recs).map(|(m, _)| format!("{m:.2}s")).unwrap_or("-".into());
-        println!("{eps:<7.2} {:>4.0}%   {:>7.1}  {:.2}    {ttc}", s.success_rate*100.0, s.nominal.mean, s.mean_effort);
+        let ttc = time_to_collision_stats(&recs)
+            .map(|(m, _)| format!("{m:.2}s"))
+            .unwrap_or("-".into());
+        println!(
+            "{eps:<7.2} {:>4.0}%   {:>7.1}  {:.2}    {ttc}",
+            s.success_rate * 100.0,
+            s.nominal.mean,
+            s.mean_effort
+        );
     }
 }

@@ -66,8 +66,7 @@ impl AdvReward {
         match world.nearest_npc() {
             Some((_, npc)) => {
                 let rel = RelativeGeometry::between(world.ego(), npc);
-                rel.distance <= self.config.target_range
-                    && rel.omega().abs() <= self.config.beta
+                rel.distance <= self.config.target_range && rel.omega().abs() <= self.config.beta
             }
             None => false,
         }
@@ -91,8 +90,7 @@ impl AdvReward {
         // I(omega) r_e2n + (1 - I(omega)) p_m
         if let Some((_, npc)) = world.nearest_npc() {
             let rel = RelativeGeometry::between(world.ego(), npc);
-            let critical =
-                rel.distance <= c.target_range && rel.omega().abs() <= c.beta;
+            let critical = rel.distance <= c.target_range && rel.omega().abs() <= c.beta;
             if critical {
                 r += rel.collision_potential();
             } else {
@@ -134,8 +132,14 @@ mod tests {
     }
 
     fn world_with_npc(lane: usize, x: f64) -> World {
-        let mut s = Scenario::default();
-        s.npcs = vec![NpcSpawn { lane, x, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![NpcSpawn {
+                lane,
+                x,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         World::new(s)
     }
 
@@ -182,8 +186,14 @@ mod tests {
     #[test]
     fn alongside_is_critical_and_rewards_aiming() {
         // NPC in the adjacent lane nearly level with the ego: omega ~ 0.
-        let mut s = Scenario::default();
-        s.npcs = vec![NpcSpawn { lane: 2, x: 1.0, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![NpcSpawn {
+                lane: 2,
+                x: 1.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let mut world = World::new(s);
         // One step so vehicles have velocities.
         world.step(Actuation::new(0.0, 0.0));

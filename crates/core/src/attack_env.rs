@@ -154,7 +154,10 @@ impl Env for AttackEnv {
 
     fn step(&mut self, action: &[f32]) -> EnvStep {
         assert_eq!(action.len(), 1, "attack action is the raw steering delta");
-        assert!(!self.world.is_done(), "step called after episode end; reset first");
+        assert!(
+            !self.world.is_done(),
+            "step called after episode end; reset first"
+        );
         let delta = self.budget.scale(action[0] as f64);
         let teacher_delta = self.teacher.as_mut().map(|t| {
             let raw = t.raw_action();
@@ -174,7 +177,9 @@ impl Env for AttackEnv {
 
         self.record.steps += 1;
         self.record.perturbation.push(delta.abs());
-        if delta.abs() > drive_sim::record::ATTACK_START_THRESHOLD && self.record.attack_start.is_none() {
+        if delta.abs() > drive_sim::record::ATTACK_START_THRESHOLD
+            && self.record.attack_start.is_none()
+        {
             self.record.attack_start = Some(outcome.step);
         }
         self.record.passed = outcome.passed;
@@ -284,10 +289,7 @@ mod tests {
         let dim = FeatureConfig::default().observation_dim();
         let teacher_policy = GaussianPolicy::new(dim, &[8], 1, &mut rng);
         let mut e = env(1.0);
-        e.set_teacher(Some(Teacher::new(
-            teacher_policy,
-            FeatureConfig::default(),
-        )));
+        e.set_teacher(Some(Teacher::new(teacher_policy, FeatureConfig::default())));
         let _ = e.reset(0);
         let s = e.step(&[0.9]);
         assert!(s.reward.is_finite());

@@ -54,13 +54,17 @@ impl AttackBudget {
 
     /// The paper's Fig. 5 budget sweep: `0.0..=1.2` in steps of `0.1`.
     pub fn fig5_grid() -> Vec<AttackBudget> {
-        (0..=12).map(|i| AttackBudget::new(i as f64 * 0.1)).collect()
+        (0..=12)
+            .map(|i| AttackBudget::new(i as f64 * 0.1))
+            .collect()
     }
 
     /// The adversarial-training grid of Section VI-A: `0.0..=1.0` in steps
     /// of `0.1`.
     pub fn training_grid() -> Vec<AttackBudget> {
-        (0..=10).map(|i| AttackBudget::new(i as f64 * 0.1)).collect()
+        (0..=10)
+            .map(|i| AttackBudget::new(i as f64 * 0.1))
+            .collect()
     }
 }
 

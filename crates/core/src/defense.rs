@@ -227,7 +227,13 @@ pub fn adversarial_finetune(
     features: &FeatureConfig,
     config: &DefenseTrainConfig,
 ) -> GaussianPolicy {
-    adversarial_train(original.clone(), attacker_policy, scenario, features, config)
+    adversarial_train(
+        original.clone(),
+        attacker_policy,
+        scenario,
+        features,
+        config,
+    )
 }
 
 /// PNN enhancement: freezes the original policy as column 1 and trains a
@@ -263,7 +269,11 @@ impl SimplexSwitcher {
     /// Wraps a trained PNN with threshold `sigma`, believing budget
     /// `epsilon` is active.
     pub fn new(pnn: PnnPolicy, sigma: f64, epsilon: f64) -> Self {
-        SimplexSwitcher { pnn, sigma, epsilon }
+        SimplexSwitcher {
+            pnn,
+            sigma,
+            epsilon,
+        }
     }
 
     /// Whether the hardened column is active.

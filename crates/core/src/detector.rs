@@ -22,6 +22,7 @@
 use crate::budget::AttackBudget;
 use drive_agents::Agent;
 use drive_nn::pnn::PnnPolicy;
+use drive_sim::faults::FaultInjector;
 use drive_sim::sensors::{FeatureConfig, FeatureExtractor};
 use drive_sim::vehicle::Actuation;
 use drive_sim::world::World;
@@ -125,6 +126,7 @@ pub struct DetectorSimplexAgent {
     total_steps: usize,
     latched: bool,
     config: DetectorConfig,
+    obs_faults: Option<FaultInjector>,
 }
 
 impl DetectorSimplexAgent {
@@ -148,7 +150,17 @@ impl DetectorSimplexAgent {
             total_steps: 0,
             latched: false,
             config: detector,
+            obs_faults: None,
         }
+    }
+
+    /// Routes every observation through a sensor-side fault injector
+    /// (camera freeze / dropout / NaN poisoning). The injector's step
+    /// clock is advanced by this agent — do not share the instance with
+    /// the actuation-side runner injector.
+    pub fn with_observation_faults(mut self, injector: FaultInjector) -> Self {
+        self.obs_faults = Some(injector);
+        self
     }
 
     /// Fraction of steps driven by the hardened column so far.
@@ -175,6 +187,9 @@ impl Agent for DetectorSimplexAgent {
         self.hardened_steps = 0;
         self.total_steps = 0;
         self.latched = false;
+        if let Some(inj) = self.obs_faults.as_mut() {
+            inj.reset();
+        }
     }
 
     fn act(&mut self, world: &World) -> Actuation {
@@ -186,7 +201,11 @@ impl Agent for DetectorSimplexAgent {
         }
         self.last_realized = realized;
 
-        let obs = self.extractor.observe(world);
+        let mut obs = self.extractor.observe(world);
+        if let Some(inj) = self.obs_faults.as_mut() {
+            inj.begin_step();
+            inj.corrupt_observation(&mut obs);
+        }
         let detected = self.detector.estimated_budget() > self.sigma;
         let hardened = detected || self.latched;
         if detected && self.config.latching {
@@ -296,13 +315,7 @@ mod tests {
         assert!(agent.hardened_fraction() > 0.0);
 
         // Nominal episode: (almost) no detection.
-        let mut clean = DetectorSimplexAgent::new(
-            pnn,
-            0.2,
-            features,
-            DetectorConfig::default(),
-            1,
-        );
+        let mut clean = DetectorSimplexAgent::new(pnn, 0.2, features, DetectorConfig::default(), 1);
         let _ = run_attacked_episode(&mut clean, None, &adv, &scenario, 3);
         assert!(
             clean.estimated_budget() < 0.1,
@@ -312,13 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn observation_faults_do_not_break_the_agent() {
+        use drive_sim::faults::{FaultInjector, FaultSchedule};
+        let mut rng = StdRng::seed_from_u64(0);
+        let features = FeatureConfig::default();
+        let base = GaussianPolicy::new(features.observation_dim(), &[8], 2, &mut rng);
+        let pnn = PnnPolicy::new(base, PnnInit::CopyBase, &mut rng);
+        // NaN-poisoned observations: the drive-nn input guard must keep
+        // the policy output finite and the episode must complete.
+        let mut agent = DetectorSimplexAgent::new(pnn, 0.2, features, DetectorConfig::default(), 2)
+            .with_observation_faults(FaultInjector::new(&FaultSchedule::poisoned(0.5, 31)));
+        let adv = AdvReward::default();
+        let rec = run_attacked_episode(&mut agent, None, &adv, &Scenario::default(), 5);
+        assert!(rec.steps > 0);
+        assert!(rec.nominal_return.is_finite());
+        assert_eq!(rec.nonfinite_actions, 0, "policy output stayed finite");
+    }
+
+    #[test]
     fn agreement_helper() {
         let mut rng = StdRng::seed_from_u64(0);
         let features = FeatureConfig::default();
         let base = GaussianPolicy::new(features.observation_dim(), &[8], 2, &mut rng);
         let pnn = PnnPolicy::new(base, PnnInit::CopyBase, &mut rng);
-        let agent =
-            DetectorSimplexAgent::new(pnn, 0.2, features, DetectorConfig::default(), 0);
+        let agent = DetectorSimplexAgent::new(pnn, 0.2, features, DetectorConfig::default(), 0);
         // Fresh agent estimates 0: agrees with a zero-budget truth.
         assert!(detection_agreement(&agent, AttackBudget::ZERO, 0.2));
         assert!(!detection_agreement(&agent, AttackBudget::new(1.0), 0.2));

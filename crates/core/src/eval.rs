@@ -3,8 +3,9 @@
 //! the metrics layer.
 
 use crate::adv_reward::AdvReward;
-use drive_agents::runner::{run_episode, SteerAttacker};
+use drive_agents::runner::{run_episode_with_faults, SteerAttacker};
 use drive_agents::Agent;
+use drive_sim::faults::FaultInjector;
 use drive_sim::record::EpisodeRecord;
 use drive_sim::scenario::Scenario;
 
@@ -17,10 +18,32 @@ pub fn run_attacked_episode(
     scenario: &Scenario,
     seed: u64,
 ) -> EpisodeRecord {
+    run_attacked_episode_with_faults(agent, attacker, adv, scenario, seed, None)
+}
+
+/// [`run_attacked_episode`] with an optional actuation-side fault injector
+/// in the loop (see `drive-agents::runner::run_episode_with_faults`).
+/// Sensor-side faults are configured on the agent itself (e.g.
+/// [`crate::detector::DetectorSimplexAgent::with_observation_faults`]).
+pub fn run_attacked_episode_with_faults(
+    agent: &mut dyn Agent,
+    attacker: Option<&mut dyn SteerAttacker>,
+    adv: &AdvReward,
+    scenario: &Scenario,
+    seed: u64,
+    faults: Option<&mut FaultInjector>,
+) -> EpisodeRecord {
     let mut adv_return = 0.0;
-    let mut record = run_episode(agent, scenario, seed, attacker, |world, outcome, delta| {
-        adv_return += adv.step(world, outcome, delta);
-    });
+    let mut record = run_episode_with_faults(
+        agent,
+        scenario,
+        seed,
+        attacker,
+        faults,
+        |world, outcome, delta| {
+            adv_return += adv.step(world, outcome, delta);
+        },
+    );
     record.adv_return = adv_return;
     record
 }

@@ -27,12 +27,12 @@ pub mod prelude {
     pub use crate::adv_reward::{AdvReward, AdvRewardConfig};
     pub use crate::attack_env::{AttackEnv, Teacher};
     pub use crate::budget::AttackBudget;
-    pub use crate::detector::{
-        detection_agreement, DetectorConfig, DetectorSimplexAgent, PerturbationDetector,
-    };
     pub use crate::defense::{
         adversarial_finetune, sample_training_budget, train_pnn_defense, DefenseTrainConfig,
         SimplexSwitcher,
+    };
+    pub use crate::detector::{
+        detection_agreement, DetectorConfig, DetectorSimplexAgent, PerturbationDetector,
     };
     pub use crate::eval::{run_attacked_episode, run_attacked_episodes};
     pub use crate::learned::LearnedAttacker;
@@ -41,7 +41,7 @@ pub mod prelude {
     pub use crate::sensor::{AttackerSensor, SensorKind};
     pub use crate::state_attack::{perturb_observation, StateAttackConfig, StateAttackedAgent};
     pub use crate::train::{
-        collect_oracle_demos, collect_teacher_demos, evaluate_attack_policy,
-        train_camera_attacker, train_imu_attacker, AttackTrainConfig, VictimBuilder,
+        collect_oracle_demos, collect_teacher_demos, evaluate_attack_policy, train_camera_attacker,
+        train_imu_attacker, AttackTrainConfig, VictimBuilder,
     };
 }

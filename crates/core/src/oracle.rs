@@ -43,7 +43,9 @@ impl OracleAttacker {
         if !adv.critical_moment(world) {
             return 0.0;
         }
-        let (_, npc) = world.nearest_npc().expect("critical moment implies a target");
+        let (_, npc) = world
+            .nearest_npc()
+            .expect("critical moment implies a target");
         let rel = RelativeGeometry::between(world.ego(), npc);
         // Steer towards the target's lateral side. e2n already points from
         // ego to NPC; its lateral sign in road frame decides left/right.
@@ -74,8 +76,14 @@ mod tests {
 
     #[test]
     fn quiet_when_far_from_traffic() {
-        let mut s = Scenario::default();
-        s.npcs = vec![NpcSpawn { lane: 1, x: 120.0, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![NpcSpawn {
+                lane: 1,
+                x: 120.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let world = World::new(s);
         let mut oracle = OracleAttacker::new(AttackBudget::new(1.0));
         assert_eq!(oracle.delta(&world), 0.0);
@@ -84,16 +92,28 @@ mod tests {
     #[test]
     fn attacks_towards_adjacent_npc() {
         // NPC level with the ego in the left lane: steer left (+).
-        let mut s = Scenario::default();
-        s.npcs = vec![NpcSpawn { lane: 2, x: 2.0, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![NpcSpawn {
+                lane: 2,
+                x: 2.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let mut world = World::new(s);
         world.step(Actuation::new(0.0, 0.0));
         let mut oracle = OracleAttacker::new(AttackBudget::new(0.8));
         assert_eq!(oracle.delta(&world), 0.8);
 
         // Mirror: NPC in the right lane → steer right (-).
-        let mut s = Scenario::default();
-        s.npcs = vec![NpcSpawn { lane: 0, x: 2.0, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![NpcSpawn {
+                lane: 0,
+                x: 2.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let mut world = World::new(s);
         world.step(Actuation::new(0.0, 0.0));
         assert_eq!(oracle.delta(&world), -0.8);

@@ -247,10 +247,7 @@ mod tests {
         let a1 = prepare(&config);
         // Second call loads from cache: identical weights.
         let a2 = prepare(&config);
-        let obs = drive_nn::mat::Mat::from_row(&vec![
-            0.1f32;
-            config.features.observation_dim()
-        ]);
+        let obs = drive_nn::mat::Mat::from_row(&vec![0.1f32; config.features.observation_dim()]);
         assert_eq!(a1.victim.mean_action(&obs), a2.victim.mean_action(&obs));
         assert_eq!(
             a1.pnn.mean_action(&obs),
@@ -258,7 +255,10 @@ mod tests {
             "pnn must round trip through its checkpoint"
         );
         assert_eq!(a1.imu_attacker.obs_dim(), config.imu.observation_dim());
-        assert_eq!(a1.camera_attacker.obs_dim(), config.features.observation_dim());
+        assert_eq!(
+            a1.camera_attacker.obs_dim(),
+            config.features.observation_dim()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

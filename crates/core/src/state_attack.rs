@@ -64,10 +64,7 @@ pub fn perturb_observation(
         policy.trunk_mut().zero_grad();
         let grad_obs = policy.backward_mean(&m, &grad_out);
         policy.trunk_mut().zero_grad();
-        for (v, (&o, &g)) in adv
-            .iter_mut()
-            .zip(obs.iter().zip(grad_obs.row(0)))
-        {
+        for (v, (&o, &g)) in adv.iter_mut().zip(obs.iter().zip(grad_obs.row(0))) {
             let stepped = *v + config.step_size * g.signum();
             *v = stepped.clamp(o - config.epsilon, o + config.epsilon);
         }
@@ -208,21 +205,17 @@ mod tests {
     fn attacked_agent_runs_episodes_and_tracks_duty_cycle() {
         let features = FeatureConfig::default();
         let dim = features.observation_dim();
-        let mut s = Scenario::default();
-        s.npcs = vec![NpcSpawn { lane: 2, x: 10.0, speed: 6.0 }];
-        let mut agent = StateAttackedAgent::new(
-            policy(dim),
-            features,
-            StateAttackConfig::default(),
-            1,
-        );
-        let rec = drive_agents::runner::run_episode(
-            &mut agent,
-            &s,
-            0,
-            None,
-            |_, _, _| {},
-        );
+        let s = Scenario {
+            npcs: vec![NpcSpawn {
+                lane: 2,
+                x: 10.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
+        let mut agent =
+            StateAttackedAgent::new(policy(dim), features, StateAttackConfig::default(), 1);
+        let rec = drive_agents::runner::run_episode(&mut agent, &s, 0, None, |_, _, _| {});
         assert!(rec.steps > 0);
         // The NPC starts nearly alongside: some steps must be critical.
         assert!(agent.duty_cycle() > 0.0);

@@ -104,6 +104,7 @@ pub fn collect_oracle_demos(
 
 /// Collects `(IMU obs, camera-teacher raw action)` pairs while the teacher
 /// attacks the victim — the supervised half of learning-from-teacher.
+#[allow(clippy::too_many_arguments)]
 pub fn collect_teacher_demos(
     victim: VictimBuilder<'_>,
     teacher: &GaussianPolicy,
@@ -121,7 +122,8 @@ pub fn collect_teacher_demos(
         let mut world = World::new(episode);
         let mut agent = victim();
         let mut cam = AttackerSensor::camera(features.clone());
-        let mut imu_sensor = AttackerSensor::imu(imu.clone(), (base_seed ^ 0x1b0).wrapping_add(e as u64));
+        let mut imu_sensor =
+            AttackerSensor::imu(imu.clone(), (base_seed ^ 0x1b0).wrapping_add(e as u64));
         let mut trng = StdRng::seed_from_u64(0);
         agent.reset(&world);
         cam.reset();
@@ -141,6 +143,7 @@ pub fn collect_teacher_demos(
 
 /// Mean cumulative adversarial reward and side-collision success rate of an
 /// attack policy over deterministic evaluation episodes.
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate_attack_policy(
     policy: &GaussianPolicy,
     victim: VictimBuilder<'_>,
@@ -206,7 +209,16 @@ pub fn train_camera_attacker(
         return policy;
     }
     let sensor = AttackerSensor::camera(features.clone());
-    refine_attacker(policy, None, sensor, victim, scenario, features, &ImuConfig::default(), config)
+    refine_attacker(
+        policy,
+        None,
+        sensor,
+        victim,
+        scenario,
+        features,
+        &ImuConfig::default(),
+        config,
+    )
 }
 
 /// Trains the IMU-based attack policy with learning-from-teacher.
@@ -246,7 +258,16 @@ pub fn train_imu_attacker(
     }
     let sensor = AttackerSensor::imu(imu.clone(), config.seed ^ 0xf00d);
     let teacher = Teacher::new(teacher.clone(), features.clone());
-    refine_attacker(policy, Some(teacher), sensor, victim, scenario, features, imu, config)
+    refine_attacker(
+        policy,
+        Some(teacher),
+        sensor,
+        victim,
+        scenario,
+        features,
+        imu,
+        config,
+    )
 }
 
 /// SAC refinement on the attack environment with best-checkpoint selection.
@@ -288,7 +309,13 @@ fn refine_attacker(
         ..SacConfig::default()
     };
     let mut sac = Sac::with_actor(policy, &config.hidden, sac_config, &mut rng);
-    let mut env = AttackEnv::new(scenario.clone(), victim(), sensor, budget, AdvReward::default());
+    let mut env = AttackEnv::new(
+        scenario.clone(),
+        victim(),
+        sensor,
+        budget,
+        AdvReward::default(),
+    );
     env.set_teacher(teacher);
     let mut buffer = ReplayBuffer::new(100_000, env.obs_dim(), env.action_dim());
 

@@ -44,9 +44,17 @@ impl CellSummary {
             collision_rate: records.iter().filter(|r| r.collision.is_some()).count() as f64 / n,
             mean_passed: mean(&records.iter().map(|r| r.passed as f64).collect::<Vec<_>>()),
             mean_deviation_rmse: mean(
-                &records.iter().map(|r| r.deviation_rmse()).collect::<Vec<_>>(),
+                &records
+                    .iter()
+                    .map(|r| r.deviation_rmse())
+                    .collect::<Vec<_>>(),
             ),
-            mean_effort: mean(&records.iter().map(|r| r.attack_effort()).collect::<Vec<_>>()),
+            mean_effort: mean(
+                &records
+                    .iter()
+                    .map(|r| r.attack_effort())
+                    .collect::<Vec<_>>(),
+            ),
             episodes: records.len(),
         }
     }
@@ -151,6 +159,7 @@ mod tests {
             perturbation: vec![0.5; 10],
             passed: 3,
             termination: None,
+            nonfinite_actions: 0,
         }
     }
 
@@ -187,16 +196,36 @@ mod tests {
     #[test]
     fn dominance_threshold_finds_crossover() {
         let pts = vec![
-            ScatterPoint { effort: 0.11, deviation_rmse: 0.0, success: false },
-            ScatterPoint { effort: 0.31, deviation_rmse: 0.0, success: false },
-            ScatterPoint { effort: 0.51, deviation_rmse: 0.0, success: true },
-            ScatterPoint { effort: 0.71, deviation_rmse: 0.0, success: true },
+            ScatterPoint {
+                effort: 0.11,
+                deviation_rmse: 0.0,
+                success: false,
+            },
+            ScatterPoint {
+                effort: 0.31,
+                deviation_rmse: 0.0,
+                success: false,
+            },
+            ScatterPoint {
+                effort: 0.51,
+                deviation_rmse: 0.0,
+                success: true,
+            },
+            ScatterPoint {
+                effort: 0.71,
+                deviation_rmse: 0.0,
+                success: true,
+            },
         ];
         let t = dominance_threshold(&pts, 0.5).unwrap();
         assert!((t - 0.5).abs() < 1e-9, "threshold {t}");
         assert_eq!(
             dominance_threshold(
-                &[ScatterPoint { effort: 0.2, deviation_rmse: 0.0, success: false }],
+                &[ScatterPoint {
+                    effort: 0.2,
+                    deviation_rmse: 0.0,
+                    success: false
+                }],
                 0.5
             ),
             None
@@ -209,9 +238,21 @@ mod tests {
         // A lone early success does not extend the dominated suffix past a
         // failing window.
         let pts = vec![
-            ScatterPoint { effort: 0.05, deviation_rmse: 0.0, success: true },
-            ScatterPoint { effort: 0.25, deviation_rmse: 0.0, success: false },
-            ScatterPoint { effort: 0.45, deviation_rmse: 0.0, success: true },
+            ScatterPoint {
+                effort: 0.05,
+                deviation_rmse: 0.0,
+                success: true,
+            },
+            ScatterPoint {
+                effort: 0.25,
+                deviation_rmse: 0.0,
+                success: false,
+            },
+            ScatterPoint {
+                effort: 0.45,
+                deviation_rmse: 0.0,
+                success: true,
+            },
         ];
         let t = dominance_threshold(&pts, 0.5).unwrap();
         assert!((t - 0.4).abs() < 1e-9, "threshold {t}");

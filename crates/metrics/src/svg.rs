@@ -62,7 +62,9 @@ fn header(out: &mut String, title: &str) {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// "Nice" rounded tick step for a span.
@@ -423,8 +425,16 @@ mod tests {
     #[test]
     fn scatter_renders_both_marker_kinds() {
         let points = vec![
-            ScatterPoint { effort: 0.2, deviation_rmse: 0.05, success: false },
-            ScatterPoint { effort: 0.8, deviation_rmse: 0.4, success: true },
+            ScatterPoint {
+                effort: 0.2,
+                deviation_rmse: 0.05,
+                success: false,
+            },
+            ScatterPoint {
+                effort: 0.8,
+                deviation_rmse: 0.4,
+                success: true,
+            },
         ];
         let svg = scatter_svg("Fig 5", &points, "attack effort", "deviation RMSE");
         balanced(&svg);
@@ -446,7 +456,11 @@ mod tests {
         );
         balanced(&svg);
         assert!(svg.contains("pi_ori") && svg.contains("pi_pnn"));
-        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2, "surface + 4 boxes + 2 legend chips");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            1 + 4 + 2,
+            "surface + 4 boxes + 2 legend chips"
+        );
     }
 
     #[test]

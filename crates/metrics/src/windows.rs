@@ -38,7 +38,10 @@ impl EffortWindow {
 ///
 /// Panics if `width <= 0` or `open_end <= 0`.
 pub fn effort_windows(points: &[ScatterPoint], width: f64, open_end: f64) -> Vec<EffortWindow> {
-    assert!(width > 0.0 && open_end > 0.0, "window parameters must be positive");
+    assert!(
+        width > 0.0 && open_end > 0.0,
+        "window parameters must be positive"
+    );
     let bins = (open_end / width).round() as usize;
     let mut windows: Vec<EffortWindow> = (0..bins)
         .map(|i| EffortWindow {

@@ -147,23 +147,29 @@ mod tests {
     fn trains_mlp_regression() {
         // Fit y = 2*x0 - x1 with a small MLP.
         let mut rng = StdRng::seed_from_u64(3);
-        let mut net = Mlp::new(&[2, 16, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[2, 16, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut adam = Adam::with_lr(1e-2);
         let mut final_loss = f32::INFINITY;
         for _ in 0..500 {
-            let xs: Vec<f32> = (0..16).flat_map(|_| {
-                let a: f32 = rng.gen_range(-1.0..1.0);
-                let b: f32 = rng.gen_range(-1.0..1.0);
-                [a, b]
-            }).collect();
-            let x = Mat::from_vec(16, 2, xs);
-            let target: Vec<f32> = (0..16)
-                .map(|r| 2.0 * x.get(r, 0) - x.get(r, 1))
+            let xs: Vec<f32> = (0..16)
+                .flat_map(|_| {
+                    let a: f32 = rng.gen_range(-1.0..1.0);
+                    let b: f32 = rng.gen_range(-1.0..1.0);
+                    [a, b]
+                })
                 .collect();
+            let x = Mat::from_vec(16, 2, xs);
+            let target: Vec<f32> = (0..16).map(|r| 2.0 * x.get(r, 0) - x.get(r, 1)).collect();
             let cache = net.forward_cached(&x);
             let pred = cache.output();
             let mut grad = Mat::zeros(16, 1);
             let mut loss = 0.0;
+            #[allow(clippy::needless_range_loop)]
             for r in 0..16 {
                 let err = pred.get(r, 0) - target[r];
                 loss += err * err / 16.0;

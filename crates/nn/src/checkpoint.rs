@@ -26,6 +26,13 @@ pub enum CheckpointError {
     Parse(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// The file's trailing checksum does not match its contents.
+    Corrupt {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the actual contents.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -33,6 +40,10 @@ impl fmt::Display for CheckpointError {
         match self {
             CheckpointError::Parse(msg) => write!(f, "invalid checkpoint: {msg}"),
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Corrupt { expected, found } => write!(
+                f,
+                "corrupt checkpoint: checksum {found:016x} does not match recorded {expected:016x}"
+            ),
         }
     }
 }
@@ -41,7 +52,7 @@ impl Error for CheckpointError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CheckpointError::Io(e) => Some(e),
-            CheckpointError::Parse(_) => None,
+            CheckpointError::Parse(_) | CheckpointError::Corrupt { .. } => None,
         }
     }
 }
@@ -106,7 +117,10 @@ impl<'a> Reader<'a> {
             }
         }
         if out.len() != n {
-            return Err(parse_err(format!("expected {n} floats, found {}", out.len())));
+            return Err(parse_err(format!(
+                "expected {n} floats, found {}",
+                out.len()
+            )));
         }
         Ok(out)
     }
@@ -211,7 +225,9 @@ fn decode_mlp_from(r: &mut Reader<'_>) -> Result<Mlp, CheckpointError> {
     let mut acts = Vec::with_capacity(n);
     for i in 0..n {
         let a = r.expect_tag("act")?;
-        acts.push(act_from_name(a.first().ok_or_else(|| parse_err("act needs a name"))?)?);
+        acts.push(act_from_name(
+            a.first().ok_or_else(|| parse_err("act needs a name"))?,
+        )?);
         let l = decode_linear(r)?;
         if i == 0 {
             sizes.push(l.in_dim());
@@ -228,7 +244,8 @@ fn decode_mlp_from(r: &mut Reader<'_>) -> Result<Mlp, CheckpointError> {
     // Rebuild through the public constructor, then overwrite weights.
     let mut rng = StdRng::seed_from_u64(0);
     let hidden_act = acts[0];
-    let out_act = *acts.last().expect("n >= 1");
+    // n >= 1 was checked above, so the last activation exists.
+    let out_act = acts[n - 1];
     let mut net = Mlp::new(&sizes, hidden_act, out_act, &mut rng);
     // Fix up any mixed activation patterns beyond (hidden.., out).
     for (i, l) in net.layers_mut().iter_mut().enumerate() {
@@ -351,7 +368,25 @@ pub fn decode_pnn(text: &str) -> Result<PnnPolicy, CheckpointError> {
     Ok(p)
 }
 
+/// FNV-1a 64-bit hash — the integrity checksum appended to saved files.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Prefix of the integrity line appended by [`save_to_file`].
+const CHECKSUM_TAG: &str = "checksum ";
+
 /// Writes checkpoint text to a file, creating parent directories.
+///
+/// The write is atomic (a sibling temp file renamed into place), so a
+/// crash mid-save can never leave a truncated checkpoint behind, and the
+/// file ends with a `checksum <fnv1a-64>` line that [`load_from_file`]
+/// verifies.
 ///
 /// # Errors
 ///
@@ -361,17 +396,54 @@ pub fn save_to_file(path: impl AsRef<Path>, text: &str) -> Result<(), Checkpoint
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    fs::write(path, text)?;
+    let mut body = text.to_string();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    let sum = fnv1a64(body.as_bytes());
+    body.push_str(&format!("{CHECKSUM_TAG}{sum:016x}\n"));
+    let file_name = path.file_name().ok_or_else(|| {
+        CheckpointError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "checkpoint path has no file name",
+        ))
+    })?;
+    let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
+    fs::write(&tmp, &body)?;
+    fs::rename(&tmp, path)?;
     Ok(())
 }
 
-/// Reads checkpoint text from a file.
+/// Reads checkpoint text from a file, verifying and stripping the trailing
+/// checksum line when present. Files written before checksums existed
+/// (no trailing `checksum` line) load unverified for compatibility.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors.
+/// Propagates I/O errors; returns [`CheckpointError::Corrupt`] when the
+/// recorded checksum does not match the contents.
 pub fn load_from_file(path: impl AsRef<Path>) -> Result<String, CheckpointError> {
-    Ok(fs::read_to_string(path)?)
+    verify_and_strip_checksum(fs::read_to_string(path)?)
+}
+
+fn verify_and_strip_checksum(raw: String) -> Result<String, CheckpointError> {
+    let trimmed = raw.trim_end_matches('\n');
+    let (body_end, last_line) = match trimmed.rfind('\n') {
+        Some(idx) => (idx + 1, &trimmed[idx + 1..]),
+        None => (0, trimmed),
+    };
+    let Some(hex) = last_line.strip_prefix(CHECKSUM_TAG) else {
+        // Legacy checkpoint without an integrity line.
+        return Ok(raw);
+    };
+    let expected = u64::from_str_radix(hex.trim(), 16)
+        .map_err(|_| parse_err(format!("unreadable checksum line '{last_line}'")))?;
+    let body = &raw[..body_end];
+    let found = fnv1a64(body.as_bytes());
+    if found != expected {
+        return Err(CheckpointError::Corrupt { expected, found });
+    }
+    Ok(body.to_string())
 }
 
 #[cfg(test)]
@@ -382,52 +454,106 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn mlp_round_trip() {
+    fn mlp_round_trip() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(1);
         let net = Mlp::new(&[3, 7, 2], Activation::Relu, Activation::Identity, &mut rng);
         let text = encode_mlp(&net);
-        let back = decode_mlp(&text).unwrap();
+        let back = decode_mlp(&text)?;
         let x = Mat::from_vec(2, 3, vec![0.3, -0.2, 0.9, 1.5, -0.4, 0.0]);
         assert_eq!(net.forward(&x), back.forward(&x));
+        Ok(())
     }
 
     #[test]
-    fn policy_round_trip() {
+    fn policy_round_trip() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(2);
         let p = GaussianPolicy::new(6, &[16, 16], 2, &mut rng);
-        let back = decode_policy(&encode_policy(&p)).unwrap();
+        let back = decode_policy(&encode_policy(&p))?;
         let obs = Mat::from_vec(3, 6, (0..18).map(|i| (i as f32 * 0.11).sin()).collect());
         assert_eq!(p.mean_action(&obs), back.mean_action(&obs));
         let noise = randn_mat(3, 2, &mut rng);
         let s1 = p.sample_with_noise(&obs, noise.clone());
         let s2 = back.sample_with_noise(&obs, noise);
         assert_eq!(s1.log_prob(), s2.log_prob());
+        Ok(())
     }
 
     #[test]
-    fn pnn_round_trip() {
+    fn pnn_round_trip() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(3);
         let base = GaussianPolicy::new(4, &[8, 8], 1, &mut rng);
         let pnn = PnnPolicy::new(base, crate::pnn::PnnInit::Random, &mut rng);
-        let back = decode_pnn(&encode_pnn(&pnn)).unwrap();
+        let back = decode_pnn(&encode_pnn(&pnn))?;
         let obs = Mat::from_vec(2, 4, (0..8).map(|i| (i as f32 * 0.2).cos()).collect());
         assert_eq!(pnn.mean_action(&obs), back.mean_action(&obs));
         // Base column preserved too.
         assert_eq!(pnn.base().mean_action(&obs), back.base().mean_action(&obs));
+        Ok(())
     }
 
     #[test]
-    fn file_round_trip() {
+    fn file_round_trip() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(4);
         let p = GaussianPolicy::new(3, &[8], 1, &mut rng);
         let dir = std::env::temp_dir().join("drive-nn-test");
         let path = dir.join("policy.ckpt");
-        save_to_file(&path, &encode_policy(&p)).unwrap();
-        let text = load_from_file(&path).unwrap();
-        let back = decode_policy(&text).unwrap();
+        save_to_file(&path, &encode_policy(&p))?;
+        let text = load_from_file(&path)?;
+        let back = decode_policy(&text)?;
         let obs = Mat::from_row(&[0.1, 0.2, 0.3]);
         assert_eq!(p.mean_action(&obs), back.mean_action(&obs));
         let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
+    }
+
+    #[test]
+    fn saved_file_carries_verified_checksum() -> Result<(), CheckpointError> {
+        let dir = std::env::temp_dir().join("drive-nn-checksum-test");
+        let path = dir.join("net.ckpt");
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let text = encode_mlp(&net);
+        save_to_file(&path, &text)?;
+
+        let on_disk = std::fs::read_to_string(&path)?;
+        let Some(last) = on_disk.lines().last() else {
+            panic!("saved file is empty");
+        };
+        assert!(
+            last.starts_with(CHECKSUM_TAG),
+            "missing checksum line: {last}"
+        );
+        // Loading strips the integrity line, returning decodable text.
+        let loaded = load_from_file(&path)?;
+        assert!(!loaded.contains(CHECKSUM_TAG));
+        decode_mlp(&loaded)?;
+        // No temp file left behind by the atomic rename.
+        assert!(!path.with_file_name("net.ckpt.tmp").exists());
+
+        // Flip a payload byte: the load must fail as Corrupt.
+        let tampered = on_disk.replacen("linear", "linaer", 1);
+        std::fs::write(&path, tampered)?;
+        match load_from_file(&path) {
+            Err(CheckpointError::Corrupt { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
+    }
+
+    #[test]
+    fn legacy_file_without_checksum_still_loads() -> Result<(), CheckpointError> {
+        let dir = std::env::temp_dir().join("drive-nn-legacy-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("legacy.ckpt");
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, &mut rng);
+        // Write raw text the way the pre-checksum code did.
+        std::fs::write(&path, encode_mlp(&net))?;
+        let loaded = load_from_file(&path)?;
+        decode_mlp(&loaded)?;
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok(())
     }
 
     #[test]
@@ -444,8 +570,15 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = decode_mlp("mlp zero").unwrap_err();
+        let Err(e) = decode_mlp("mlp zero") else {
+            panic!("expected a parse error");
+        };
         let msg = format!("{e}");
         assert!(msg.contains("invalid checkpoint"), "{msg}");
+        let corrupt = CheckpointError::Corrupt {
+            expected: 1,
+            found: 2,
+        };
+        assert!(format!("{corrupt}").contains("corrupt checkpoint"));
     }
 }

@@ -68,7 +68,11 @@ pub struct HeadSample {
 ///
 /// Panics if shapes are inconsistent.
 pub fn sample_head(raw: &Mat, action_dim: usize, noise: Mat) -> HeadSample {
-    assert_eq!(raw.cols(), 2 * action_dim, "raw head output must be 2*action_dim wide");
+    assert_eq!(
+        raw.cols(),
+        2 * action_dim,
+        "raw head output must be 2*action_dim wide"
+    );
     assert_eq!((noise.rows(), noise.cols()), (raw.rows(), action_dim));
     let (mean, mut log_std) = raw.split_cols(action_dim);
     let mut clamped = vec![false; log_std.data().len()];
@@ -84,6 +88,7 @@ pub fn sample_head(raw: &Mat, action_dim: usize, noise: Mat) -> HeadSample {
     let batch = mean.rows();
     let mut actions = Mat::zeros(batch, action_dim);
     let mut log_prob = vec![0.0f32; batch];
+    #[allow(clippy::needless_range_loop)]
     for b in 0..batch {
         for i in 0..action_dim {
             let ls = log_std.get(b, i);
@@ -115,10 +120,14 @@ pub fn sample_head(raw: &Mat, action_dim: usize, noise: Mat) -> HeadSample {
 pub fn head_backward(sample: &HeadSample, grad_action: &Mat, grad_logp: &[f32]) -> Mat {
     let batch = sample.actions.rows();
     let action_dim = sample.actions.cols();
-    assert_eq!((grad_action.rows(), grad_action.cols()), (batch, action_dim));
+    assert_eq!(
+        (grad_action.rows(), grad_action.cols()),
+        (batch, action_dim)
+    );
     assert_eq!(grad_logp.len(), batch);
     let mut grad_mean = Mat::zeros(batch, action_dim);
     let mut grad_ls = Mat::zeros(batch, action_dim);
+    #[allow(clippy::needless_range_loop)]
     for b in 0..batch {
         for i in 0..action_dim {
             let a = sample.actions.get(b, i);

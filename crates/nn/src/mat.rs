@@ -64,6 +64,21 @@ impl Mat {
         &mut self.data
     }
 
+    /// Replaces every non-finite entry (NaN, ±∞) with zero and returns how
+    /// many entries were replaced. A no-op scan on healthy data — used as a
+    /// numeric guard at network entry points so one poisoned sensor value
+    /// cannot propagate through a forward or backward pass.
+    pub fn sanitize_nonfinite(&mut self) -> usize {
+        let mut replaced = 0;
+        for v in &mut self.data {
+            if !v.is_finite() {
+                *v = 0.0;
+                replaced += 1;
+            }
+        }
+        replaced
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -342,5 +357,18 @@ mod tests {
     fn from_row_is_single_row() {
         let m = Mat::from_row(&[1.0, 2.0]);
         assert_eq!((m.rows(), m.cols()), (1, 2));
+    }
+
+    #[test]
+    fn sanitize_nonfinite_zeroes_only_bad_entries() {
+        let mut m = Mat::from_vec(
+            1,
+            5,
+            vec![1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -2.0],
+        );
+        assert_eq!(m.sanitize_nonfinite(), 3);
+        assert_eq!(m.data(), &[1.0, 0.0, 0.0, 0.0, -2.0]);
+        // Healthy data is untouched.
+        assert_eq!(m.sanitize_nonfinite(), 0);
     }
 }

@@ -54,7 +54,10 @@ impl Mlp {
         out_act: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let n = sizes.len() - 1;
         let layers = (0..n)
             .map(|i| Linear::new(sizes[i], sizes[i + 1], rng))
@@ -99,8 +102,13 @@ impl Mlp {
     }
 
     /// Forward pass without keeping intermediates (inference).
+    ///
+    /// Non-finite input entries (a poisoned sensor, an upstream NaN) are
+    /// zeroed before the first layer so they cannot propagate; healthy
+    /// inputs pass through bit-identically.
     pub fn forward(&self, x: &Mat) -> Mat {
         let mut h = x.clone();
+        h.sanitize_nonfinite();
         for (layer, act) in self.layers.iter().zip(&self.acts) {
             h = act.forward(&layer.forward(&h));
         }
@@ -108,17 +116,19 @@ impl Mlp {
     }
 
     /// Forward pass that records intermediates for [`Mlp::backward`].
+    ///
+    /// Applies the same non-finite input guard as [`Mlp::forward`]; the
+    /// cache stores the sanitized input so backward sees consistent data.
     pub fn forward_cached(&self, x: &Mat) -> MlpCache {
         let mut post = Vec::with_capacity(self.layers.len());
-        let mut h = x.clone();
+        let mut input = x.clone();
+        input.sanitize_nonfinite();
+        let mut h = input.clone();
         for (layer, act) in self.layers.iter().zip(&self.acts) {
             h = act.forward(&layer.forward(&h));
             post.push(h.clone());
         }
-        MlpCache {
-            input: x.clone(),
-            post,
-        }
+        MlpCache { input, post }
     }
 
     /// Backward pass from `grad_out` (gradient of the loss w.r.t. the
@@ -129,11 +139,23 @@ impl Mlp {
     ///
     /// Panics if the cache does not match this network's depth.
     pub fn backward(&mut self, cache: &MlpCache, grad_out: &Mat) -> Mat {
-        assert_eq!(cache.post.len(), self.layers.len(), "cache/network depth mismatch");
+        assert_eq!(
+            cache.post.len(),
+            self.layers.len(),
+            "cache/network depth mismatch"
+        );
         let mut g = grad_out.clone();
+        // A single NaN in the output gradient would poison every parameter
+        // gradient below it; zeroing the entry just skips that sample's
+        // contribution.
+        g.sanitize_nonfinite();
         for i in (0..self.layers.len()).rev() {
             g = self.acts[i].backward(&cache.post[i], &g);
-            let input = if i == 0 { &cache.input } else { &cache.post[i - 1] };
+            let input = if i == 0 {
+                &cache.input
+            } else {
+                &cache.post[i - 1]
+            };
             g = self.layers[i].backward(input, &g);
         }
         g
@@ -290,5 +312,34 @@ mod tests {
     fn too_few_sizes_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = Mlp::new(&[3], Activation::Relu, Activation::Identity, &mut rng);
+    }
+
+    #[test]
+    fn forward_survives_nan_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let poisoned = Mat::from_row(&[f32::NAN, 0.5, f32::INFINITY]);
+        let out = mlp.forward(&poisoned);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        // The guard zeroes poisoned entries, so the output matches the
+        // zero-substituted input exactly.
+        let clean = Mat::from_row(&[0.0, 0.5, 0.0]);
+        assert_eq!(out, mlp.forward(&clean));
+    }
+
+    #[test]
+    fn backward_survives_nan_gradient() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Mat::from_row(&[0.3, -0.7]);
+        let cache = mlp.forward_cached(&x);
+        let bad_grad = Mat::from_row(&[f32::NAN]);
+        let gin = mlp.backward(&cache, &bad_grad);
+        assert!(gin.data().iter().all(|v| v.is_finite()));
+        let mut all_finite = true;
+        mlp.visit_params(&mut |_, grads| {
+            all_finite &= grads.iter().all(|g| g.is_finite());
+        });
+        assert!(all_finite, "parameter gradients stayed finite");
     }
 }

@@ -173,7 +173,12 @@ impl PnnPolicy {
     /// Backpropagates action / log-prob gradients into the **trainable**
     /// parameters (column 2 and laterals). The base column is frozen: no
     /// gradients are accumulated there.
-    pub fn backward_sample(&mut self, cache: &PnnSampleCache, grad_action: &Mat, grad_logp: &[f32]) {
+    pub fn backward_sample(
+        &mut self,
+        cache: &PnnSampleCache,
+        grad_action: &Mat,
+        grad_logp: &[f32],
+    ) {
         let grad_raw = head_backward(&cache.head, grad_action, grad_logp);
         self.backward_raw(&cache.forward, &grad_raw);
     }

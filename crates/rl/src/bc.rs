@@ -104,7 +104,11 @@ pub fn clone_policy<R: Rng>(
 ) -> f32 {
     assert!(!demos.is_empty(), "behaviour cloning needs demonstrations");
     assert_eq!(demos.obs[0].len(), policy.obs_dim(), "obs dim mismatch");
-    assert_eq!(demos.actions[0].len(), policy.action_dim(), "action dim mismatch");
+    assert_eq!(
+        demos.actions[0].len(),
+        policy.action_dim(),
+        "action dim mismatch"
+    );
     let mut opt = Adam::with_lr(config.lr);
     let mut last = f32::INFINITY;
     for _ in 0..config.steps {
@@ -189,7 +193,12 @@ mod tests {
     fn empty_dataset_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut policy = GaussianPolicy::new(2, &[8], 1, &mut rng);
-        let _ = clone_policy(&mut policy, &Demonstrations::new(), BcConfig::default(), &mut rng);
+        let _ = clone_policy(
+            &mut policy,
+            &Demonstrations::new(),
+            BcConfig::default(),
+            &mut rng,
+        );
     }
 
     use rand::Rng;

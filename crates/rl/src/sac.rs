@@ -128,9 +128,7 @@ impl<A: Actor> Sac<A> {
         let q2 = Mlp::new(&sizes, Activation::Relu, Activation::Identity, rng);
         let q1_target = q1.clone();
         let q2_target = q2.clone();
-        let target_entropy = config
-            .target_entropy
-            .unwrap_or(-(action_dim as f32));
+        let target_entropy = config.target_entropy.unwrap_or(-(action_dim as f32));
         Sac {
             actor,
             q1,
@@ -213,11 +211,11 @@ impl<A: Actor> Sac<A> {
         let q1t = self.q1_target.forward(&next_in);
         let q2t = self.q2_target.forward(&next_in);
         let mut targets = vec![0.0f32; n];
+        #[allow(clippy::needless_range_loop)]
         for b in 0..n {
             let qmin = q1t.get(b, 0).min(q2t.get(b, 0));
             let soft = qmin - alpha * next_sample.log_prob()[b];
-            targets[b] =
-                batch.rewards[b] + self.config.gamma * (1.0 - batch.terminals[b]) * soft;
+            targets[b] = batch.rewards[b] + self.config.gamma * (1.0 - batch.terminals[b]) * soft;
         }
 
         let critic_in = batch.obs.hcat(&batch.actions);
@@ -227,6 +225,7 @@ impl<A: Actor> Sac<A> {
         let mut g2 = Mat::zeros(n, 1);
         let mut q1_loss = 0.0;
         let mut q2_loss = 0.0;
+        #[allow(clippy::needless_range_loop)]
         for b in 0..n {
             let e1 = c1.output().get(b, 0) - targets[b];
             let e2 = c2.output().get(b, 0) - targets[b];
@@ -254,6 +253,7 @@ impl<A: Actor> Sac<A> {
         let mut pick1 = Mat::zeros(n, 1);
         let mut pick2 = Mat::zeros(n, 1);
         let mut actor_loss = 0.0;
+        #[allow(clippy::needless_range_loop)]
         for b in 0..n {
             let (v1, v2) = (a1.output().get(b, 0), a2.output().get(b, 0));
             let qmin = v1.min(v2);
@@ -274,6 +274,7 @@ impl<A: Actor> Sac<A> {
         self.q1.zero_grad();
         self.q2.zero_grad();
         let mut grad_action = Mat::zeros(n, self.action_dim);
+        #[allow(clippy::needless_range_loop)]
         for b in 0..n {
             for i in 0..self.action_dim {
                 grad_action.set(
@@ -408,7 +409,11 @@ mod tests {
         // Evaluate deterministically over a few starts.
         let mut total = 0.0;
         for es in 100..105 {
-            let (r, _) = rollout(&mut env, |o| sac.act(o, &mut StdRng::seed_from_u64(0), true), es);
+            let (r, _) = rollout(
+                &mut env,
+                |o| sac.act(o, &mut StdRng::seed_from_u64(0), true),
+                es,
+            );
             total += r;
         }
         let mean = total / 5.0;

@@ -24,6 +24,12 @@ pub struct TrainConfig {
     pub replay_capacity: usize,
     /// Master seed; episode seeds derive from it.
     pub seed: u64,
+    /// Training-loss watchdog: any loss whose magnitude exceeds this (or
+    /// goes non-finite) triggers a rollback to the last healthy learner
+    /// snapshot. `f32::INFINITY` disables the watchdog.
+    pub loss_divergence_threshold: f32,
+    /// Healthy updates between watchdog snapshots of the learner.
+    pub snapshot_every: usize,
 }
 
 impl Default for TrainConfig {
@@ -35,6 +41,8 @@ impl Default for TrainConfig {
             update_every: 1,
             replay_capacity: 100_000,
             seed: 0,
+            loss_divergence_threshold: 1e4,
+            snapshot_every: 200,
         }
     }
 }
@@ -52,6 +60,9 @@ pub struct TrainStats {
     pub steps: usize,
     /// Streaming statistics of the episode returns.
     pub return_stats: RunningStats,
+    /// Times the loss watchdog rolled the learner back to its last healthy
+    /// snapshot (0 in a healthy run).
+    pub rollbacks: usize,
 }
 
 impl TrainStats {
@@ -65,12 +76,28 @@ impl TrainStats {
     }
 }
 
+/// True when every loss channel is finite and within the divergence bound.
+fn losses_healthy(l: &SacLosses, threshold: f32) -> bool {
+    [l.q1_loss, l.q2_loss, l.actor_loss, l.alpha]
+        .iter()
+        .all(|v| v.is_finite() && v.abs() <= threshold)
+        && l.entropy.is_finite()
+}
+
 /// Runs off-policy SAC training on an environment.
 ///
 /// The loop is the standard one: collect a transition (random during
 /// `start_steps`, on-policy stochastic afterwards), store it, and perform
 /// one update every `update_every` steps once `update_after` transitions
 /// exist.
+///
+/// A loss watchdog guards the learner: the optimizer occasionally diverges
+/// (exploding Q targets, a NaN slipping through a pathological batch), and
+/// once parameters go non-finite every later update is garbage. The loop
+/// snapshots the learner every [`TrainConfig::snapshot_every`] healthy
+/// updates and, when an update reports a non-finite or out-of-bound loss,
+/// restores the snapshot instead of continuing from the poisoned state.
+/// Rollbacks are counted in [`TrainStats::rollbacks`].
 pub fn train_sac<E: Env + ?Sized>(env: &mut E, sac: &mut Sac, config: TrainConfig) -> TrainStats {
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ac5_ac5a);
     let mut buffer = ReplayBuffer::new(config.replay_capacity, env.obs_dim(), env.action_dim());
@@ -79,6 +106,8 @@ pub fn train_sac<E: Env + ?Sized>(env: &mut E, sac: &mut Sac, config: TrainConfi
     let mut obs = env.reset(episode_seed);
     let mut ep_return = 0.0f32;
     let mut ep_len = 0usize;
+    let mut last_good: Option<Sac> = None;
+    let mut healthy_updates = 0usize;
 
     for step in 0..config.total_steps {
         let action: Vec<f32> = if step < config.start_steps {
@@ -110,7 +139,24 @@ pub fn train_sac<E: Env + ?Sized>(env: &mut E, sac: &mut Sac, config: TrainConfi
             obs = env.reset(episode_seed);
         }
         if buffer.len() >= config.update_after && step % config.update_every.max(1) == 0 {
-            stats.last_losses = sac.update(&buffer, &mut rng);
+            let losses = sac.update(&buffer, &mut rng);
+            if losses_healthy(&losses, config.loss_divergence_threshold) {
+                stats.last_losses = losses;
+                healthy_updates += 1;
+                if healthy_updates.is_multiple_of(config.snapshot_every.max(1))
+                    || last_good.is_none()
+                {
+                    last_good = Some(sac.clone());
+                }
+            } else {
+                stats.rollbacks += 1;
+                if let Some(snapshot) = &last_good {
+                    *sac = snapshot.clone();
+                }
+                // No healthy snapshot yet: keep the (possibly poisoned)
+                // learner but still record the event; the next healthy
+                // update establishes the first snapshot.
+            }
         }
         stats.steps = step + 1;
     }
@@ -204,9 +250,12 @@ mod tests {
         );
         assert!(stats.steps == 4000);
         assert!(!stats.episode_returns.is_empty());
-        assert_eq!(stats.return_stats.count() as usize, stats.episode_returns.len());
-        let batch_mean = stats.episode_returns.iter().sum::<f32>() as f64
-            / stats.episode_returns.len() as f64;
+        assert_eq!(
+            stats.return_stats.count() as usize,
+            stats.episode_returns.len()
+        );
+        let batch_mean =
+            stats.episode_returns.iter().sum::<f32>() as f64 / stats.episode_returns.len() as f64;
         assert!((stats.return_stats.mean() - batch_mean).abs() < 1e-3);
         let after = evaluate(
             &mut env,
@@ -221,6 +270,62 @@ mod tests {
             after.mean_return()
         );
         assert!(after.mean_return() > -6.0, "got {}", after.mean_return());
+    }
+
+    #[test]
+    fn watchdog_health_check_flags_bad_losses() {
+        let good = SacLosses::default();
+        assert!(losses_healthy(&good, 1e4));
+        let nan = SacLosses {
+            q1_loss: f32::NAN,
+            ..SacLosses::default()
+        };
+        assert!(!losses_healthy(&nan, 1e4));
+        let exploded = SacLosses {
+            actor_loss: 1e6,
+            ..SacLosses::default()
+        };
+        assert!(!losses_healthy(&exploded, 1e4));
+        assert!(losses_healthy(&exploded, f32::INFINITY));
+    }
+
+    #[test]
+    fn watchdog_rolls_back_diverging_training() {
+        // A wildly excessive critic learning rate reliably explodes the
+        // Q losses on PointEnv; the watchdog must fire and the learner
+        // must come out of training with finite parameters.
+        let mut env = PointEnv::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sac = Sac::new(
+            1,
+            1,
+            &[16],
+            SacConfig {
+                batch_size: 32,
+                critic_lr: 50.0,
+                actor_lr: 1e-3,
+                ..SacConfig::default()
+            },
+            &mut rng,
+        );
+        let stats = train_sac(
+            &mut env,
+            &mut sac,
+            TrainConfig {
+                total_steps: 600,
+                start_steps: 50,
+                update_after: 50,
+                loss_divergence_threshold: 100.0,
+                snapshot_every: 5,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(stats.rollbacks > 0, "expected the watchdog to fire");
+        let out = sac.act(&[0.5], &mut StdRng::seed_from_u64(0), true);
+        assert!(
+            out.iter().all(|v| v.is_finite()),
+            "rolled-back learner acts finitely"
+        );
     }
 
     #[test]

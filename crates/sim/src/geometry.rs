@@ -276,8 +276,8 @@ impl Obb {
     fn project(&self, axis: Vec2) -> (f64, f64) {
         let c = self.center.dot(axis);
         let [ax, ay] = self.axes();
-        let r = (ax.dot(axis) * self.half_extents.x).abs()
-            + (ay.dot(axis) * self.half_extents.y).abs();
+        let r =
+            (ax.dot(axis) * self.half_extents.x).abs() + (ay.dot(axis) * self.half_extents.y).abs();
         (c - r, c + r)
     }
 

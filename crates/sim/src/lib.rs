@@ -23,6 +23,7 @@
 //! assert!(out.collision.is_none());
 //! ```
 
+pub mod faults;
 pub mod geometry;
 pub mod npc;
 pub mod record;
@@ -37,16 +38,20 @@ pub mod world;
 
 /// Commonly used items re-exported in one place.
 pub mod prelude {
+    pub use crate::faults::{
+        FaultInjector, FaultKind, FaultSchedule, FaultSpec, FaultStats, FaultedCamera,
+        FaultedFeatureExtractor, FaultedImu,
+    };
     pub use crate::geometry::{normalize_angle, Obb, Pose, Vec2};
     pub use crate::npc::{LeadInfo, Npc};
     pub use crate::record::EpisodeRecord;
     pub use crate::render::{render_strip, RenderConfig};
-    pub use crate::trace::{EpisodeTrace, StepTrace, VehicleSnapshot};
     pub use crate::road::Road;
     pub use crate::scenario::{NpcSpawn, Scenario};
     pub use crate::sensors::{
         FeatureConfig, FeatureExtractor, Imu, ImuConfig, SemanticCamera, SemanticClass,
     };
+    pub use crate::trace::{EpisodeTrace, StepTrace, VehicleSnapshot};
     pub use crate::vehicle::{Actuation, Vehicle, VehicleParams};
     pub use crate::waypoints::{lane_change_path, lane_keep_path, Path, PathProjection, Waypoint};
     pub use crate::world::{

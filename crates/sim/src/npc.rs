@@ -122,7 +122,11 @@ mod tests {
 
     fn npc_at(road: &Road, lane: usize, x: f64, speed: f64) -> Npc {
         let pose = Pose::new(x, road.lane_center_y(lane), 0.0);
-        Npc::new(Vehicle::new(VehicleParams::default(), pose, speed), lane, 6.0)
+        Npc::new(
+            Vehicle::new(VehicleParams::default(), pose, speed),
+            lane,
+            6.0,
+        )
     }
 
     #[test]
@@ -148,14 +152,22 @@ mod tests {
             let a = npc.control(&road, &[]);
             npc.vehicle.step(a, 0.1, 5);
         }
-        assert!((npc.vehicle.speed - 6.0).abs() < 0.5, "speed {}", npc.vehicle.speed);
+        assert!(
+            (npc.vehicle.speed - 6.0).abs() < 0.5,
+            "speed {}",
+            npc.vehicle.speed
+        );
     }
 
     #[test]
     fn slows_behind_lead_in_same_lane() {
         let road = Road::default();
         let mut npc = npc_at(&road, 1, 0.0, 6.0);
-        let mut lead = LeadInfo { x: 10.0, lane: 1, speed: 2.0 };
+        let mut lead = LeadInfo {
+            x: 10.0,
+            lane: 1,
+            speed: 2.0,
+        };
         for _ in 0..300 {
             let a = npc.control(&road, &[lead]);
             npc.vehicle.step(a, 0.1, 5);
@@ -163,14 +175,21 @@ mod tests {
         }
         // The follower must have matched the slow lead without passing it.
         assert!(npc.vehicle.speed < 3.5, "speed {}", npc.vehicle.speed);
-        assert!(npc.vehicle.pose.position.x < lead.x, "must not pass the lead");
+        assert!(
+            npc.vehicle.pose.position.x < lead.x,
+            "must not pass the lead"
+        );
     }
 
     #[test]
     fn ignores_lead_in_other_lane() {
         let road = Road::default();
         let npc = npc_at(&road, 1, 0.0, 6.0);
-        let other_lane = LeadInfo { x: 8.0, lane: 0, speed: 2.0 };
+        let other_lane = LeadInfo {
+            x: 8.0,
+            lane: 0,
+            speed: 2.0,
+        };
         let a = npc.control(&road, &[other_lane]);
         let a_free = npc.control(&road, &[]);
         assert_eq!(a, a_free);
@@ -180,7 +199,11 @@ mod tests {
     fn ignores_vehicles_behind() {
         let road = Road::default();
         let npc = npc_at(&road, 1, 50.0, 6.0);
-        let behind = LeadInfo { x: 40.0, lane: 1, speed: 20.0 };
+        let behind = LeadInfo {
+            x: 40.0,
+            lane: 1,
+            speed: 20.0,
+        };
         let a = npc.control(&road, &[behind]);
         let a_free = npc.control(&road, &[]);
         assert_eq!(a, a_free);

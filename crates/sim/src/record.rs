@@ -38,6 +38,9 @@ pub struct EpisodeRecord {
     pub perturbation: Vec<f64>,
     /// Step at which the attacker first injected a non-zero perturbation.
     pub attack_start: Option<usize>,
+    /// Commanded actions with a non-finite channel that the simulator
+    /// sanitized before stepping (0 in healthy episodes).
+    pub nonfinite_actions: usize,
 }
 
 impl EpisodeRecord {
@@ -58,9 +61,7 @@ impl EpisodeRecord {
     /// doing and is not credited to the attacker.
     pub fn attack_success(&self) -> bool {
         match (self.attack_start, self.collision) {
-            (Some(start), Some(c)) => {
-                matches!(c.kind, CollisionKind::Side) && c.step >= start
-            }
+            (Some(start), Some(c)) => matches!(c.kind, CollisionKind::Side) && c.step >= start,
             _ => false,
         }
     }
@@ -137,6 +138,7 @@ mod tests {
             passed: 0,
             nominal_return: 0.0,
             adv_return: 0.0,
+            nonfinite_actions: 0,
         }
     }
 

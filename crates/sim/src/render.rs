@@ -48,7 +48,9 @@ pub fn render_strip(world: &World, config: &RenderConfig) -> String {
     let mut lanes: Vec<Vec<char>> = (0..road.num_lanes).map(|_| vec!['.'; cols]).collect();
     let col_of = |x: f64| -> Option<usize> {
         let f = (x - x0) / config.span;
-        (0.0..1.0).contains(&f).then(|| ((f * cols as f64) as usize).min(cols - 1))
+        (0.0..1.0)
+            .contains(&f)
+            .then(|| ((f * cols as f64) as usize).min(cols - 1))
     };
     for npc in world.npcs() {
         let p = npc.vehicle.pose.position;
@@ -98,9 +100,11 @@ mod tests {
 
     #[test]
     fn ego_marker_tracks_lane() {
-        let mut s = Scenario::default();
-        s.ego_lane = 0;
-        s.npcs.clear();
+        let s = Scenario {
+            ego_lane: 0,
+            npcs: Vec::new(),
+            ..Default::default()
+        };
         let world = World::new(s);
         let text = render_strip(&world, &RenderConfig::default());
         let lines: Vec<&str> = text.lines().collect();
@@ -111,8 +115,14 @@ mod tests {
 
     #[test]
     fn out_of_span_npcs_are_hidden() {
-        let mut s = Scenario::default();
-        s.npcs = vec![crate::scenario::NpcSpawn { lane: 1, x: 500.0, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![crate::scenario::NpcSpawn {
+                lane: 1,
+                x: 500.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let world = World::new(s);
         let text = render_strip(&world, &RenderConfig::default());
         assert_eq!(text.matches('N').count(), 0);

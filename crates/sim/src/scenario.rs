@@ -52,12 +52,36 @@ impl Default for Scenario {
     /// the three lanes ahead of a 16 m/s ego vehicle.
     fn default() -> Self {
         let npcs = vec![
-            NpcSpawn { lane: 1, x: 30.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 55.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 85.0, speed: 6.0 },
-            NpcSpawn { lane: 1, x: 110.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 135.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 160.0, speed: 6.0 },
+            NpcSpawn {
+                lane: 1,
+                x: 30.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 55.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 2,
+                x: 85.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 1,
+                x: 110.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 135.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 2,
+                x: 160.0,
+                speed: 6.0,
+            },
         ];
         Scenario {
             road: Road::default(),
@@ -81,14 +105,46 @@ impl Scenario {
     /// windows.
     pub fn dense_traffic() -> Self {
         let npcs = vec![
-            NpcSpawn { lane: 1, x: 28.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 46.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 66.0, speed: 6.0 },
-            NpcSpawn { lane: 1, x: 88.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 108.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 128.0, speed: 6.0 },
-            NpcSpawn { lane: 1, x: 148.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 168.0, speed: 6.0 },
+            NpcSpawn {
+                lane: 1,
+                x: 28.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 46.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 2,
+                x: 66.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 1,
+                x: 88.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 108.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 2,
+                x: 128.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 1,
+                x: 148.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 168.0,
+                speed: 6.0,
+            },
         ];
         Scenario {
             npcs,
@@ -100,9 +156,21 @@ impl Scenario {
     /// a lurking attacker must stay quiet longer.
     pub fn sparse_traffic() -> Self {
         let npcs = vec![
-            NpcSpawn { lane: 1, x: 40.0, speed: 6.0 },
-            NpcSpawn { lane: 2, x: 110.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 180.0, speed: 6.0 },
+            NpcSpawn {
+                lane: 1,
+                x: 40.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 2,
+                x: 110.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 180.0,
+                speed: 6.0,
+            },
         ];
         Scenario {
             npcs,
@@ -115,10 +183,26 @@ impl Scenario {
     pub fn two_lane() -> Self {
         let road = crate::road::Road::new(2, 3.5, 1500.0);
         let npcs = vec![
-            NpcSpawn { lane: 0, x: 35.0, speed: 6.0 },
-            NpcSpawn { lane: 1, x: 70.0, speed: 6.0 },
-            NpcSpawn { lane: 0, x: 105.0, speed: 6.0 },
-            NpcSpawn { lane: 1, x: 140.0, speed: 6.0 },
+            NpcSpawn {
+                lane: 0,
+                x: 35.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 1,
+                x: 70.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 0,
+                x: 105.0,
+                speed: 6.0,
+            },
+            NpcSpawn {
+                lane: 1,
+                x: 140.0,
+                speed: 6.0,
+            },
         ];
         Scenario {
             road,
@@ -226,12 +310,16 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut s = Scenario::default();
-        s.dt = 0.0;
+        let s = Scenario {
+            dt: 0.0,
+            ..Default::default()
+        };
         assert!(s.validate().is_err());
 
-        let mut s = Scenario::default();
-        s.ego_lane = 3;
+        let s = Scenario {
+            ego_lane: 3,
+            ..Default::default()
+        };
         assert!(s.validate().is_err());
 
         let mut s = Scenario::default();

@@ -238,8 +238,7 @@ impl SemanticCamera {
             let y = ego.y + self.range_side - fy * 2.0 * self.range_side;
             for c in 0..self.cols {
                 let fx = (c as f64 + 0.5) / self.cols as f64;
-                let x = ego.x - self.range_behind
-                    + fx * (self.range_ahead + self.range_behind);
+                let x = ego.x - self.range_behind + fx * (self.range_ahead + self.range_behind);
                 let p = Vec2::new(x, y);
                 let class = if obbs.iter().any(|o| o.contains(p)) {
                     SemanticClass::Vehicle
@@ -358,14 +357,12 @@ impl Imu {
         let samples_per_step = (self.config.sample_rate * dt).round().max(1.0) as usize;
         for k in 0..samples_per_step {
             // Evenly spaced substep indices.
-            let idx = ((k as f64 + 0.5) / samples_per_step as f64 * inertial.len() as f64)
-                .floor() as usize;
+            let idx = ((k as f64 + 0.5) / samples_per_step as f64 * inertial.len() as f64).floor()
+                as usize;
             let s = inertial[idx.min(inertial.len() - 1)];
-            let ax = s.accel_lon
-                + self.config.accel_bias
-                + self.config.accel_noise_std * randn(rng);
-            let wz =
-                s.yaw_rate + self.config.gyro_bias + self.config.gyro_noise_std * randn(rng);
+            let ax =
+                s.accel_lon + self.config.accel_bias + self.config.accel_noise_std * randn(rng);
+            let wz = s.yaw_rate + self.config.gyro_bias + self.config.gyro_noise_std * randn(rng);
             if self.buffer.len() == self.config.window_samples() {
                 self.buffer.pop_front();
             }
@@ -475,7 +472,10 @@ mod tests {
             .iter()
             .filter(|c| **c == SemanticClass::Vehicle)
             .count();
-        let road = classes.iter().filter(|c| **c == SemanticClass::Road).count();
+        let road = classes
+            .iter()
+            .filter(|c| **c == SemanticClass::Road)
+            .count();
         assert!(vehicles > 0, "ego + nearby NPCs must be visible");
         assert!(road > vehicles, "most of the view is road");
         // The grid spans beyond the road edges, so some cells are off-road.
@@ -499,8 +499,14 @@ mod tests {
         // report positive dx and dy, and the camera grid must contain
         // vehicle cells in the ahead-left quadrant (beyond the ego's own
         // footprint cells near the center).
-        let mut s = Scenario::default();
-        s.npcs = vec![crate::scenario::NpcSpawn { lane: 2, x: 20.0, speed: 6.0 }];
+        let s = Scenario {
+            npcs: vec![crate::scenario::NpcSpawn {
+                lane: 2,
+                x: 20.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        };
         let world = World::new(s);
 
         let fx = FeatureExtractor::new(FeatureConfig::default());
@@ -514,8 +520,8 @@ mod tests {
         let classes = cam.render_classes(&world);
         // Grid geometry: row 0 = leftmost band, col 0 = farthest behind.
         let col_of = |x_rel: f64| {
-            (((x_rel + cam.range_behind) / (cam.range_ahead + cam.range_behind))
-                * cam.cols as f64) as usize
+            (((x_rel + cam.range_behind) / (cam.range_ahead + cam.range_behind)) * cam.cols as f64)
+                as usize
         };
         let row_of = |y_rel: f64| {
             (((cam.range_side - y_rel) / (2.0 * cam.range_side)) * cam.rows as f64) as usize

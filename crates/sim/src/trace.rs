@@ -118,8 +118,15 @@ impl EpisodeTrace {
                 .unwrap_or_default();
             out.push_str(&format!(
                 "{:.2},ego,{:.4},{:.4},{:.5},{:.3},{:.4},{:.4},{:.4},{}\n",
-                s.time, s.ego.x, s.ego.y, s.ego.heading, s.ego.speed, s.ego.steer, s.ego.thrust,
-                s.perturbation, collision
+                s.time,
+                s.ego.x,
+                s.ego.y,
+                s.ego.heading,
+                s.ego.speed,
+                s.ego.steer,
+                s.ego.thrust,
+                s.perturbation,
+                collision
             ));
             for (i, n) in s.npcs.iter().enumerate() {
                 out.push_str(&format!(

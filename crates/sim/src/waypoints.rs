@@ -48,7 +48,10 @@ impl Path {
     ///
     /// Panics if `points` is empty.
     pub fn new(points: Vec<Waypoint>) -> Self {
-        assert!(!points.is_empty(), "path must contain at least one waypoint");
+        assert!(
+            !points.is_empty(),
+            "path must contain at least one waypoint"
+        );
         Path { points }
     }
 
@@ -116,8 +119,18 @@ pub fn quintic_blend(u: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `n == 0` or `spacing <= 0`.
-pub fn lane_keep_path(road: &Road, lane: usize, x0: f64, n: usize, spacing: f64, speed: f64) -> Path {
-    assert!(n > 0 && spacing > 0.0, "need n > 0 samples and positive spacing");
+pub fn lane_keep_path(
+    road: &Road,
+    lane: usize,
+    x0: f64,
+    n: usize,
+    spacing: f64,
+    speed: f64,
+) -> Path {
+    assert!(
+        n > 0 && spacing > 0.0,
+        "need n > 0 samples and positive spacing"
+    );
     let y = road.lane_center_y(lane);
     let points = (0..n)
         .map(|i| Waypoint {
@@ -139,6 +152,7 @@ pub fn lane_keep_path(road: &Road, lane: usize, x0: f64, n: usize, spacing: f64,
 /// # Panics
 ///
 /// Panics if `n == 0`, `spacing <= 0`, or `change_distance <= 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn lane_change_path(
     road: &Road,
     y0: f64,
@@ -149,7 +163,10 @@ pub fn lane_change_path(
     spacing: f64,
     speed: f64,
 ) -> Path {
-    assert!(n > 0 && spacing > 0.0, "need n > 0 samples and positive spacing");
+    assert!(
+        n > 0 && spacing > 0.0,
+        "need n > 0 samples and positive spacing"
+    );
     assert!(change_distance > 0.0, "change distance must be positive");
     let y1 = road.lane_center_y(target_lane);
     let dy = y1 - y0;

@@ -18,13 +18,7 @@ fn main() {
     for eps in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut agent = ModularAgent::new(ModularConfig::default(), 1);
         let mut oracle = OracleAttacker::new(AttackBudget::new(eps));
-        let record = run_attacked_episode(
-            &mut agent,
-            Some(&mut oracle),
-            &adv,
-            &scenario,
-            7,
-        );
+        let record = run_attacked_episode(&mut agent, Some(&mut oracle), &adv, &scenario, 7);
         let outcome = match record.collision {
             Some(c) => format!("{:?}", c.kind),
             None => "no collision".into(),

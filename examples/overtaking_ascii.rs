@@ -17,7 +17,7 @@ fn main() {
     while !world.is_done() {
         let a = agent.act(&world);
         world.step(a);
-        if world.step_index() % 15 == 0 || world.is_done() {
+        if world.step_index().is_multiple_of(15) || world.is_done() {
             println!("{}\n", render_strip(&world, &config));
         }
     }

@@ -10,8 +10,16 @@ fn modular_pipeline_completes_nominal_scenario() {
     let records = run_episodes(&mut agent, &Scenario::default(), 10, 0);
     let summary = CellSummary::from_records(&records);
     assert_eq!(summary.collision_rate, 0.0, "no collisions expected");
-    assert!(summary.mean_passed >= 4.5, "mean passed {}", summary.mean_passed);
-    assert!(summary.nominal.mean > 120.0, "mean reward {}", summary.nominal.mean);
+    assert!(
+        summary.mean_passed >= 4.5,
+        "mean passed {}",
+        summary.mean_passed
+    );
+    assert!(
+        summary.nominal.mean > 120.0,
+        "mean reward {}",
+        summary.nominal.mean
+    );
 }
 
 /// The oracle action-space attack converts clean episodes into side
@@ -31,7 +39,11 @@ fn oracle_attack_end_to_end_through_metrics() {
         100,
     );
     let summary = CellSummary::from_records(&attacked);
-    assert!(summary.success_rate >= 0.5, "success {}", summary.success_rate);
+    assert!(
+        summary.success_rate >= 0.5,
+        "success {}",
+        summary.success_rate
+    );
     assert!(summary.adversarial.mean > 0.0);
 
     // Scatter + windowing shape checks (Fig. 5 / Fig. 8 machinery).
@@ -44,7 +56,10 @@ fn oracle_attack_end_to_end_through_metrics() {
     // Timing statistic exists and is faster than a human's 1.25 s.
     let (mean_ttc, min_ttc) = time_to_collision_stats(&attacked).expect("successes exist");
     assert!(min_ttc <= mean_ttc + 1e-9);
-    assert!(mean_ttc < 5.0, "side collisions happen quickly, got {mean_ttc}");
+    assert!(
+        mean_ttc < 5.0,
+        "side collisions happen quickly, got {mean_ttc}"
+    );
 }
 
 /// The attack budget monotonically controls damage to the victim.
@@ -90,7 +105,11 @@ fn end_to_end_agent_trains_and_drives() {
     let records = run_episodes(&mut agent, &scenario, 3, 500);
     let summary = CellSummary::from_records(&records);
     // Tiny budget: just require sane driving (moves forward, mostly clean).
-    assert!(summary.nominal.mean > 0.0, "reward {}", summary.nominal.mean);
+    assert!(
+        summary.nominal.mean > 0.0,
+        "reward {}",
+        summary.nominal.mean
+    );
 }
 
 /// Checkpointing round-trips a policy through disk and the loaded policy
@@ -141,7 +160,12 @@ fn pnn_switcher_drives_both_columns() {
     }
     // CopyBase + zero laterals: both columns act identically, so the
     // records must match across the switch threshold.
-    let mut low = E2eAgent::new(SimplexSwitcher::new(pnn.clone(), 0.4, 0.1), features.clone(), 0, true);
+    let mut low = E2eAgent::new(
+        SimplexSwitcher::new(pnn.clone(), 0.4, 0.1),
+        features.clone(),
+        0,
+        true,
+    );
     let mut high = E2eAgent::new(SimplexSwitcher::new(pnn, 0.4, 0.9), features, 0, true);
     let rl = run_episode(&mut low, &scenario, 11, None, |_, _, _| {});
     let rh = run_episode(&mut high, &scenario, 11, None, |_, _, _| {});

@@ -266,4 +266,75 @@ proptest! {
         prop_assert!((last.position.y - road.lane_center_y(to_lane)).abs() < 1e-6);
         prop_assert!(last.heading.abs() < 1e-6);
     }
+
+    // ---------- fault injection ----------
+
+    /// A zero-rate fault schedule is a byte-identical no-op: the full
+    /// episode record of a faulted run equals the clean run's.
+    #[test]
+    fn zero_rate_fault_schedule_is_noop(seed in 0u64..500, fault_seed in 0u64..500) {
+        let scenario = Scenario::default();
+        let mut a = ModularAgent::new(ModularConfig::default(), 1);
+        let mut b = ModularAgent::new(ModularConfig::default(), 1);
+        let clean = run_episode(&mut a, &scenario, seed, None, |_, _, _| {});
+        let mut inj = FaultInjector::new(&FaultSchedule::benign(0.0, fault_seed));
+        let faulted =
+            run_episode_with_faults(&mut b, &scenario, seed, None, Some(&mut inj), |_, _, _| {});
+        prop_assert_eq!(clean, faulted);
+        prop_assert_eq!(inj.stats().corrupted_values, 0);
+    }
+
+    /// Same seed + same fault schedule produce identical episode traces,
+    /// byte for byte (CSV serialization included).
+    #[test]
+    fn same_seed_and_schedule_give_identical_traces(
+        seed in 0u64..500,
+        intensity in 0.2f64..1.0,
+    ) {
+        let scenario = Scenario::default();
+        let schedule = FaultSchedule::benign(intensity, 0xdead);
+        let run = |seed: u64| {
+            let mut agent = ModularAgent::new(ModularConfig::default(), 1);
+            let mut inj = FaultInjector::for_episode(&schedule, seed);
+            let mut world_trace: Option<EpisodeTrace> = None;
+            let record = run_episode_with_faults(
+                &mut agent,
+                &scenario,
+                seed,
+                None,
+                Some(&mut inj),
+                |world, outcome, delta| {
+                    let trace = world_trace.get_or_insert_with(|| EpisodeTrace::for_world(world));
+                    trace.capture(world, delta, outcome.collision);
+                },
+            );
+            (record, world_trace.map(|t| t.to_csv()).unwrap_or_default())
+        };
+        let (rec_a, trace_a) = run(seed);
+        let (rec_b, trace_b) = run(seed);
+        prop_assert_eq!(rec_a, rec_b);
+        prop_assert_eq!(trace_a, trace_b);
+    }
+
+    /// Non-finite steering commands never poison vehicle state: the world
+    /// sanitizes them, counts them, and stays finite.
+    #[test]
+    fn nonfinite_commands_never_poison_state(steps in 1usize..60, bad_every in 2usize..7) {
+        let mut world = World::new(Scenario::default());
+        let mut expected_bad = 0;
+        for t in 0..steps {
+            let cmd = if t % bad_every == 0 {
+                expected_bad += 1;
+                Actuation { steer: f64::NAN, thrust: f64::INFINITY }
+            } else {
+                Actuation::new(0.1, 0.5)
+            };
+            world.step(cmd);
+            if world.is_done() { break; }
+            prop_assert!(world.ego().pose.position.x.is_finite());
+            prop_assert!(world.ego().speed.is_finite());
+        }
+        prop_assert!(world.nonfinite_action_count() <= expected_bad);
+        prop_assert!(world.nonfinite_action_count() > 0);
+    }
 }

@@ -1,0 +1,153 @@
+//! Offline stand-in for `criterion` (the subset this workspace uses).
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is a simple
+//! warmup-then-measure loop reporting median and mean wall-clock time per
+//! iteration — adequate for the relative comparisons the repo's perf
+//! benches make, without upstream criterion's statistical machinery or
+//! plotting. Benches run with `cargo bench` exactly as before.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmark value away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-benchmark measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Median ns/iter of the measured batches, filled in by [`Bencher::iter`].
+    median_ns: f64,
+    /// Mean ns/iter across all measured iterations.
+    mean_ns: f64,
+    /// Total iterations measured.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times the routine: brief warmup, then measured batches until a fixed
+    /// time budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup + calibration: find a batch size that takes ~1 ms.
+        let warmup_deadline = Instant::now() + Duration::from_millis(200);
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+            if dt < Duration::from_millis(1) && batch < 1 << 40 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let mut total_ns = 0.0;
+        let mut total_iters: u64 = 0;
+        let measure_deadline = Instant::now() + Duration::from_millis(800);
+        while Instant::now() < measure_deadline || samples_ns.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64;
+            samples_ns.push(ns / batch as f64);
+            total_ns += ns;
+            total_iters += batch;
+            if samples_ns.len() >= 200 {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+        self.mean_ns = total_ns / total_iters as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// Top-level benchmark registry, mirroring criterion's entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            median_ns: 0.0,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{:<40} median {:>12}  mean {:>12}  ({} iters)",
+            name,
+            fmt_ns(b.median_ns),
+            fmt_ns(b.mean_ns),
+            b.iters
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function invoking each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            });
+        });
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_300_000_000.0).ends_with('s'));
+    }
+}

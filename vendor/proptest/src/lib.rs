@@ -1,0 +1,321 @@
+//! Offline stand-in for `proptest` (the subset this workspace uses).
+//!
+//! Provides the `proptest! { #[test] fn name(arg in strategy, ...) { .. } }`
+//! macro, `prop_assert!`/`prop_assert_eq!`, range/tuple/`any::<T>()`
+//! strategies, and `prop::collection::vec`. Unlike upstream proptest, case
+//! generation is fully deterministic: each test draws its cases from an RNG
+//! seeded by a hash of the test's name, so failures reproduce without a
+//! persisted regression file. No shrinking is performed — on failure the
+//! case index and seed identify the failing input.
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(f32, f64, usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies!((A)(A, B)(A, B, C)(A, B, C, D));
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical full-range strategy for a type.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(core::marker::PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! any_uniform {
+        ($($t:ty => $lo:expr, $hi:expr;)*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range($lo..=$hi)
+                }
+            }
+        )*};
+    }
+    any_uniform! {
+        u8 => u8::MIN, u8::MAX;
+        u16 => u16::MIN, u16::MAX;
+        u32 => u32::MIN, u32::MAX;
+        i32 => i32::MIN, i32::MAX;
+        i64 => i64::MIN, i64::MAX;
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    pub struct SizeBounds {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeBounds {
+        fn from(n: usize) -> Self {
+            SizeBounds {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeBounds {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeBounds {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeBounds {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeBounds {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeBounds,
+    }
+
+    /// Builds a strategy for `Vec<S::Value>` with the given length bounds.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case scheduling and failure reporting.
+
+    use super::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases generated per property.
+    pub const CASES: u32 = 64;
+
+    /// A failed property assertion, carried back to the runner.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps an assertion-failure message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Seeds the per-test RNG from the test's name (FNV-1a), so every run
+    /// of a given property generates the same cases.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves via the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines deterministic property tests. Each `fn name(arg in strategy)`
+/// item becomes a `#[test]` that runs [`test_runner::CASES`] generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut prop_rng = $crate::test_runner::rng_for(stringify!($name));
+                for prop_case in 0..$crate::test_runner::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(&$strat, &mut prop_rng);
+                    )+
+                    let prop_result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = prop_result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            prop_case + 1,
+                            $crate::test_runner::CASES,
+                            e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The shim itself: ranges respect bounds, vecs respect sizes.
+        #[test]
+        fn shim_generates_in_bounds(
+            x in -5.0f64..5.0,
+            v in prop::collection::vec(0usize..10, 1..8),
+            exact in prop::collection::vec(0.0f32..1.0, 3),
+            (a, b) in (0u64..100, any::<bool>()),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!(a < 100);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = crate::test_runner::rng_for("some_property");
+        let mut b = crate::test_runner::rng_for("some_property");
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+    }
+}

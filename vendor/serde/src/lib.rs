@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a forward
+//! declaration of serializability — no code path serializes through serde
+//! (CSV export is hand-rolled in `drive-metrics`). This crate provides the
+//! trait names and re-exports the (no-op) derive macros so the annotations
+//! keep compiling in the offline build container. If a future PR needs real
+//! serialization, swap this for the upstream crate and the derives become
+//! live without touching call sites.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait Deserialize<'de>: Sized {}
