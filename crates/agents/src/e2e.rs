@@ -4,6 +4,7 @@
 use crate::Agent;
 use drive_nn::gaussian::GaussianPolicy;
 use drive_nn::pnn::PnnPolicy;
+use drive_nn::scratch::ActScratch;
 use drive_sim::sensors::{FeatureConfig, FeatureExtractor};
 use drive_sim::vehicle::Actuation;
 use drive_sim::world::World;
@@ -21,6 +22,25 @@ pub trait Policy {
     fn action_dim(&self) -> usize;
     /// Computes an action in `[-1, 1]^action_dim`.
     fn action(&self, obs: &[f32], rng: &mut StdRng, deterministic: bool) -> Vec<f32>;
+
+    /// Computes an action into a caller-provided buffer, optionally using
+    /// a reusable [`ActScratch`] to avoid per-step allocations.
+    ///
+    /// The default implementation falls back to the allocating
+    /// [`Policy::action`]; implementations with an allocation-free path
+    /// (e.g. [`GaussianPolicy`]) override it. Overrides must produce
+    /// bit-identical actions and identical RNG consumption to `action`.
+    fn action_into(
+        &self,
+        obs: &[f32],
+        rng: &mut StdRng,
+        deterministic: bool,
+        scratch: &mut ActScratch,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = scratch;
+        *out = self.action(obs, rng, deterministic);
+    }
 }
 
 impl Policy for GaussianPolicy {
@@ -32,6 +52,17 @@ impl Policy for GaussianPolicy {
     }
     fn action(&self, obs: &[f32], rng: &mut StdRng, deterministic: bool) -> Vec<f32> {
         self.act(obs, rng, deterministic)
+    }
+    fn action_into(
+        &self,
+        obs: &[f32],
+        rng: &mut StdRng,
+        deterministic: bool,
+        scratch: &mut ActScratch,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.extend_from_slice(self.act_with(obs, rng, deterministic, scratch));
     }
 }
 
@@ -54,6 +85,8 @@ pub struct E2eAgent<P: Policy> {
     extractor: FeatureExtractor,
     rng: StdRng,
     deterministic: bool,
+    scratch: ActScratch,
+    action_buf: Vec<f32>,
 }
 
 impl<P: Policy> E2eAgent<P> {
@@ -80,6 +113,8 @@ impl<P: Policy> E2eAgent<P> {
             extractor: FeatureExtractor::new(features),
             rng: StdRng::seed_from_u64(seed),
             deterministic,
+            scratch: ActScratch::default(),
+            action_buf: Vec::new(),
         }
     }
 
@@ -101,8 +136,14 @@ impl<P: Policy> Agent for E2eAgent<P> {
 
     fn act(&mut self, world: &World) -> Actuation {
         let obs = self.extractor.observe(world);
-        let a = self.policy.action(&obs, &mut self.rng, self.deterministic);
-        Actuation::new(a[0] as f64, a[1] as f64)
+        self.policy.action_into(
+            &obs,
+            &mut self.rng,
+            self.deterministic,
+            &mut self.scratch,
+            &mut self.action_buf,
+        );
+        Actuation::new(self.action_buf[0] as f64, self.action_buf[1] as f64)
     }
 }
 

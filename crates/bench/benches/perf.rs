@@ -1,12 +1,17 @@
 //! Criterion micro-benchmarks of the substrate hot paths: simulator
-//! stepping, collision detection, sensor rendering, policy inference, and
-//! SAC updates.
+//! stepping, collision detection, sensor rendering, policy inference,
+//! dense NN kernels, and SAC updates.
+//!
+//! Runs under `cargo bench --bench perf`. Set `CRITERION_QUICK=1` to use
+//! the shortened measurement budgets (CI smoke), and `PERF_JSON=<path>` to
+//! export the timings as JSON (the checked-in `BENCH_perf.json` baseline
+//! is produced this way).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, Criterion};
 use drive_agents::modular::{ModularAgent, ModularConfig};
 use drive_agents::Agent;
-use drive_nn::gaussian::GaussianPolicy;
-use drive_rl::replay::{ReplayBuffer, Transition};
+use drive_nn::prelude::{randn_mat, ActScratch, Activation, GaussianPolicy, Mat, Mlp, Scratch};
+use drive_rl::replay::{Batch, ReplayBuffer, Transition};
 use drive_rl::sac::{Sac, SacConfig};
 use drive_sim::geometry::{Obb, Vec2};
 use drive_sim::scenario::Scenario;
@@ -15,7 +20,6 @@ use drive_sim::vehicle::Actuation;
 use drive_sim::world::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 
 fn bench_world_step(c: &mut Criterion) {
     c.bench_function("world_step", |b| {
@@ -81,13 +85,90 @@ fn bench_imu_window(c: &mut Criterion) {
     });
 }
 
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = randn_mat(64, 64, &mut rng);
+    let bm = randn_mat(64, 64, &mut rng);
+    c.bench_function("matmul_64x64_into_reused", |b| {
+        let mut out = Mat::zeros(64, 64);
+        b.iter(|| {
+            a.matmul_into(&bm, &mut out);
+            black_box(out.get(0, 0))
+        });
+    });
+    c.bench_function("matmul_nt_64x64_into_reused", |b| {
+        let mut out = Mat::zeros(64, 64);
+        b.iter(|| {
+            a.matmul_nt_into(&bm, &mut out);
+            black_box(out.get(0, 0))
+        });
+    });
+    c.bench_function("matmul_tn_acc_64x64", |b| {
+        let mut acc = Mat::zeros(64, 64);
+        b.iter(|| {
+            acc.fill(0.0);
+            a.matmul_tn_acc(&bm, &mut acc);
+            black_box(acc.get(0, 0))
+        });
+    });
+}
+
+fn bench_mlp_forward_scratch(c: &mut Criterion) {
+    c.bench_function("mlp_forward_scratch_60_128_128_2", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dim = FeatureConfig::default().observation_dim();
+        let mlp = Mlp::new(
+            &[dim, 128, 128, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
+        let x = randn_mat(1, dim, &mut rng);
+        let mut scratch = Scratch::default();
+        b.iter(|| black_box(mlp.forward_with(&x, &mut scratch).get(0, 0)));
+    });
+}
+
 fn bench_policy_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let dim = FeatureConfig::default().observation_dim();
+    let policy = GaussianPolicy::new(dim, &[128, 128], 2, &mut rng);
+    let obs = vec![0.1f32; dim];
     c.bench_function("policy_inference_60d", |b| {
         let mut rng = StdRng::seed_from_u64(0);
-        let dim = FeatureConfig::default().observation_dim();
-        let policy = GaussianPolicy::new(dim, &[128, 128], 2, &mut rng);
-        let obs = vec![0.1f32; dim];
         b.iter(|| black_box(policy.act(&obs, &mut rng, true)));
+    });
+    c.bench_function("policy_inference_60d_scratch", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = ActScratch::default();
+        b.iter(|| black_box(policy.act_with(&obs, &mut rng, true, &mut scratch)[0]));
+    });
+}
+
+fn filled_buffer(dim: usize) -> ReplayBuffer {
+    let mut buffer = ReplayBuffer::new(10_000, dim, 2);
+    for i in 0..2000 {
+        buffer.push(Transition {
+            obs: vec![(i % 17) as f32 * 0.05; dim],
+            action: vec![0.1, -0.2],
+            reward: (i % 5) as f32,
+            next_obs: vec![(i % 13) as f32 * 0.05; dim],
+            terminal: i % 50 == 0,
+        });
+    }
+    buffer
+}
+
+fn bench_replay_sample(c: &mut Criterion) {
+    c.bench_function("replay_sample_into_batch128", |b| {
+        let dim = FeatureConfig::default().observation_dim();
+        let buffer = filled_buffer(dim);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut batch = Batch::default();
+        b.iter(|| {
+            buffer.sample_into(128, &mut rng, &mut batch);
+            black_box(batch.len())
+        });
     });
 }
 
@@ -96,29 +177,54 @@ fn bench_sac_update(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(0);
         let dim = FeatureConfig::default().observation_dim();
         let mut sac = Sac::new(dim, 2, &[128, 128], SacConfig::default(), &mut rng);
-        let mut buffer = ReplayBuffer::new(10_000, dim, 2);
-        for i in 0..2000 {
-            buffer.push(Transition {
-                obs: vec![(i % 17) as f32 * 0.05; dim],
-                action: vec![0.1, -0.2],
-                reward: (i % 5) as f32,
-                next_obs: vec![(i % 13) as f32 * 0.05; dim],
-                terminal: i % 50 == 0,
-            });
-        }
+        let buffer = filled_buffer(dim);
         b.iter(|| black_box(sac.update(&buffer, &mut rng)));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_world_step,
-    bench_full_episode_modular,
-    bench_obb_intersection,
-    bench_semantic_camera,
-    bench_feature_extraction,
-    bench_imu_window,
-    bench_policy_inference,
-    bench_sac_update,
-);
-criterion_main!(benches);
+/// Serializes the collected results as the `repro-bench/bench-v1` JSON
+/// schema (flat bench names, so no string escaping is needed beyond
+/// quotes — names are plain identifiers).
+fn results_json(c: &Criterion) -> String {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"repro-bench/bench-v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"benches\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+            r.name,
+            r.median_ns,
+            r.mean_ns,
+            r.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_world_step(&mut c);
+    bench_full_episode_modular(&mut c);
+    bench_obb_intersection(&mut c);
+    bench_semantic_camera(&mut c);
+    bench_feature_extraction(&mut c);
+    bench_imu_window(&mut c);
+    bench_matmul_kernels(&mut c);
+    bench_mlp_forward_scratch(&mut c);
+    bench_policy_inference(&mut c);
+    bench_replay_sample(&mut c);
+    bench_sac_update(&mut c);
+    if let Ok(path) = std::env::var("PERF_JSON") {
+        if !path.is_empty() {
+            match std::fs::write(&path, results_json(&c)) {
+                Ok(()) => eprintln!("[perf] wrote {path}"),
+                Err(e) => eprintln!("[perf] failed {path}: {e}"),
+            }
+        }
+    }
+}

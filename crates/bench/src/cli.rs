@@ -3,10 +3,14 @@
 //! Every binary prepares (or loads) the full artifact set under
 //! `artifacts/` and runs one experiment. Pass `--smoke` (or set
 //! `REPRO_SCALE=smoke`) to use the reduced evaluation scale; pass
-//! `--artifacts <dir>` to point at a different checkpoint directory.
+//! `--artifacts <dir>` to point at a different checkpoint directory; pass
+//! `--perf-json <path>` to write per-phase throughput (steps/sec and
+//! updates/sec) as JSON. Worker-thread count comes from `DRIVE_JOBS`
+//! (see `drive_par`).
 
 use crate::experiments::{ablations, baseline, fig4, fig5, fig6, fig7, fig8};
 use crate::harness::Scale;
+use crate::perf::{PerfReport, ThroughputProbe};
 use attack_core::pipeline::{prepare, Artifacts, PipelineConfig};
 use std::path::PathBuf;
 
@@ -38,6 +42,16 @@ pub fn artifacts_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("artifacts"))
 }
 
+/// Parses the perf-report output path from CLI args (`--perf-json <path>`),
+/// if any.
+pub fn perf_json_path() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--perf-json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
 /// Builds the pipeline configuration used by all binaries.
 pub fn pipeline_config() -> PipelineConfig {
     PipelineConfig {
@@ -60,36 +74,51 @@ pub fn run_experiment(name: &str) {
         scale.box_episodes,
         scale.scatter_rounds
     );
+    let total = ThroughputProbe::start();
+    let mut report = PerfReport::new();
+    let probe = ThroughputProbe::start();
     let artifacts = prepare(&config);
+    report.push(probe.sample("prepare"));
     if name == "all" {
-        run_all(
+        let phases = run_all(
             &artifacts,
             &config,
             scale,
             csv_dir().as_deref(),
             svg_dir().as_deref(),
         );
-        return;
+        report.samples.extend(phases.samples);
+    } else {
+        let probe = ThroughputProbe::start();
+        print_experiment(name, &artifacts, &config, scale);
+        if let Some(dir) = csv_dir() {
+            write_csvs(name, &artifacts, &config, scale, &dir);
+        }
+        if let Some(dir) = svg_dir() {
+            write_svgs(name, &artifacts, &config, scale, &dir);
+        }
+        report.push(probe.sample(name));
     }
-    print_experiment(name, &artifacts, &config, scale);
-    if let Some(dir) = csv_dir() {
-        write_csvs(name, &artifacts, &config, scale, &dir);
-    }
-    if let Some(dir) = svg_dir() {
-        write_svgs(name, &artifacts, &config, scale, &dir);
+    report.push(total.sample("total"));
+    eprint!("{}", report.summary());
+    if let Some(path) = perf_json_path() {
+        match report.write_to(&path) {
+            Ok(()) => eprintln!("[perf] wrote {}", path.display()),
+            Err(e) => eprintln!("[perf] failed {}: {e}", path.display()),
+        }
     }
 }
 
 /// Runs every experiment exactly once, printing all reports and (when the
 /// directories are given) writing CSV and SVG outputs from the same result
-/// objects — no recomputation.
+/// objects — no recomputation. Returns per-figure throughput samples.
 pub fn run_all(
     artifacts: &Artifacts,
     config: &PipelineConfig,
     scale: Scale,
     csv: Option<&std::path::Path>,
     svg: Option<&std::path::Path>,
-) {
+) -> PerfReport {
     use drive_metrics::svg::{bar_chart_svg, box_plot_svg, scatter_svg, write_svg};
     let save_csv = |stem: &str, c: drive_metrics::export::Csv| {
         if let Some(dir) = csv {
@@ -113,8 +142,15 @@ pub fn run_all(
         .iter()
         .map(|b| format!("{b}"))
         .collect();
+    let mut report = PerfReport::new();
+    let mut probe = ThroughputProbe::start();
+    let mut lap = |report: &mut PerfReport, label: &str| {
+        report.push(probe.sample(label));
+        probe = ThroughputProbe::start();
+    };
 
     println!("{}", baseline::run(artifacts, config, scale));
+    lap(&mut report, "baseline");
 
     let f4 = fig4::run(artifacts, config, scale);
     println!("{f4}");
@@ -156,6 +192,7 @@ pub fn run_all(
             box_plot_svg(title, &budgets, &series, "attack budget", "reward"),
         );
     }
+    lap(&mut report, "fig4");
 
     let f5 = fig5::run(artifacts, config, scale);
     println!("{f5}");
@@ -174,6 +211,7 @@ pub fn run_all(
             ),
         );
     }
+    lap(&mut report, "fig5");
 
     let f6 = fig6::run(artifacts, config, scale);
     println!("{f6}");
@@ -199,6 +237,7 @@ pub fn run_all(
             "nominal driving reward",
         ),
     );
+    lap(&mut report, "fig6");
 
     let f7 = fig7::run(artifacts, config, scale);
     println!("{f7}");
@@ -217,6 +256,7 @@ pub fn run_all(
             ),
         );
     }
+    lap(&mut report, "fig7");
 
     let f8 = fig8::run(&f5, &f7);
     println!("{f8}");
@@ -245,8 +285,11 @@ pub fn run_all(
             "attack success rate",
         ),
     );
+    lap(&mut report, "fig8");
 
     println!("{}", ablations::run(artifacts, config, scale));
+    lap(&mut report, "ablations");
+    report
 }
 
 /// Renders the experiment's figures as SVG files under `dir`.

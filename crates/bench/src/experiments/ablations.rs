@@ -124,9 +124,12 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
     });
 
     // --- 2. Switcher threshold sweep (attacked at eps = 0.5) ---
+    // Arms 2-7 parallelize over their sweep items: every item builds its
+    // own agent and per-episode attackers, so the cells are independent
+    // and `par_map` keeps them in sweep order for any worker count.
     let sweep_budget = AttackBudget::new(0.5);
-    let mut switcher_arms = Vec::new();
-    for sigma in [0.0, 0.2, 0.4, 0.6] {
+    let sigmas = [0.0, 0.2, 0.4, 0.6];
+    let switcher_arms = drive_par::par_map(&sigmas, |_, &sigma| {
         let mut agent = E2eAgent::new(
             SimplexSwitcher::new(artifacts.pnn.clone(), sigma, sweep_budget.epsilon()),
             config.features.clone(),
@@ -149,15 +152,15 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             episodes,
             scale.seed + 50,
         );
-        switcher_arms.push(AblationCell {
+        AblationCell {
             label: format!("sigma={sigma:.1}"),
             summary: CellSummary::from_records(&records),
-        });
-    }
+        }
+    });
 
     // --- 3. IMU noise sensitivity ---
-    let mut imu_noise_arms = Vec::new();
-    for mult in [0.0, 1.0, 4.0, 10.0] {
+    let noise_mults = [0.0, 1.0, 4.0, 10.0];
+    let imu_noise_arms = drive_par::par_map(&noise_mults, |_, &mult| {
         let mut imu_cfg = config.imu.clone();
         imu_cfg.accel_noise_std *= mult;
         imu_cfg.gyro_noise_std *= mult;
@@ -178,15 +181,15 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             episodes,
             scale.seed + 99,
         );
-        imu_noise_arms.push(AblationCell {
+        AblationCell {
             label: format!("noise x{mult:.0}"),
             summary: CellSummary::from_records(&records),
-        });
-    }
+        }
+    });
 
     // --- 4. Idealized vs detector-driven switcher ---
-    let mut detector_arms = Vec::new();
-    for eps in [0.0, 0.5, 1.0] {
+    let detector_eps = [0.0, 0.5, 1.0];
+    let detector_pairs = drive_par::par_map(&detector_eps, |_, &eps| {
         let b = AttackBudget::new(eps);
         let attack = |seed: u64| {
             (!b.is_zero()).then(|| {
@@ -213,10 +216,10 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             episodes,
             scale.seed + 7,
         );
-        detector_arms.push(AblationCell {
+        let ideal_cell = AblationCell {
             label: format!("ideal switcher eps={eps:.1}"),
             summary: CellSummary::from_records(&records),
-        });
+        };
 
         let mut detected = DetectorSimplexAgent::new(
             artifacts.pnn.clone(),
@@ -233,21 +236,25 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             episodes,
             scale.seed + 7,
         );
-        detector_arms.push(AblationCell {
+        let detector_cell = AblationCell {
             label: format!("detector switcher eps={eps:.1}"),
             summary: CellSummary::from_records(&records),
-        });
-    }
+        };
+        (ideal_cell, detector_cell)
+    });
+    let detector_arms: Vec<AblationCell> = detector_pairs
+        .into_iter()
+        .flat_map(|(ideal, detected)| [ideal, detected])
+        .collect();
 
     // --- 5. Scenario transfer ---
-    let mut transfer_arms = Vec::new();
     let scenarios = [
         ("default", config.scenario.clone()),
         ("dense", drive_sim::scenario::Scenario::dense_traffic()),
         ("sparse", drive_sim::scenario::Scenario::sparse_traffic()),
         ("two-lane", drive_sim::scenario::Scenario::two_lane()),
     ];
-    for (label, scenario) in scenarios {
+    let transfer_arms = drive_par::par_map(&scenarios, |_, (label, scenario)| {
         let mut agent = E2eAgent::new(artifacts.victim.clone(), config.features.clone(), 5, true);
         let records = run_attacked_episodes(
             &mut agent,
@@ -261,15 +268,15 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
                 ))
             },
             &adv,
-            &scenario,
+            scenario,
             episodes,
             scale.seed + 123,
         );
-        transfer_arms.push(AblationCell {
+        AblationCell {
             label: label.to_string(),
             summary: CellSummary::from_records(&records),
-        });
-    }
+        }
+    });
 
     // --- 6. Action-space vs state-space attack paradigms ---
     let mut paradigm_arms = Vec::new();
@@ -288,7 +295,8 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             summary: CellSummary::from_records(&records),
         });
     }
-    for eps in [0.05f32, 0.1, 0.2] {
+    let state_eps = [0.05f32, 0.1, 0.2];
+    paradigm_arms.extend(drive_par::par_map(&state_eps, |_, &eps| {
         let mut agent = StateAttackedAgent::new(
             artifacts.victim.clone(),
             config.features.clone(),
@@ -312,19 +320,19 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
         let mut summary = CellSummary::from_records(&records);
         summary.success_rate =
             records.iter().filter(|r| r.side_collision()).count() as f64 / records.len() as f64;
-        paradigm_arms.push(AblationCell {
+        AblationCell {
             label: format!("state-space eps={eps} (white-box)"),
             summary,
-        });
-    }
+        }
+    }));
 
     // --- 7. Detector FPR under benign faults vs TPR under attack ---
     // Episodes run one at a time (not through `run_attacked_episodes`)
     // because the detection verdict is read off the agent after each
     // episode: with latching on, `hardened_fraction() > 0` means the
     // detector fired at least once.
-    let mut fault_detector_arms = Vec::new();
-    for intensity in [0.0, 0.5, 1.0] {
+    let intensities = [0.0, 0.5, 1.0];
+    let fault_detector_arms = drive_par::par_map(&intensities, |_, &intensity| {
         let schedule = FaultSchedule::benign(intensity, 0xfa17);
         let mut fired = [0usize; 3]; // benign, camera, imu
         let mut hardened_sum = 0.0;
@@ -373,14 +381,14 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             fired[2] += usize::from(run_one(Some(SensorKind::Imu)));
         }
         let n = episodes.max(1) as f64;
-        fault_detector_arms.push(FaultDetectorCell {
+        FaultDetectorCell {
             intensity,
             benign_fpr: fired[0] as f64 / n,
             camera_tpr: fired[1] as f64 / n,
             imu_tpr: fired[2] as f64 / n,
             mean_hardened_benign: hardened_sum / n,
-        });
-    }
+        }
+    });
 
     AblationResult {
         attacker_arms,

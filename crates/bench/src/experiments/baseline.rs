@@ -34,26 +34,25 @@ impl BaselineResult {
     }
 }
 
-/// Runs the baseline experiment.
+/// Runs the baseline experiment. The two agent cells are independent and
+/// run in parallel; `par_map` preserves the modular-then-e2e order.
 pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> BaselineResult {
-    let cells = [AgentKind::Modular, AgentKind::E2e]
-        .into_iter()
-        .map(|agent| {
-            let records = attacked_records(
-                agent,
-                None,
-                AttackBudget::ZERO,
-                artifacts,
-                config,
-                scale.box_episodes,
-                scale.seed,
-            );
-            BaselineCell {
-                agent,
-                summary: CellSummary::from_records(&records),
-            }
-        })
-        .collect();
+    let agents = [AgentKind::Modular, AgentKind::E2e];
+    let cells = drive_par::par_map(&agents, |_, &agent| {
+        let records = attacked_records(
+            agent,
+            None,
+            AttackBudget::ZERO,
+            artifacts,
+            config,
+            scale.box_episodes,
+            scale.seed,
+        );
+        BaselineCell {
+            agent,
+            summary: CellSummary::from_records(&records),
+        }
+    });
     BaselineResult { cells }
 }
 

@@ -45,29 +45,37 @@ impl Fig4Result {
 }
 
 /// Runs the Fig. 4 experiment.
+///
+/// The 10 (sensor, budget) cells are independent — each builds its own
+/// victim and attacker — so they run in parallel via `drive_par::par_map`,
+/// which keeps the cell order (and thus the CSV) byte-identical to a
+/// serial run for any `DRIVE_JOBS`.
 pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Fig4Result {
-    let mut cells = Vec::new();
+    let mut grid = Vec::new();
     for (sensor, policy) in [
         (SensorKind::Camera, &artifacts.camera_attacker),
         (SensorKind::Imu, &artifacts.imu_attacker),
     ] {
         for budget in AttackBudget::fig4_grid() {
-            let records = attacked_records(
-                AgentKind::E2e,
-                Some((policy, sensor)),
-                budget,
-                artifacts,
-                config,
-                scale.box_episodes,
-                scale.seed,
-            );
-            cells.push(Fig4Cell {
-                sensor,
-                budget: budget.epsilon(),
-                summary: CellSummary::from_records(&records),
-            });
+            grid.push((sensor, policy, budget));
         }
     }
+    let cells = drive_par::par_map(&grid, |_, &(sensor, policy, budget)| {
+        let records = attacked_records(
+            AgentKind::E2e,
+            Some((policy, sensor)),
+            budget,
+            artifacts,
+            config,
+            scale.box_episodes,
+            scale.seed,
+        );
+        Fig4Cell {
+            sensor,
+            budget: budget.epsilon(),
+            summary: CellSummary::from_records(&records),
+        }
+    });
     let nominal = cells
         .iter()
         .find(|c| c.budget == 0.0)

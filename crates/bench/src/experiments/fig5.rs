@@ -72,20 +72,24 @@ impl Fig5Result {
 }
 
 /// Runs the camera-attack sweep for one agent.
+///
+/// The 13 budget cells are independent (per-cell seeds, fresh agents per
+/// cell), so they run in parallel; concatenating the index-ordered
+/// results reproduces the serial record order exactly.
 pub fn sweep_agent(
     agent: AgentKind,
     artifacts: &Artifacts,
     config: &PipelineConfig,
     scale: Scale,
 ) -> Fig5Series {
-    let mut records = Vec::new();
-    for budget in AttackBudget::fig5_grid() {
+    let budgets = AttackBudget::fig5_grid();
+    let per_budget = drive_par::par_map(&budgets, |_, &budget| {
         let attack = if budget.is_zero() {
             None
         } else {
             Some((&artifacts.camera_attacker, SensorKind::Camera))
         };
-        let mut rs = attacked_records(
+        attacked_records(
             agent,
             attack,
             budget,
@@ -93,9 +97,9 @@ pub fn sweep_agent(
             config,
             scale.scatter_rounds,
             scale.seed + (budget.epsilon() * 100.0) as u64,
-        );
-        records.append(&mut rs);
-    }
+        )
+    });
+    let records: Vec<_> = per_budget.into_iter().flatten().collect();
     let points = scatter_points(&records);
     let low: Vec<f64> = points
         .iter()

@@ -78,31 +78,37 @@ impl Fig6Result {
 }
 
 /// Runs the Fig. 6 experiment.
+///
+/// All 25 (agent, budget) cells are independent and run in parallel;
+/// `par_map` keeps them in lineup-then-budget order for any worker count.
 pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Fig6Result {
-    let mut cells = Vec::new();
+    let mut grid = Vec::new();
     for agent in AgentKind::enhanced_lineup() {
         for budget in AttackBudget::fig4_grid() {
-            let attack = if budget.is_zero() {
-                None
-            } else {
-                Some((&artifacts.camera_attacker, SensorKind::Camera))
-            };
-            let records = attacked_records(
-                agent,
-                attack,
-                budget,
-                artifacts,
-                config,
-                scale.box_episodes,
-                scale.seed + (budget.epsilon() * 100.0) as u64,
-            );
-            cells.push(Fig6Cell {
-                agent,
-                budget: budget.epsilon(),
-                summary: CellSummary::from_records(&records),
-            });
+            grid.push((agent, budget));
         }
     }
+    let cells = drive_par::par_map(&grid, |_, &(agent, budget)| {
+        let attack = if budget.is_zero() {
+            None
+        } else {
+            Some((&artifacts.camera_attacker, SensorKind::Camera))
+        };
+        let records = attacked_records(
+            agent,
+            attack,
+            budget,
+            artifacts,
+            config,
+            scale.box_episodes,
+            scale.seed + (budget.epsilon() * 100.0) as u64,
+        );
+        Fig6Cell {
+            agent,
+            budget: budget.epsilon(),
+            summary: CellSummary::from_records(&records),
+        }
+    });
     Fig6Result { cells }
 }
 

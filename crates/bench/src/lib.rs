@@ -12,7 +12,9 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 pub mod resilience;
 
 pub use harness::{attacked_records, build_agent, AgentKind, Scale};
+pub use perf::{PerfReport, PerfSample, ThroughputProbe};
 pub use resilience::{run_cell, CellOutcome, ResilienceConfig};

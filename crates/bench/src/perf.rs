@@ -1,0 +1,239 @@
+//! Throughput instrumentation for the experiment harness.
+//!
+//! [`ThroughputProbe`] snapshots the process-wide simulation-step and
+//! gradient-update counters (`drive_sim::perf`, `drive_rl::perf`) together
+//! with a wall clock; sampling it yields steps/sec and updates/sec for the
+//! measured phase. [`PerfReport`] collects phase samples and serializes
+//! them to JSON (written by `--perf-json <path>`; the criterion bench
+//! target writes the same schema to `BENCH_perf.json`).
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// Throughput of one measured phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSample {
+    /// Phase label (e.g. `"fig4"`).
+    pub label: String,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Simulation control steps executed during the phase.
+    pub steps: u64,
+    /// Gradient updates performed during the phase.
+    pub updates: u64,
+}
+
+impl PerfSample {
+    /// Simulation steps per second (0 for an instantaneous phase).
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.steps as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Gradient updates per second (0 for an instantaneous phase).
+    pub fn updates_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.updates as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Snapshot of the wall clock and both throughput counters.
+///
+/// Construct at a phase boundary, call [`ThroughputProbe::sample`] at the
+/// end of the phase; deltas are cumulative across all worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputProbe {
+    t0: Instant,
+    steps0: u64,
+    updates0: u64,
+}
+
+impl ThroughputProbe {
+    /// Starts measuring from the current counter values.
+    pub fn start() -> Self {
+        ThroughputProbe {
+            t0: Instant::now(),
+            steps0: drive_sim::perf::steps(),
+            updates0: drive_rl::perf::updates(),
+        }
+    }
+
+    /// Measures the phase since [`ThroughputProbe::start`].
+    pub fn sample(&self, label: impl Into<String>) -> PerfSample {
+        PerfSample {
+            label: label.into(),
+            wall_secs: self.t0.elapsed().as_secs_f64(),
+            steps: drive_sim::perf::steps().saturating_sub(self.steps0),
+            updates: drive_rl::perf::updates().saturating_sub(self.updates0),
+        }
+    }
+}
+
+/// A collection of phase samples, serializable as JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// Worker-thread count the phases ran with (`drive_par::jobs()`).
+    pub jobs: usize,
+    /// Per-phase throughput samples, in execution order.
+    pub samples: Vec<PerfSample>,
+}
+
+impl PerfReport {
+    /// A report stamped with the current `drive_par` worker count.
+    pub fn new() -> Self {
+        PerfReport {
+            jobs: drive_par::jobs(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a phase sample.
+    pub fn push(&mut self, sample: PerfSample) {
+        self.samples.push(sample);
+    }
+
+    /// Renders the report as a JSON document (no external serializer:
+    /// the workspace has no JSON dependency, and the schema is flat).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"repro-bench/perf-v1\",\n");
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str("  \"phases\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": {}, \"wall_secs\": {:.3}, \"steps\": {}, \"updates\": {}, \"steps_per_sec\": {:.1}, \"updates_per_sec\": {:.1}}}{}\n",
+                json_string(&s.label),
+                s.wall_secs,
+                s.steps,
+                s.updates,
+                s.steps_per_sec(),
+                s.updates_per_sec(),
+                if i + 1 < self.samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report, creating parent directories as needed.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+
+    /// One human-readable summary line per phase.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&format!(
+                "[perf] {:<12} {:>8.2}s  {:>10.0} steps/s  {:>8.0} updates/s\n",
+                s.label,
+                s.wall_secs,
+                s.steps_per_sec(),
+                s.updates_per_sec()
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_measures_counter_deltas() {
+        let probe = ThroughputProbe::start();
+        drive_sim::perf::record_steps(7);
+        drive_rl::perf::record_updates(3);
+        let s = probe.sample("unit");
+        assert!(s.steps >= 7);
+        assert!(s.updates >= 3);
+        assert!(s.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn rates_are_zero_for_zero_wall_time() {
+        let s = PerfSample {
+            label: "x".into(),
+            wall_secs: 0.0,
+            steps: 10,
+            updates: 10,
+        };
+        assert_eq!(s.steps_per_sec(), 0.0);
+        assert_eq!(s.updates_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn json_report_round_trips_structure() {
+        let mut r = PerfReport::new();
+        r.push(PerfSample {
+            label: "fig4".into(),
+            wall_secs: 2.0,
+            steps: 1000,
+            updates: 50,
+        });
+        r.push(PerfSample {
+            label: "total \"quoted\"".into(),
+            wall_secs: 4.0,
+            steps: 2000,
+            updates: 100,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"repro-bench/perf-v1\""));
+        assert!(json.contains("\"steps_per_sec\": 500.0"));
+        assert!(json.contains("\\\"quoted\\\""));
+        // Exactly one trailing comma between the two phase objects.
+        assert_eq!(json.matches("},\n").count(), 1);
+        let dir = std::env::temp_dir().join("repro-bench-perf-test");
+        let path = dir.join("perf.json");
+        r.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_lists_each_phase() {
+        let mut r = PerfReport::new();
+        r.push(PerfSample {
+            label: "baseline".into(),
+            wall_secs: 1.0,
+            steps: 100,
+            updates: 0,
+        });
+        let text = r.summary();
+        assert!(text.contains("baseline"));
+        assert!(text.contains("steps/s"));
+    }
+}

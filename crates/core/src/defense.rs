@@ -22,6 +22,7 @@ use drive_agents::e2e::Policy;
 use drive_agents::runner::SteerAttacker;
 use drive_nn::gaussian::GaussianPolicy;
 use drive_nn::pnn::{PnnInit, PnnPolicy};
+use drive_nn::scratch::ActScratch;
 use drive_rl::actor::Actor;
 use drive_rl::env::Env;
 use drive_rl::replay::{ReplayBuffer, Transition};
@@ -84,7 +85,7 @@ pub fn sample_training_budget<R: Rng>(rho: f64, rng: &mut R) -> AttackBudget {
 
 /// Runs adversarial SAC training of `actor` (any [`Actor`]) against the
 /// given camera attack policy, returning the trained actor.
-fn adversarial_train<A: Actor + Clone>(
+fn adversarial_train<A: Actor + Clone + Sync>(
     actor: A,
     attacker_policy: &GaussianPolicy,
     scenario: &Scenario,
@@ -165,17 +166,20 @@ fn adversarial_train<A: Actor + Clone>(
 /// Checkpoint-selection metric: mean nominal driving return across the
 /// evaluation budgets, weighted by the training mixture (the zero-budget
 /// cell carries weight `rho`, the attacked cells share `1 - rho`).
-fn eval_actor<A: Actor + Clone>(
+fn eval_actor<A: Actor + Clone + Sync>(
     actor: &A,
     attacker_policy: &GaussianPolicy,
     scenario: &Scenario,
     features: &FeatureConfig,
     config: &DefenseTrainConfig,
 ) -> f64 {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe7a1);
     let eval_budgets = [0.0, 0.25, 0.5, 0.75, 1.0];
-    let mut score = 0.0;
-    for &eps in &eval_budgets {
+    // The budget cells are independent: each gets a fresh environment and
+    // attacker, and the actor acts deterministically (its per-cell RNG is
+    // never drawn), so evaluating them in parallel is output-identical to
+    // the serial loop. `par_map` keeps the means budget-ordered.
+    let means = drive_par::par_map(&eval_budgets, |_, &eps| {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe7a1);
         let budget = AttackBudget::new(eps);
         let mut env = DrivingEnv::new(scenario.clone(), features.clone());
         let mut total = 0.0;
@@ -207,7 +211,10 @@ fn eval_actor<A: Actor + Clone>(
                 }
             }
         }
-        let mean = total / config.eval_episodes.max(1) as f64;
+        total / config.eval_episodes.max(1) as f64
+    });
+    let mut score = 0.0;
+    for (&eps, mean) in eval_budgets.iter().zip(means) {
         let weight = if eps == 0.0 {
             config.rho
         } else {
@@ -299,6 +306,22 @@ impl Policy for SimplexSwitcher {
             self.pnn.act(obs, rng, deterministic)
         } else {
             self.pnn.base().act(obs, rng, deterministic)
+        }
+    }
+    fn action_into(
+        &self,
+        obs: &[f32],
+        rng: &mut StdRng,
+        deterministic: bool,
+        scratch: &mut ActScratch,
+        out: &mut Vec<f32>,
+    ) {
+        if self.uses_hardened_column() {
+            // The PNN's lateral-connected forward has no scratch path yet.
+            *out = self.pnn.act(obs, rng, deterministic);
+        } else {
+            out.clear();
+            out.extend_from_slice(self.pnn.base().act_with(obs, rng, deterministic, scratch));
         }
     }
 }

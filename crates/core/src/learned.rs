@@ -4,6 +4,7 @@ use crate::budget::AttackBudget;
 use crate::sensor::AttackerSensor;
 use drive_agents::runner::SteerAttacker;
 use drive_nn::gaussian::GaussianPolicy;
+use drive_nn::scratch::ActScratch;
 use drive_sim::world::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +17,7 @@ pub struct LearnedAttacker {
     budget: AttackBudget,
     rng: StdRng,
     deterministic: bool,
+    scratch: ActScratch,
 }
 
 impl LearnedAttacker {
@@ -43,6 +45,7 @@ impl LearnedAttacker {
             budget,
             rng: StdRng::seed_from_u64(seed),
             deterministic,
+            scratch: ActScratch::default(),
         }
     }
 
@@ -69,7 +72,10 @@ impl SteerAttacker for LearnedAttacker {
 
     fn delta(&mut self, world: &World) -> f64 {
         let obs = self.sensor.observe(world);
-        let raw = self.policy.act(&obs, &mut self.rng, self.deterministic)[0] as f64;
+        let raw = self
+            .policy
+            .act_with(&obs, &mut self.rng, self.deterministic, &mut self.scratch)[0]
+            as f64;
         self.budget.scale(raw)
     }
 }

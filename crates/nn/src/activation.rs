@@ -18,12 +18,18 @@ impl Activation {
     /// Applies the activation element-wise, returning a new matrix.
     pub fn forward(self, x: &Mat) -> Mat {
         let mut y = x.clone();
+        self.apply_inplace(&mut y);
+        y
+    }
+
+    /// Applies the activation element-wise in place (allocation-free
+    /// [`Activation::forward`] for scratch-buffer pipelines).
+    pub fn apply_inplace(self, x: &mut Mat) {
         match self {
-            Activation::Relu => y.map_inplace(|v| v.max(0.0)),
-            Activation::Tanh => y.map_inplace(f32::tanh),
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Tanh => x.map_inplace(f32::tanh),
             Activation::Identity => {}
         }
-        y
     }
 
     /// Chain-rule backward: given the *output* `y = f(x)` and upstream
@@ -32,24 +38,35 @@ impl Activation {
     /// Both ReLU and tanh derivatives are expressible from the output alone,
     /// which saves caching inputs.
     pub fn backward(self, y: &Mat, grad_out: &Mat) -> Mat {
-        assert_eq!((y.rows(), y.cols()), (grad_out.rows(), grad_out.cols()));
         let mut g = grad_out.clone();
+        self.backward_inplace(y, &mut g);
+        g
+    }
+
+    /// In-place chain-rule backward: scales the upstream gradient `grad`
+    /// by the activation derivative evaluated from the output `y`
+    /// (allocation-free [`Activation::backward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch between `y` and `grad`.
+    pub fn backward_inplace(self, y: &Mat, grad: &mut Mat) {
+        assert_eq!((y.rows(), y.cols()), (grad.rows(), grad.cols()));
         match self {
             Activation::Relu => {
-                for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                for (gv, &yv) in grad.data_mut().iter_mut().zip(y.data()) {
                     if yv <= 0.0 {
                         *gv = 0.0;
                     }
                 }
             }
             Activation::Tanh => {
-                for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                for (gv, &yv) in grad.data_mut().iter_mut().zip(y.data()) {
                     *gv *= 1.0 - yv * yv;
                 }
             }
             Activation::Identity => {}
         }
-        g
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::activation::Activation;
 use crate::mat::Mat;
 use crate::mlp::{Mlp, MlpCache};
+use crate::scratch::ActScratch;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -279,12 +280,46 @@ impl GaussianPolicy {
     ///
     /// With `deterministic`, returns `tanh(mean)`; otherwise a sample.
     pub fn act<R: Rng>(&self, obs: &[f32], rng: &mut R, deterministic: bool) -> Vec<f32> {
-        let m = Mat::from_row(obs);
+        let mut s = ActScratch::default();
+        self.act_with(obs, rng, deterministic, &mut s);
+        s.action
+    }
+
+    /// Allocation-free [`GaussianPolicy::act`]: evaluates the trunk through
+    /// the scratch's reusable buffers and returns a slice of the action
+    /// vector held by the scratch.
+    ///
+    /// Computes bit-identical actions to `act` and draws RNG values in
+    /// exactly the same order, so scratch and allocating paths are
+    /// interchangeable mid-stream without perturbing seeded runs.
+    pub fn act_with<'s, R: Rng>(
+        &self,
+        obs: &[f32],
+        rng: &mut R,
+        deterministic: bool,
+        s: &'s mut ActScratch,
+    ) -> &'s [f32] {
+        let ActScratch {
+            obs: obs_m,
+            trunk,
+            action,
+        } = s;
+        obs_m.copy_from_row(obs);
+        let raw = self.trunk.forward_with(obs_m, trunk);
+        let row = raw.row(0);
+        action.clear();
         if deterministic {
-            self.mean_action(&m).row(0).to_vec()
+            action.extend(row[..self.action_dim].iter().map(|m| m.tanh()));
         } else {
-            self.sample(&m, rng).head.actions.row(0).to_vec()
+            for i in 0..self.action_dim {
+                let mean = row[i];
+                // Same clamp as `sample_head`.
+                let ls = row[self.action_dim + i].clamp(LOG_STD_MIN, LOG_STD_MAX);
+                let n = randn_f32(rng);
+                action.push((mean + ls.exp() * n).tanh());
+            }
         }
+        action
     }
 }
 
@@ -297,6 +332,27 @@ mod tests {
     fn policy() -> GaussianPolicy {
         let mut rng = StdRng::seed_from_u64(5);
         GaussianPolicy::new(4, &[16], 2, &mut rng)
+    }
+
+    /// `act_with` must be a drop-in for `act`: identical actions AND
+    /// identical RNG consumption, for both deterministic and stochastic
+    /// paths, across repeated scratch reuse.
+    #[test]
+    fn act_with_matches_act_and_rng_stream() {
+        let p = policy();
+        let mut s = ActScratch::default();
+        for deterministic in [true, false] {
+            let mut r1 = StdRng::seed_from_u64(33);
+            let mut r2 = StdRng::seed_from_u64(33);
+            for step in 0..5 {
+                let obs = [0.1 * step as f32, -0.4, 0.9, 0.2];
+                let a = p.act(&obs, &mut r1, deterministic);
+                let b = p.act_with(&obs, &mut r2, deterministic, &mut s);
+                assert_eq!(a.as_slice(), b, "step {step} det={deterministic}");
+            }
+            // Both RNGs must have advanced identically.
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod linear;
 pub mod mat;
 pub mod mlp;
 pub mod pnn;
+pub mod scratch;
 
 /// Commonly used items re-exported in one place.
 pub mod prelude {
@@ -46,4 +47,5 @@ pub mod prelude {
     pub use crate::mat::Mat;
     pub use crate::mlp::{Mlp, MlpCache};
     pub use crate::pnn::{PnnInit, PnnPolicy, PnnSampleCache};
+    pub use crate::scratch::{ActScratch, Scratch};
 }

@@ -54,22 +54,42 @@ impl Linear {
     ///
     /// Panics if `x.cols() != in_dim()`.
     pub fn forward(&self, x: &Mat) -> Mat {
-        let mut y = x.matmul_nt(&self.w);
-        y.add_row_broadcast(&self.b);
+        let mut y = Mat::default();
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// Forward pass into a reusable output buffer (allocation-free
+    /// [`Linear::forward`] once the buffer has warmed up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()`.
+    pub fn forward_into(&self, x: &Mat, y: &mut Mat) {
+        x.matmul_nt_into(&self.w, y);
+        y.add_row_broadcast(&self.b);
     }
 
     /// Backward pass. `x` must be the input that produced `grad_out`'s
     /// forward pass. Accumulates parameter gradients and returns the
     /// gradient with respect to the input.
     pub fn backward(&mut self, x: &Mat, grad_out: &Mat) -> Mat {
-        // dW = grad_out^T @ x  (shape out x in)
-        self.grad_w.add_assign(&grad_out.matmul_tn(x));
+        let mut grad_in = Mat::default();
+        self.backward_into(x, grad_out, &mut grad_in);
+        grad_in
+    }
+
+    /// Backward pass writing the input gradient into a reusable buffer.
+    /// Parameter gradients accumulate exactly as in [`Linear::backward`]
+    /// (directly into `grad_w` via `matmul_tn_acc` — no temporary matrix).
+    pub fn backward_into(&mut self, x: &Mat, grad_out: &Mat, grad_in: &mut Mat) {
+        // dW += grad_out^T @ x  (shape out x in)
+        grad_out.matmul_tn_acc(x, &mut self.grad_w);
         for (g, s) in self.grad_b.iter_mut().zip(grad_out.sum_rows()) {
             *g += s;
         }
         // dX = grad_out @ W
-        grad_out.matmul(&self.w)
+        grad_out.matmul_into(&self.w, grad_in);
     }
 
     /// Clears accumulated gradients.

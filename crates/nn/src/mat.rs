@@ -79,6 +79,34 @@ impl Mat {
         replaced
     }
 
+    /// Reshapes the matrix in place to `rows x cols`, reusing the existing
+    /// allocation where possible. Element contents are unspecified after the
+    /// call — callers are expected to overwrite every entry (or use
+    /// [`Mat::fill`] first). Intended for scratch buffers on hot paths.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Makes `self` an element-wise copy of `other`, reusing the existing
+    /// allocation where possible.
+    pub fn copy_from(&mut self, other: &Mat) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Makes `self` a 1-row copy of `row` (allocation-free [`Mat::from_row`]).
+    pub fn copy_from_row(&mut self, row: &[f32]) {
+        self.resize(1, row.len());
+        self.data.copy_from_slice(row);
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -109,27 +137,63 @@ impl Mat {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other` written into `out` (resized and overwritten) —
+    /// allocation-free when `out`'s buffer is already large enough.
+    ///
+    /// The inner loops are branch-free and unrolled over `chunks_exact`
+    /// blocks of the inner dimension; each output element still accumulates
+    /// its products in ascending-`k` order, so results are bit-identical to
+    /// the naive triple loop. Note non-finite inputs propagate: `0.0 * NaN`
+    /// is `NaN` here (use [`Mat::sanitize_nonfinite`] to guard entry points).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, other.rows,
             "matmul inner dims: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.rows, other.cols);
-        // i-k-j loop order: sequential access of `other` rows.
+        out.resize(self.rows, other.cols);
+        out.fill(0.0);
+        let oc = other.cols;
+        if oc == 0 {
+            return;
+        }
+        // i-k-j loop order: sequential access of `other` rows; k unrolled
+        // by 4 with one vectorizable j-sweep per unrolled block.
         for i in 0..self.rows {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            let out_row = &mut out.data[i * oc..(i + 1) * oc];
+            let a_quads = a_row.chunks_exact(4);
+            let a_rem = a_quads.remainder();
+            let b_quads = other.data.chunks_exact(4 * oc);
+            let b_rem = b_quads.remainder();
+            for (aq, bq) in a_quads.zip(b_quads) {
+                let (b0, rest) = bq.split_at(oc);
+                let (b1, rest) = rest.split_at(oc);
+                let (b2, b3) = rest.split_at(oc);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    // Separate statements keep per-element accumulation in
+                    // ascending-k order (bit-identical to the scalar loop).
+                    *o += aq[0] * b0[j];
+                    *o += aq[1] * b1[j];
+                    *o += aq[2] * b2[j];
+                    *o += aq[3] * b3[j];
                 }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+            }
+            for (&a, b_row) in a_rem.iter().zip(b_rem.chunks_exact(oc)) {
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// `self @ other^T` — product with the transpose of `other`, the common
@@ -139,24 +203,49 @@ impl Mat {
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other^T` written into `out` (resized and overwritten) —
+    /// allocation-free when `out`'s buffer is already large enough.
+    ///
+    /// Each dot product unrolls over `chunks_exact(4)` blocks but keeps a
+    /// single accumulator updated in ascending order, so results are
+    /// bit-identical to the scalar loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt dims: {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.rows, other.rows);
+        out.resize(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..other.rows {
                 let b_row = other.row(j);
                 let mut acc = 0.0f32;
-                for (a, b) in a_row.iter().zip(b_row) {
+                let a_quads = a_row.chunks_exact(4);
+                let a_rem = a_quads.remainder();
+                let b_quads = b_row.chunks_exact(4);
+                let b_rem = b_quads.remainder();
+                for (aq, bq) in a_quads.zip(b_quads) {
+                    acc += aq[0] * bq[0];
+                    acc += aq[1] * bq[1];
+                    acc += aq[2] * bq[2];
+                    acc += aq[3] * bq[3];
+                }
+                for (a, b) in a_rem.iter().zip(b_rem) {
                     acc += a * b;
                 }
                 out.data[i * other.rows + j] = acc;
             }
         }
-        out
     }
 
     /// `self^T @ other` — used for weight-gradient accumulation
@@ -166,26 +255,43 @@ impl Mat {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.cols, other.cols);
+        self.matmul_tn_acc(other, &mut out);
+        out
+    }
+
+    /// `acc += self^T @ other` — accumulates the weight-gradient product
+    /// directly into an existing matrix (e.g. `grad_w`), avoiding the
+    /// temporary that `add_assign(&a.matmul_tn(b))` would allocate.
+    ///
+    /// Accumulation per output element runs in ascending batch-row order,
+    /// matching the naive loop bit-for-bit when `acc` starts at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows` or `acc` is not
+    /// `self.cols x other.cols`.
+    pub fn matmul_tn_acc(&self, other: &Mat, acc: &mut Mat) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn dims: ({}x{})^T @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.cols, other.cols);
+        assert_eq!(
+            (acc.rows, acc.cols),
+            (self.cols, other.cols),
+            "matmul_tn_acc accumulator shape"
+        );
         for b in 0..self.rows {
             let a_row = self.row(b);
             let o_row = other.row(b);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let out_row = &mut acc.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &g) in out_row.iter_mut().zip(o_row) {
                     *o += a * g;
                 }
             }
         }
-        out
     }
 
     /// Element-wise in-place map.
@@ -275,6 +381,14 @@ impl Mat {
     }
 }
 
+/// An empty `0x0` matrix — the natural seed for scratch buffers that are
+/// resized on first use.
+impl Default for Mat {
+    fn default() -> Self {
+        Mat::zeros(0, 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +471,74 @@ mod tests {
     fn from_row_is_single_row() {
         let m = Mat::from_row(&[1.0, 2.0]);
         assert_eq!((m.rows(), m.cols()), (1, 2));
+    }
+
+    /// Regression for the removed zero-skip: IEEE-754 says `0.0 * NaN` is
+    /// `NaN`, but the old `if a == 0.0 { continue }` branch silently
+    /// dropped the product, masking poisoned operands. The kernels must
+    /// surface the NaN so `sanitize_nonfinite` can catch it downstream.
+    #[test]
+    fn matmul_propagates_nan_through_zero_coefficients() {
+        let a = Mat::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Mat::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        let mut c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0.0 * NaN must propagate in matmul");
+
+        let t = Mat::from_vec(2, 1, vec![0.0, 1.0]);
+        let g = Mat::from_vec(2, 1, vec![f32::NAN, 3.0]);
+        let d = t.matmul_tn(&g);
+        assert!(
+            d.get(0, 0).is_nan(),
+            "0.0 * NaN must propagate in matmul_tn"
+        );
+
+        // The numeric guard then catches what the kernel surfaced.
+        assert_eq!(c.sanitize_nonfinite(), 1);
+        assert_eq!(c.data(), &[0.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_after_reuse() {
+        let a = Mat::from_vec(3, 5, (0..15).map(|i| (i as f32) * 0.37 - 2.0).collect());
+        let b = Mat::from_vec(5, 4, (0..20).map(|i| (i as f32) * -0.21 + 1.5).collect());
+        let bt = Mat::from_vec(4, 5, (0..20).map(|i| (i as f32) * 0.11).collect());
+
+        // Deliberately mis-shaped, dirty scratch buffers: `_into` must
+        // resize and fully overwrite them.
+        let mut out = Mat::from_vec(1, 2, vec![9.9, -9.9]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        a.matmul_nt_into(&bt, &mut out);
+        assert_eq!(out, a.matmul_nt(&bt));
+    }
+
+    #[test]
+    fn matmul_tn_acc_accumulates_on_top() {
+        let a = Mat::from_vec(3, 2, (0..6).map(|i| i as f32).collect());
+        let g = Mat::from_vec(3, 4, (0..12).map(|i| (i as f32) * 0.5).collect());
+        let mut acc = a.matmul_tn(&g);
+        let once = acc.clone();
+        a.matmul_tn_acc(&g, &mut acc);
+        for (twice, one) in acc.data().iter().zip(once.data()) {
+            assert_eq!(*twice, one * 2.0);
+        }
+    }
+
+    #[test]
+    fn resize_and_copy_helpers_reuse_buffers() {
+        let mut m = Mat::zeros(2, 3);
+        m.resize(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        m.fill(7.0);
+        assert!(m.data().iter().all(|&v| v == 7.0));
+
+        let src = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        m.copy_from_row(&[4.0, 5.0]);
+        assert_eq!((m.rows(), m.cols()), (1, 2));
+        assert_eq!(m.row(0), &[4.0, 5.0]);
     }
 
     #[test]

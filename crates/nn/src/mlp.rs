@@ -3,6 +3,7 @@
 use crate::activation::Activation;
 use crate::linear::Linear;
 use crate::mat::Mat;
+use crate::scratch::Scratch;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -107,12 +108,37 @@ impl Mlp {
     /// zeroed before the first layer so they cannot propagate; healthy
     /// inputs pass through bit-identically.
     pub fn forward(&self, x: &Mat) -> Mat {
-        let mut h = x.clone();
-        h.sanitize_nonfinite();
+        let mut s = Scratch::default();
+        self.forward_with(x, &mut s).clone()
+    }
+
+    /// Forward pass through reusable ping-pong buffers — the
+    /// allocation-free core of [`Mlp::forward`]. Returns a reference into
+    /// the scratch holding the network output; repeated calls with the
+    /// same scratch allocate nothing once the buffers have warmed up.
+    ///
+    /// Applies the same non-finite input guard as [`Mlp::forward`] and
+    /// computes bit-identical outputs.
+    pub fn forward_with<'s>(&self, x: &Mat, s: &'s mut Scratch) -> &'s Mat {
+        let Scratch { a, b } = s;
+        a.copy_from(x);
+        a.sanitize_nonfinite();
+        let mut cur_is_a = true;
         for (layer, act) in self.layers.iter().zip(&self.acts) {
-            h = act.forward(&layer.forward(&h));
+            let (src, dst) = if cur_is_a {
+                (&*a, &mut *b)
+            } else {
+                (&*b, &mut *a)
+            };
+            layer.forward_into(src, dst);
+            act.apply_inplace(dst);
+            cur_is_a = !cur_is_a;
         }
-        h
+        if cur_is_a {
+            a
+        } else {
+            b
+        }
     }
 
     /// Forward pass that records intermediates for [`Mlp::backward`].
@@ -123,10 +149,12 @@ impl Mlp {
         let mut post = Vec::with_capacity(self.layers.len());
         let mut input = x.clone();
         input.sanitize_nonfinite();
-        let mut h = input.clone();
-        for (layer, act) in self.layers.iter().zip(&self.acts) {
-            h = act.forward(&layer.forward(&h));
-            post.push(h.clone());
+        for (i, (layer, act)) in self.layers.iter().zip(&self.acts).enumerate() {
+            let src = if i == 0 { &input } else { &post[i - 1] };
+            let mut h = Mat::default();
+            layer.forward_into(src, &mut h);
+            act.apply_inplace(&mut h);
+            post.push(h);
         }
         MlpCache { input, post }
     }
@@ -139,26 +167,56 @@ impl Mlp {
     ///
     /// Panics if the cache does not match this network's depth.
     pub fn backward(&mut self, cache: &MlpCache, grad_out: &Mat) -> Mat {
+        let mut s = Scratch::default();
+        self.backward_with(cache, grad_out, &mut s).clone()
+    }
+
+    /// Backward pass through reusable ping-pong buffers — the
+    /// allocation-free core of [`Mlp::backward`]. Parameter gradients
+    /// accumulate exactly as in [`Mlp::backward`]; the returned reference
+    /// points into the scratch and holds the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not match this network's depth.
+    pub fn backward_with<'s>(
+        &mut self,
+        cache: &MlpCache,
+        grad_out: &Mat,
+        s: &'s mut Scratch,
+    ) -> &'s Mat {
         assert_eq!(
             cache.post.len(),
             self.layers.len(),
             "cache/network depth mismatch"
         );
-        let mut g = grad_out.clone();
+        let Scratch { a, b } = s;
+        a.copy_from(grad_out);
         // A single NaN in the output gradient would poison every parameter
         // gradient below it; zeroing the entry just skips that sample's
         // contribution.
-        g.sanitize_nonfinite();
+        a.sanitize_nonfinite();
+        let mut cur_is_a = true;
         for i in (0..self.layers.len()).rev() {
-            g = self.acts[i].backward(&cache.post[i], &g);
+            let (g, next) = if cur_is_a {
+                (&mut *a, &mut *b)
+            } else {
+                (&mut *b, &mut *a)
+            };
+            self.acts[i].backward_inplace(&cache.post[i], g);
             let input = if i == 0 {
                 &cache.input
             } else {
                 &cache.post[i - 1]
             };
-            g = self.layers[i].backward(input, &g);
+            self.layers[i].backward_into(input, g, next);
+            cur_is_a = !cur_is_a;
         }
-        g
+        if cur_is_a {
+            a
+        } else {
+            b
+        }
     }
 
     /// Clears all accumulated gradients.
@@ -312,6 +370,36 @@ mod tests {
     fn too_few_sizes_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = Mlp::new(&[3], Activation::Relu, Activation::Identity, &mut rng);
+    }
+
+    #[test]
+    fn scratch_forward_and_backward_match_allocating_paths() {
+        use crate::scratch::Scratch;
+        let n = net();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = Scratch::default();
+        // Reuse one scratch across calls with different batch sizes: every
+        // call must still match the allocating path bit-for-bit.
+        for batch in [1usize, 4, 2] {
+            let x = Mat::from_vec(
+                batch,
+                4,
+                (0..batch * 4).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            );
+            assert_eq!(n.forward_with(&x, &mut s), &n.forward(&x));
+        }
+
+        let mut a = net();
+        let mut b = net();
+        let x = Mat::from_vec(2, 4, (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect());
+        let cache = a.forward_cached(&x);
+        let grad_out = Mat::from_vec(2, 3, vec![0.5; 6]);
+        a.zero_grad();
+        b.zero_grad();
+        let gi_alloc = a.backward(&cache, &grad_out);
+        let gi_scratch = b.backward_with(&cache, &grad_out, &mut s).clone();
+        assert_eq!(gi_alloc, gi_scratch);
+        assert_eq!(a, b, "accumulated gradients must match exactly");
     }
 
     #[test]

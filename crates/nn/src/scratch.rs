@@ -1,0 +1,32 @@
+//! Reusable workspaces for allocation-free network evaluation.
+//!
+//! The hot paths in this repo call tiny networks once per simulated
+//! control step (batch size 1), so per-call `Mat` allocations dominate
+//! the cost of the arithmetic. A [`Scratch`] is a ping-pong buffer pair
+//! that a chained layer evaluation bounces between; an [`ActScratch`]
+//! bundles everything a single-observation `act` call needs. Both start
+//! empty and warm up to the right shapes on first use, after which
+//! repeated calls are allocation-free.
+//!
+//! Scratch buffers hold no learned state — they are pure workspaces, so
+//! cloning an agent clones only buffer capacity, never behaviour.
+
+use crate::mat::Mat;
+
+/// Ping-pong buffer pair for chained layer evaluation (see
+/// [`crate::mlp::Mlp::forward_with`]).
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    pub(crate) a: Mat,
+    pub(crate) b: Mat,
+}
+
+/// Workspace for a single-observation policy `act` call: the 1-row
+/// observation matrix, the trunk's ping-pong buffers, and the action
+/// output vector.
+#[derive(Debug, Clone, Default)]
+pub struct ActScratch {
+    pub(crate) obs: Mat,
+    pub(crate) trunk: Scratch,
+    pub(crate) action: Vec<f32>,
+}

@@ -128,6 +128,7 @@ pub fn clone_policy<R: Rng>(
         policy.trunk_mut().zero_grad();
         policy.backward_mean(&obs, &grad);
         opt.step(|f| policy.trunk_mut().visit_params(f));
+        crate::perf::record_updates(1);
     }
     last
 }

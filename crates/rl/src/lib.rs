@@ -22,6 +22,7 @@
 pub mod actor;
 pub mod bc;
 pub mod env;
+pub mod perf;
 pub mod replay;
 pub mod sac;
 pub mod stats;

@@ -1,0 +1,32 @@
+//! Process-wide gradient-update throughput counter.
+//!
+//! [`crate::sac::Sac::update_batch`] bumps a relaxed atomic per update, so
+//! harnesses can compute updates/sec across training stages (and worker
+//! threads) without threading counters through every trainer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UPDATES: AtomicU64 = AtomicU64::new(0);
+
+/// Records `n` gradient updates.
+#[inline]
+pub fn record_updates(n: u64) {
+    UPDATES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total gradient updates performed by this process so far.
+pub fn updates() -> u64 {
+    UPDATES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic() {
+        let before = updates();
+        record_updates(2);
+        assert!(updates() >= before + 2);
+    }
+}

@@ -46,6 +46,20 @@ impl Batch {
     }
 }
 
+/// An empty batch — the natural seed for a reusable buffer filled by
+/// [`ReplayBuffer::sample_into`].
+impl Default for Batch {
+    fn default() -> Self {
+        Batch {
+            obs: Mat::default(),
+            actions: Mat::default(),
+            rewards: Vec::new(),
+            next_obs: Mat::default(),
+            terminals: Vec::new(),
+        }
+    }
+}
+
 /// Fixed-capacity ring buffer with uniform sampling.
 #[derive(Debug, Clone)]
 pub struct ReplayBuffer {
@@ -111,27 +125,37 @@ impl ReplayBuffer {
     ///
     /// Panics if the buffer is empty or `batch == 0`.
     pub fn sample<R: Rng>(&self, batch: usize, rng: &mut R) -> Batch {
+        let mut out = Batch::default();
+        self.sample_into(batch, rng, &mut out);
+        out
+    }
+
+    /// Samples a uniform mini-batch with replacement into a caller-provided
+    /// [`Batch`], reusing its buffers — the allocation-free core of
+    /// [`ReplayBuffer::sample`] for hot training loops (thousands of SAC
+    /// updates per run). Draws the RNG in exactly the same order as
+    /// `sample`, so the two are interchangeable mid-stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or `batch == 0`.
+    pub fn sample_into<R: Rng>(&self, batch: usize, rng: &mut R, out: &mut Batch) {
         assert!(!self.is_empty(), "cannot sample from an empty buffer");
         assert!(batch > 0, "batch size must be positive");
-        let mut obs = Mat::zeros(batch, self.obs_dim);
-        let mut actions = Mat::zeros(batch, self.action_dim);
-        let mut next_obs = Mat::zeros(batch, self.obs_dim);
-        let mut rewards = Vec::with_capacity(batch);
-        let mut terminals = Vec::with_capacity(batch);
+        out.obs.resize(batch, self.obs_dim);
+        out.actions.resize(batch, self.action_dim);
+        out.next_obs.resize(batch, self.obs_dim);
+        out.rewards.clear();
+        out.rewards.reserve(batch);
+        out.terminals.clear();
+        out.terminals.reserve(batch);
         for b in 0..batch {
             let t = &self.storage[rng.gen_range(0..self.storage.len())];
-            obs.row_mut(b).copy_from_slice(&t.obs);
-            actions.row_mut(b).copy_from_slice(&t.action);
-            next_obs.row_mut(b).copy_from_slice(&t.next_obs);
-            rewards.push(t.reward);
-            terminals.push(if t.terminal { 1.0 } else { 0.0 });
-        }
-        Batch {
-            obs,
-            actions,
-            rewards,
-            next_obs,
-            terminals,
+            out.obs.row_mut(b).copy_from_slice(&t.obs);
+            out.actions.row_mut(b).copy_from_slice(&t.action);
+            out.next_obs.row_mut(b).copy_from_slice(&t.next_obs);
+            out.rewards.push(t.reward);
+            out.terminals.push(if t.terminal { 1.0 } else { 0.0 });
         }
     }
 }
@@ -196,6 +220,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let b = rb.sample(4, &mut rng);
         assert!(b.terminals.iter().all(|&m| m == 1.0));
+    }
+
+    #[test]
+    fn sample_into_reuses_buffers_and_matches_sample() {
+        let mut rb = ReplayBuffer::new(16, 2, 1);
+        for i in 0..9 {
+            rb.push(tr(i as f32));
+        }
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let mut reused = Batch::default();
+        for _ in 0..4 {
+            let fresh = rb.sample(6, &mut r1);
+            rb.sample_into(6, &mut r2, &mut reused);
+            assert_eq!(fresh.obs, reused.obs);
+            assert_eq!(fresh.actions, reused.actions);
+            assert_eq!(fresh.next_obs, reused.next_obs);
+            assert_eq!(fresh.rewards, reused.rewards);
+            assert_eq!(fresh.terminals, reused.terminals);
+        }
+        // RNG streams stayed in lockstep.
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
     }
 
     #[test]

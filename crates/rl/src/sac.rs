@@ -92,6 +92,9 @@ pub struct Sac<A: Actor = GaussianPolicy> {
     obs_dim: usize,
     action_dim: usize,
     updates: usize,
+    /// Reusable mini-batch buffers for [`Sac::update`] — pure workspace,
+    /// carries no learned state.
+    batch_scratch: Batch,
 }
 
 impl Sac<GaussianPolicy> {
@@ -145,6 +148,7 @@ impl<A: Actor> Sac<A> {
             obs_dim,
             action_dim,
             updates: 0,
+            batch_scratch: Batch::default(),
         }
     }
 
@@ -187,8 +191,13 @@ impl<A: Actor> Sac<A> {
     /// Panics if the buffer shapes do not match the learner or the buffer is
     /// empty.
     pub fn update(&mut self, buffer: &ReplayBuffer, rng: &mut StdRng) -> SacLosses {
-        let batch = buffer.sample(self.config.batch_size, rng);
-        self.update_batch(&batch, rng)
+        // Move the reusable batch out so `update_batch` can borrow `self`;
+        // its buffers warm up once and are then reused every update.
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        buffer.sample_into(self.config.batch_size, rng, &mut batch);
+        let losses = self.update_batch(&batch, rng);
+        self.batch_scratch = batch;
+        losses
     }
 
     /// Number of gradient updates performed.
@@ -199,6 +208,7 @@ impl<A: Actor> Sac<A> {
     /// Performs one gradient update on a pre-sampled batch.
     pub fn update_batch(&mut self, batch: &Batch, rng: &mut StdRng) -> SacLosses {
         self.updates += 1;
+        crate::perf::record_updates(1);
         let actor_frozen = self.updates <= self.config.actor_delay;
         let n = batch.len();
         let nf = n as f32;

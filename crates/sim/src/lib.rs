@@ -26,6 +26,7 @@
 pub mod faults;
 pub mod geometry;
 pub mod npc;
+pub mod perf;
 pub mod record;
 pub mod render;
 pub mod road;

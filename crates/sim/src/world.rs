@@ -223,6 +223,7 @@ impl World {
             };
         }
 
+        crate::perf::record_steps(1);
         let dt = self.scenario.dt;
         let substeps = self.scenario.substeps;
 

@@ -6,9 +6,20 @@
 //! iteration — adequate for the relative comparisons the repo's perf
 //! benches make, without upstream criterion's statistical machinery or
 //! plotting. Benches run with `cargo bench` exactly as before.
+//!
+//! Two extensions over upstream's interface that the workspace relies on:
+//! results are kept on the [`Criterion`] instance ([`Criterion::results`])
+//! so bench binaries can export them (e.g. as `BENCH_perf.json`), and
+//! setting `CRITERION_QUICK=1` shrinks the warmup/measure budgets for CI
+//! smoke runs where absolute precision does not matter.
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
+
+/// Whether `CRITERION_QUICK` requests shortened measurement budgets.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Prevents the compiler from optimizing a benchmark value away.
 pub fn black_box<T>(x: T) -> T {
@@ -29,8 +40,9 @@ impl Bencher {
     /// Times the routine: brief warmup, then measured batches until a fixed
     /// time budget is spent.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let (warmup_ms, measure_ms) = if quick_mode() { (20, 80) } else { (200, 800) };
         // Warmup + calibration: find a batch size that takes ~1 ms.
-        let warmup_deadline = Instant::now() + Duration::from_millis(200);
+        let warmup_deadline = Instant::now() + Duration::from_millis(warmup_ms);
         let mut batch: u64 = 1;
         loop {
             let t0 = Instant::now();
@@ -49,7 +61,7 @@ impl Bencher {
         let mut samples_ns: Vec<f64> = Vec::new();
         let mut total_ns = 0.0;
         let mut total_iters: u64 = 0;
-        let measure_deadline = Instant::now() + Duration::from_millis(800);
+        let measure_deadline = Instant::now() + Duration::from_millis(measure_ms);
         while Instant::now() < measure_deadline || samples_ns.len() < 5 {
             let t0 = Instant::now();
             for _ in 0..batch {
@@ -70,9 +82,24 @@ impl Bencher {
     }
 }
 
+/// Timing of one completed benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name as passed to `bench_function`.
+    pub name: String,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
 /// Top-level benchmark registry, mirroring criterion's entry point.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Runs one named benchmark and prints its timing line.
@@ -90,7 +117,18 @@ impl Criterion {
             fmt_ns(b.mean_ns),
             b.iters
         );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: b.median_ns,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+        });
         self
+    }
+
+    /// All benchmark results recorded so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
@@ -141,6 +179,11 @@ mod tests {
                 acc
             });
         });
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "noop_add");
+        assert!(results[0].iters > 0);
+        assert!(results[0].mean_ns > 0.0);
     }
 
     #[test]
