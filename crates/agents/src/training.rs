@@ -16,6 +16,7 @@ use drive_rl::bc::{clone_policy, BcConfig, Demonstrations};
 use drive_rl::env::Env;
 use drive_rl::replay::{ReplayBuffer, Transition};
 use drive_rl::sac::{Sac, SacConfig};
+use drive_seed::SeedTree;
 use drive_sim::scenario::Scenario;
 use drive_sim::sensors::{FeatureConfig, FeatureExtractor};
 use drive_sim::world::World;
@@ -127,7 +128,7 @@ pub fn train_victim(
     features: &FeatureConfig,
     config: &VictimTrainConfig,
 ) -> GaussianPolicy {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x51c7);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("victim-bc").seed());
     let demos = collect_demonstrations(
         scenario,
         features,
@@ -159,7 +160,7 @@ fn refine_with_sac(
     features: &FeatureConfig,
     config: &VictimTrainConfig,
 ) -> GaussianPolicy {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ac0);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("victim-sac").seed());
     let eval_seed = 90_000 + config.seed;
     let mut best = policy.clone();
     let (mut best_score, _) =

@@ -1,12 +1,13 @@
 //! `cargo bench` figure harness: regenerates every table/figure of the
-//! paper at smoke scale against quick-trained artifacts, so the full
-//! pipeline stays exercised on every bench run. For paper-scale numbers
-//! run the binaries (`cargo run --release -p repro-bench --bin repro_all`)
-//! against fully trained artifacts.
+//! paper at smoke scale against quick-trained artifacts, driven through
+//! the experiment registry — so the engine, every `Experiment` impl, and
+//! the manifest writer stay exercised on every bench run. For paper-scale
+//! numbers run the binaries (`cargo run --release -p repro-bench --bin
+//! repro_all`) against fully trained artifacts.
 
 use attack_core::pipeline::{prepare, PipelineConfig};
-use repro_bench::cli::print_experiment;
-use repro_bench::Scale;
+use repro_bench::engine;
+use repro_bench::{Registry, RunContext, Scale};
 use std::time::Instant;
 
 fn main() {
@@ -18,18 +19,21 @@ fn main() {
         "[figures] artifacts ready in {:.1}s",
         t0.elapsed().as_secs_f64()
     );
-    for name in [
-        "baseline",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "ablations",
-    ] {
-        let t = Instant::now();
-        print_experiment(name, &artifacts, &config, Scale::smoke());
-        eprintln!("[figures] {name} in {:.1}s", t.elapsed().as_secs_f64());
+    let mut ctx = RunContext::new(&artifacts, &config, Scale::smoke());
+    ctx.csv_dir = Some(dir.join("out"));
+    for exp in Registry::all() {
+        let outcome = engine::execute(*exp, &ctx).expect("engine run");
+        println!("{}", outcome.report);
+        let manifest = outcome.manifest.expect("csv sink set");
+        manifest
+            .verify(&dir.join("out"))
+            .expect("fresh outputs match their manifest");
+        eprintln!(
+            "[figures] {} in {:.1}s ({:.0} steps/s)",
+            outcome.name,
+            outcome.sample.wall_secs,
+            outcome.sample.steps_per_sec()
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

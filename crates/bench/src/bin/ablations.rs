@@ -1,5 +1,5 @@
-//! Regenerates the paper's ablations report. See `repro_bench::cli`.
+//! Regenerates the ablation studies via the experiment registry. See `repro_bench::cli`.
 
 fn main() {
-    repro_bench::cli::run_experiment("ablations");
+    std::process::exit(repro_bench::cli::main_for("ablations"));
 }

@@ -1,5 +1,5 @@
-//! Regenerates the paper's baseline report. See `repro_bench::cli`.
+//! Regenerates the paper's §III baseline report via the experiment registry. See `repro_bench::cli`.
 
 fn main() {
-    repro_bench::cli::run_experiment("baseline");
+    std::process::exit(repro_bench::cli::main_for("baseline"));
 }

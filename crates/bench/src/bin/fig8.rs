@@ -1,5 +1,5 @@
-//! Regenerates the paper's fig8 report. See `repro_bench::cli`.
+//! Regenerates the paper's fig8 report via the experiment registry. See `repro_bench::cli`.
 
 fn main() {
-    repro_bench::cli::run_experiment("fig8");
+    std::process::exit(repro_bench::cli::main_for("fig8"));
 }

@@ -1,8 +1,16 @@
-//! Trains (or loads) every artifact of the paper at full scale and exits.
-//! Subsequent figure binaries then run instantly from the cache.
+//! Trains (or loads) every artifact of the paper and exits. Subsequent
+//! figure binaries then run instantly from the cache. Honors the shared
+//! CLI flags (`--artifacts <dir>`, `--quick`).
 
 fn main() {
-    let config = repro_bench::cli::pipeline_config();
+    let args = match repro_bench::cli::CliArgs::from_env() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(repro_bench::cli::exit_code(&e));
+        }
+    };
+    let config = args.pipeline_config();
     let artifacts = attack_core::pipeline::prepare(&config);
     eprintln!(
         "prepared: victim({} params), camera / imu attackers, 2 finetuned, pnn",

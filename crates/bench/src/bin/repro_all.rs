@@ -1,5 +1,6 @@
-//! Runs every experiment in sequence (baseline, Fig. 4–8, ablations).
+//! Runs every registered experiment in sequence (baseline, Fig. 4–8,
+//! ablations) via the registry. See `repro_bench::cli`.
 
 fn main() {
-    repro_bench::cli::run_experiment("all");
+    std::process::exit(repro_bench::cli::main_for("all"));
 }

@@ -1,0 +1,7 @@
+//! The experiment multiplexer: run any registered experiment by name,
+//! `--list` the registry, `--filter` a subset, `--all` of it, or
+//! `validate-manifest` a previous run's outputs. See `repro_bench::cli`.
+
+fn main() {
+    std::process::exit(repro_bench::cli::main_from_env());
+}

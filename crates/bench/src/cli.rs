@@ -1,586 +1,435 @@
-//! Shared entry point for the figure binaries.
+//! Registry-dispatched command line shared by every bench binary.
 //!
-//! Every binary prepares (or loads) the full artifact set under
-//! `artifacts/` and runs one experiment. Pass `--smoke` (or set
-//! `REPRO_SCALE=smoke`) to use the reduced evaluation scale; pass
-//! `--artifacts <dir>` to point at a different checkpoint directory; pass
-//! `--perf-json <path>` to write per-phase throughput (steps/sec and
-//! updates/sec) as JSON. Worker-thread count comes from `DRIVE_JOBS`
-//! (see `drive_par`).
+//! All experiment logic lives behind the [`Experiment`](crate::Experiment)
+//! trait; this module only parses arguments, selects experiments from the
+//! [`Registry`], and drives [`engine::execute`]. Flags:
+//!
+//! * `--list` — print the experiment registry and exit
+//! * `--filter <substr>` — run every experiment whose name matches
+//! * `--all` — run the whole registry in order
+//! * `--smoke` (or `REPRO_SCALE=smoke`) — reduced evaluation scale
+//! * `--quick` — quick-trained artifacts (CI preset, not paper numbers)
+//! * `--csv <dir>` / `--svg <dir>` — write data/figure outputs (a
+//!   `<name>.manifest.json` with per-file checksums lands next to them)
+//! * `--artifacts <dir>` — checkpoint directory (default `artifacts/`)
+//! * `--perf-json <path>` — write per-phase throughput as JSON
+//! * `validate-manifest <path>` — re-check a manifest's file checksums
+//!
+//! Worker-thread count comes from `DRIVE_JOBS` (see `drive_par`).
 
-use crate::experiments::{ablations, baseline, fig4, fig5, fig6, fig7, fig8};
+use crate::engine::{self, Registry, RunContext};
 use crate::harness::Scale;
+use crate::manifest::Manifest;
 use crate::perf::{PerfReport, ThroughputProbe};
-use attack_core::pipeline::{prepare, Artifacts, PipelineConfig};
-use std::path::PathBuf;
+use attack_core::pipeline::{prepare, PipelineConfig};
+use std::path::{Path, PathBuf};
 
-/// Parses the SVG output directory from CLI args (`--svg <dir>`), if any.
-pub fn svg_dir() -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--svg")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+/// Parsed command line for the bench binaries.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    /// Experiment names to run, in order.
+    pub names: Vec<String>,
+    /// Print the registry and exit.
+    pub list: bool,
+    /// Run every experiment whose name contains this substring.
+    pub filter: Option<String>,
+    /// Run the whole registry.
+    pub all: bool,
+    /// Use the quick-training pipeline preset.
+    pub quick: bool,
+    /// Use the reduced evaluation scale.
+    pub smoke: bool,
+    /// CSV output directory.
+    pub csv: Option<PathBuf>,
+    /// SVG output directory.
+    pub svg: Option<PathBuf>,
+    /// Artifact checkpoint directory (`None` = `artifacts/`).
+    pub artifacts: Option<PathBuf>,
+    /// Perf-report JSON path.
+    pub perf_json: Option<PathBuf>,
+    /// Manifest to validate instead of running experiments.
+    pub validate_manifest: Option<PathBuf>,
 }
 
-/// Parses the CSV output directory from CLI args (`--csv <dir>`), if any.
-pub fn csv_dir() -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+/// Errors surfaced to the user by the CLI (exit codes in
+/// [`exit_code`]).
+#[derive(Debug)]
+pub enum CliError {
+    /// A name that is not in the registry.
+    UnknownExperiment(String),
+    /// An unrecognized `--flag`.
+    UnknownFlag(String),
+    /// A flag that requires a value was last on the line.
+    MissingValue(String),
+    /// `--filter` matched nothing.
+    NoMatch(String),
+    /// `validate-manifest` found a bad or mismatching manifest.
+    ManifestInvalid(String),
+    /// Output-sink failure.
+    Io(std::io::Error),
 }
 
-/// Parses the artifacts directory from CLI args (default `artifacts/`).
-pub fn artifacts_dir() -> PathBuf {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--artifacts")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("artifacts"))
-}
-
-/// Parses the perf-report output path from CLI args (`--perf-json <path>`),
-/// if any.
-pub fn perf_json_path() -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--perf-json")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-}
-
-/// Builds the pipeline configuration used by all binaries.
-pub fn pipeline_config() -> PipelineConfig {
-    PipelineConfig {
-        dir: artifacts_dir(),
-        ..PipelineConfig::default()
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownExperiment(name) => {
+                writeln!(f, "unknown experiment '{name}'")?;
+                writeln!(f, "\navailable experiments:")?;
+                write!(f, "{}", Registry::list(Registry::all()))
+            }
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            CliError::MissingValue(flag) => write!(f, "flag '{flag}' needs a value"),
+            CliError::NoMatch(filter) => {
+                writeln!(f, "no experiment matches filter '{filter}'")?;
+                writeln!(f, "\navailable experiments:")?;
+                write!(f, "{}", Registry::list(Registry::all()))
+            }
+            CliError::ManifestInvalid(msg) => write!(f, "manifest invalid:\n{msg}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
     }
 }
 
-/// Prepares artifacts and runs the named experiment, printing its report.
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Process exit code for an error: 2 for usage problems (unknown
+/// experiment/flag), 1 for runtime failures.
+pub fn exit_code(err: &CliError) -> i32 {
+    match err {
+        CliError::UnknownExperiment(_)
+        | CliError::UnknownFlag(_)
+        | CliError::MissingValue(_)
+        | CliError::NoMatch(_) => 2,
+        CliError::ManifestInvalid(_) | CliError::Io(_) => 1,
+    }
+}
+
+impl CliArgs {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::UnknownFlag`] / [`CliError::MissingValue`] for
+    /// malformed flags; experiment names are validated later, at
+    /// selection.
+    pub fn parse(args: &[String]) -> Result<CliArgs, CliError> {
+        let mut out = CliArgs::default();
+        let mut it = args.iter().peekable();
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+         -> Result<PathBuf, CliError> {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| CliError::MissingValue(flag.to_string()))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--list" => out.list = true,
+                // `all` predates `--all` as a positional name; keep both.
+                "--all" | "all" => out.all = true,
+                "--quick" => out.quick = true,
+                "--smoke" => out.smoke = true,
+                "--filter" => {
+                    out.filter = Some(
+                        it.next()
+                            .cloned()
+                            .ok_or_else(|| CliError::MissingValue("--filter".to_string()))?,
+                    )
+                }
+                "--csv" => out.csv = Some(value(&mut it, "--csv")?),
+                "--svg" => out.svg = Some(value(&mut it, "--svg")?),
+                "--artifacts" => out.artifacts = Some(value(&mut it, "--artifacts")?),
+                "--perf-json" => out.perf_json = Some(value(&mut it, "--perf-json")?),
+                "validate-manifest" => {
+                    out.validate_manifest = Some(value(&mut it, "validate-manifest")?)
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(CliError::UnknownFlag(flag.to_string()))
+                }
+                name => out.names.push(name.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// See [`CliArgs::parse`].
+    pub fn from_env() -> Result<CliArgs, CliError> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        CliArgs::parse(&args)
+    }
+
+    /// Whether the arguments select any experiments (name, filter, or
+    /// `--all`) or a non-running action (`--list`, `validate-manifest`).
+    pub fn selects_anything(&self) -> bool {
+        self.all
+            || self.list
+            || !self.names.is_empty()
+            || self.filter.is_some()
+            || self.validate_manifest.is_some()
+    }
+
+    /// The pipeline configuration (artifact dir + quick preset).
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let dir = self
+            .artifacts
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("artifacts"));
+        if self.quick {
+            PipelineConfig::quick(dir)
+        } else {
+            PipelineConfig {
+                dir,
+                ..PipelineConfig::default()
+            }
+        }
+    }
+
+    /// The evaluation scale (`--smoke` flag or `REPRO_SCALE=smoke` env).
+    pub fn scale(&self) -> Scale {
+        if self.smoke || std::env::var("REPRO_SCALE").is_ok_and(|v| v == "smoke") {
+            Scale::smoke()
+        } else {
+            Scale::paper()
+        }
+    }
+
+    /// Resolves the experiments to run from the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::UnknownExperiment`] for an unregistered name,
+    /// [`CliError::NoMatch`] for a filter with no hits.
+    pub fn select(&self) -> Result<Vec<&'static dyn engine::Experiment>, CliError> {
+        if self.all {
+            return Ok(Registry::all().to_vec());
+        }
+        if !self.names.is_empty() {
+            return self
+                .names
+                .iter()
+                .map(|name| {
+                    Registry::find(name).ok_or_else(|| CliError::UnknownExperiment(name.clone()))
+                })
+                .collect();
+        }
+        if let Some(filter) = &self.filter {
+            let hits = Registry::filter(filter);
+            if hits.is_empty() {
+                return Err(CliError::NoMatch(filter.clone()));
+            }
+            return Ok(hits);
+        }
+        Ok(Vec::new())
+    }
+}
+
+/// Validates a manifest file against the outputs sitting next to it.
+fn validate_manifest_cmd(path: &Path) -> Result<(), CliError> {
+    let manifest = Manifest::load(path).map_err(CliError::ManifestInvalid)?;
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    match manifest.verify(dir) {
+        Ok(()) => {
+            println!(
+                "manifest OK: {} ({}, {} output file(s) verified)",
+                path.display(),
+                manifest.experiment,
+                manifest.outputs.len()
+            );
+            Ok(())
+        }
+        Err(problems) => Err(CliError::ManifestInvalid(problems.join("\n"))),
+    }
+}
+
+/// Runs the parsed command: list, validate, or execute the selected
+/// experiments through the engine (preparing artifacts once).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown experiment name.
-pub fn run_experiment(name: &str) {
-    let config = pipeline_config();
-    let scale = Scale::from_env();
+/// See [`CliError`].
+pub fn run(args: &CliArgs) -> Result<(), CliError> {
+    if let Some(path) = &args.validate_manifest {
+        return validate_manifest_cmd(path);
+    }
+    if args.list {
+        let experiments = match &args.filter {
+            Some(f) => Registry::filter(f),
+            None => Registry::all().to_vec(),
+        };
+        print!("{}", Registry::list(&experiments));
+        return Ok(());
+    }
+    let experiments = args.select()?;
+    let config = args.pipeline_config();
+    let scale = args.scale();
     eprintln!(
-        "[{name}] artifacts dir: {} | scale: {} episodes/cell, {} rounds/budget",
+        "artifacts dir: {} | scale: {} episodes/cell, {} rounds/budget",
         config.dir.display(),
         scale.box_episodes,
         scale.scatter_rounds
     );
+
     let total = ThroughputProbe::start();
     let mut report = PerfReport::new();
     let probe = ThroughputProbe::start();
     let artifacts = prepare(&config);
     report.push(probe.sample("prepare"));
-    if name == "all" {
-        let phases = run_all(
-            &artifacts,
-            &config,
-            scale,
-            csv_dir().as_deref(),
-            svg_dir().as_deref(),
-        );
-        report.samples.extend(phases.samples);
-    } else {
-        let probe = ThroughputProbe::start();
-        print_experiment(name, &artifacts, &config, scale);
-        if let Some(dir) = csv_dir() {
-            write_csvs(name, &artifacts, &config, scale, &dir);
+
+    let mut ctx = RunContext::new(&artifacts, &config, scale);
+    ctx.csv_dir = args.csv.clone();
+    ctx.svg_dir = args.svg.clone();
+    for exp in experiments {
+        let outcome = engine::execute(exp, &ctx)?;
+        println!("{}", outcome.report);
+        for path in &outcome.written {
+            eprintln!("[out] wrote {}", path.display());
         }
-        if let Some(dir) = svg_dir() {
-            write_svgs(name, &artifacts, &config, scale, &dir);
-        }
-        report.push(probe.sample(name));
+        report.push(outcome.sample);
     }
     report.push(total.sample("total"));
     eprint!("{}", report.summary());
-    if let Some(path) = perf_json_path() {
-        match report.write_to(&path) {
-            Ok(()) => eprintln!("[perf] wrote {}", path.display()),
-            Err(e) => eprintln!("[perf] failed {}: {e}", path.display()),
+    if let Some(path) = &args.perf_json {
+        report.write_to(path)?;
+        eprintln!("[perf] wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// Entry point for the per-figure binaries: parse the environment, default
+/// to `default_name` when nothing is selected, run, and map errors to exit
+/// codes.
+pub fn main_for(default_name: &str) -> i32 {
+    match CliArgs::from_env() {
+        Ok(mut args) => {
+            if !args.selects_anything() {
+                if default_name == "all" {
+                    args.all = true;
+                } else {
+                    args.names.push(default_name.to_string());
+                }
+            }
+            dispatch(&args)
         }
+        Err(e) => report_error(&e),
     }
 }
 
-/// Runs every experiment exactly once, printing all reports and (when the
-/// directories are given) writing CSV and SVG outputs from the same result
-/// objects — no recomputation. Returns per-figure throughput samples.
-pub fn run_all(
-    artifacts: &Artifacts,
-    config: &PipelineConfig,
-    scale: Scale,
-    csv: Option<&std::path::Path>,
-    svg: Option<&std::path::Path>,
-) -> PerfReport {
-    use drive_metrics::svg::{bar_chart_svg, box_plot_svg, scatter_svg, write_svg};
-    let save_csv = |stem: &str, c: drive_metrics::export::Csv| {
-        if let Some(dir) = csv {
-            let path = dir.join(format!("{stem}.csv"));
-            match c.write_to(&path) {
-                Ok(()) => eprintln!("[csv] wrote {}", path.display()),
-                Err(e) => eprintln!("[csv] failed {}: {e}", path.display()),
-            }
-        }
-    };
-    let save_svg = |stem: &str, text: String| {
-        if let Some(dir) = svg {
-            let path = dir.join(format!("{stem}.svg"));
-            match write_svg(&path, &text) {
-                Ok(()) => eprintln!("[svg] wrote {}", path.display()),
-                Err(e) => eprintln!("[svg] failed {}: {e}", path.display()),
-            }
-        }
-    };
-    let budgets: Vec<String> = attack_core::budget::AttackBudget::fig4_grid()
-        .iter()
-        .map(|b| format!("{b}"))
-        .collect();
-    let mut report = PerfReport::new();
-    let mut probe = ThroughputProbe::start();
-    let mut lap = |report: &mut PerfReport, label: &str| {
-        report.push(probe.sample(label));
-        probe = ThroughputProbe::start();
-    };
-
-    println!("{}", baseline::run(artifacts, config, scale));
-    lap(&mut report, "baseline");
-
-    let f4 = fig4::run(artifacts, config, scale);
-    println!("{f4}");
-    save_csv("fig4", f4.to_csv());
-    for (stem, title, pick) in [
-        (
-            "fig4a_nominal",
-            "Fig. 4a — nominal driving reward vs attack budget",
-            true,
-        ),
-        (
-            "fig4b_adversarial",
-            "Fig. 4b — adversarial reward vs attack budget",
-            false,
-        ),
-    ] {
-        let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> = [
-            attack_core::sensor::SensorKind::Camera,
-            attack_core::sensor::SensorKind::Imu,
-        ]
-        .into_iter()
-        .map(|sensor| {
-            let boxes = attack_core::budget::AttackBudget::fig4_grid()
-                .iter()
-                .filter_map(|b| f4.cell(sensor, b.epsilon()))
-                .map(|c| {
-                    if pick {
-                        c.summary.nominal
-                    } else {
-                        c.summary.adversarial
-                    }
-                })
-                .collect();
-            (sensor.to_string(), boxes)
-        })
-        .collect();
-        save_svg(
-            stem,
-            box_plot_svg(title, &budgets, &series, "attack budget", "reward"),
-        );
-    }
-    lap(&mut report, "fig4");
-
-    let f5 = fig5::run(artifacts, config, scale);
-    println!("{f5}");
-    save_csv("fig5", f5.to_csv());
-    for s in &f5.series {
-        save_svg(
-            &format!(
-                "fig5_{}",
-                s.agent.label().replace(['(', ')', '=', '/'], "_")
-            ),
-            scatter_svg(
-                &format!("Fig. 5 — {} under camera attack", s.agent.label()),
-                &s.points,
-                "attack effort",
-                "deviation RMSE",
-            ),
-        );
-    }
-    lap(&mut report, "fig5");
-
-    let f6 = fig6::run(artifacts, config, scale);
-    println!("{f6}");
-    save_csv("fig6", f6.to_csv());
-    let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
-        crate::harness::AgentKind::enhanced_lineup()
-            .into_iter()
-            .map(|agent| {
-                let boxes = attack_core::budget::AttackBudget::fig4_grid()
-                    .iter()
-                    .filter_map(|b| f6.nominal_box(agent, b.epsilon()).copied())
-                    .collect();
-                (agent.label().to_string(), boxes)
-            })
-            .collect();
-    save_svg(
-        "fig6_nominal",
-        box_plot_svg(
-            "Fig. 6 — nominal reward of original and enhanced agents",
-            &budgets,
-            &series,
-            "attack budget",
-            "nominal driving reward",
-        ),
-    );
-    lap(&mut report, "fig6");
-
-    let f7 = fig7::run(artifacts, config, scale);
-    println!("{f7}");
-    save_csv("fig7", f7.to_csv());
-    for s in &f7.series {
-        save_svg(
-            &format!(
-                "fig7_{}",
-                s.agent.label().replace(['(', ')', '=', '/'], "_")
-            ),
-            scatter_svg(
-                &format!("Fig. 7 — {} under camera attack", s.agent.label()),
-                &s.points,
-                "attack effort",
-                "deviation RMSE",
-            ),
-        );
-    }
-    lap(&mut report, "fig7");
-
-    let f8 = fig8::run(&f5, &f7);
-    println!("{f8}");
-    save_csv("fig8", f8.to_csv());
-    let windows: Vec<String> = f8
-        .series
-        .first()
-        .map(|s| s.windows.iter().map(|w| w.label()).collect())
-        .unwrap_or_default();
-    let series: Vec<(String, Vec<f64>)> = f8
-        .series
-        .iter()
-        .map(|s| {
-            (
-                s.agent.label().to_string(),
-                s.windows.iter().map(|w| w.success_rate).collect(),
-            )
-        })
-        .collect();
-    save_svg(
-        "fig8_success_rates",
-        bar_chart_svg(
-            "Fig. 8 — success rate per effort window",
-            &windows,
-            &series,
-            "attack success rate",
-        ),
-    );
-    lap(&mut report, "fig8");
-
-    println!("{}", ablations::run(artifacts, config, scale));
-    lap(&mut report, "ablations");
-    report
-}
-
-/// Renders the experiment's figures as SVG files under `dir`.
-pub fn write_svgs(
-    name: &str,
-    artifacts: &Artifacts,
-    config: &PipelineConfig,
-    scale: Scale,
-    dir: &std::path::Path,
-) {
-    use attack_core::budget::AttackBudget;
-    use drive_metrics::svg::{bar_chart_svg, box_plot_svg, scatter_svg, write_svg};
-
-    let save = |stem: &str, svg: String| {
-        let path = dir.join(format!("{stem}.svg"));
-        match write_svg(&path, &svg) {
-            Ok(()) => eprintln!("[svg] wrote {}", path.display()),
-            Err(e) => eprintln!("[svg] failed to write {}: {e}", path.display()),
-        }
-    };
-    let budgets: Vec<String> = AttackBudget::fig4_grid()
-        .iter()
-        .map(|b| format!("{b}"))
-        .collect();
-    match name {
-        "fig4" | "all" if name == "fig4" || name == "all" => {
-            let f4 = fig4::run(artifacts, config, scale);
-            let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> = [
-                attack_core::sensor::SensorKind::Camera,
-                attack_core::sensor::SensorKind::Imu,
-            ]
-            .into_iter()
-            .map(|sensor| {
-                let boxes = AttackBudget::fig4_grid()
-                    .iter()
-                    .filter_map(|b| f4.cell(sensor, b.epsilon()))
-                    .map(|c| c.summary.nominal)
-                    .collect();
-                (sensor.to_string(), boxes)
-            })
-            .collect();
-            save(
-                "fig4a_nominal",
-                box_plot_svg(
-                    "Fig. 4a — nominal driving reward vs attack budget",
-                    &budgets,
-                    &series,
-                    "attack budget",
-                    "nominal driving reward",
-                ),
-            );
-            let adv_series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> = [
-                attack_core::sensor::SensorKind::Camera,
-                attack_core::sensor::SensorKind::Imu,
-            ]
-            .into_iter()
-            .map(|sensor| {
-                let boxes = AttackBudget::fig4_grid()
-                    .iter()
-                    .filter_map(|b| f4.cell(sensor, b.epsilon()))
-                    .map(|c| c.summary.adversarial)
-                    .collect();
-                (sensor.to_string(), boxes)
-            })
-            .collect();
-            save(
-                "fig4b_adversarial",
-                box_plot_svg(
-                    "Fig. 4b — adversarial reward vs attack budget",
-                    &budgets,
-                    &adv_series,
-                    "attack budget",
-                    "cumulative adversarial reward",
-                ),
-            );
-            if name != "all" {
-                return;
-            }
-            let f5 = fig5::run(artifacts, config, scale);
-            for s in &f5.series {
-                save(
-                    &format!(
-                        "fig5_{}",
-                        s.agent.label().replace(['(', ')', '=', '/'], "_")
-                    ),
-                    scatter_svg(
-                        &format!("Fig. 5 — {} under camera attack", s.agent.label()),
-                        &s.points,
-                        "attack effort",
-                        "deviation RMSE",
-                    ),
+/// Entry point for the `repro_bench` multiplexer binary: with no selection
+/// at all, print usage plus the registry and exit 2.
+pub fn main_from_env() -> i32 {
+    match CliArgs::from_env() {
+        Ok(args) => {
+            if !args.selects_anything() {
+                eprintln!(
+                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--artifacts <dir>] [--perf-json <path>]\n"
                 );
+                eprint!("{}", Registry::list(Registry::all()));
+                return 2;
             }
-            let f6 = fig6::run(artifacts, config, scale);
-            let series: Vec<(String, Vec<drive_metrics::agg::BoxStats>)> =
-                crate::harness::AgentKind::enhanced_lineup()
-                    .into_iter()
-                    .map(|agent| {
-                        let boxes = AttackBudget::fig4_grid()
-                            .iter()
-                            .filter_map(|b| f6.nominal_box(agent, b.epsilon()).copied())
-                            .collect();
-                        (agent.label().to_string(), boxes)
-                    })
-                    .collect();
-            save(
-                "fig6_nominal",
-                box_plot_svg(
-                    "Fig. 6 — nominal reward of original and enhanced agents",
-                    &budgets,
-                    &series,
-                    "attack budget",
-                    "nominal driving reward",
-                ),
-            );
-            let f7 = fig7::run(artifacts, config, scale);
-            for s in &f7.series {
-                save(
-                    &format!(
-                        "fig7_{}",
-                        s.agent.label().replace(['(', ')', '=', '/'], "_")
-                    ),
-                    scatter_svg(
-                        &format!("Fig. 7 — {} under camera attack", s.agent.label()),
-                        &s.points,
-                        "attack effort",
-                        "deviation RMSE",
-                    ),
-                );
-            }
-            let f8 = fig8::run(&f5, &f7);
-            let windows: Vec<String> = f8
-                .series
-                .first()
-                .map(|s| s.windows.iter().map(|w| w.label()).collect())
-                .unwrap_or_default();
-            let series: Vec<(String, Vec<f64>)> = f8
-                .series
-                .iter()
-                .map(|s| {
-                    (
-                        s.agent.label().to_string(),
-                        s.windows.iter().map(|w| w.success_rate).collect(),
-                    )
-                })
-                .collect();
-            save(
-                "fig8_success_rates",
-                bar_chart_svg(
-                    "Fig. 8 — success rate per effort window",
-                    &windows,
-                    &series,
-                    "attack success rate",
-                ),
-            );
+            dispatch(&args)
         }
-        "fig5" => {
-            let f5 = fig5::run(artifacts, config, scale);
-            for s in &f5.series {
-                save(
-                    &format!(
-                        "fig5_{}",
-                        s.agent.label().replace(['(', ')', '=', '/'], "_")
-                    ),
-                    scatter_svg(
-                        &format!("Fig. 5 — {} under camera attack", s.agent.label()),
-                        &s.points,
-                        "attack effort",
-                        "deviation RMSE",
-                    ),
-                );
-            }
-        }
-        _ => {}
+        Err(e) => report_error(&e),
     }
 }
 
-/// Writes the experiment's data as CSV files under `dir`.
-///
-/// Re-runs the experiment (records are deterministic, so the CSV matches
-/// the printed report exactly).
-pub fn write_csvs(
-    name: &str,
-    artifacts: &Artifacts,
-    config: &PipelineConfig,
-    scale: Scale,
-    dir: &std::path::Path,
-) {
-    let save = |stem: &str, csv: drive_metrics::export::Csv| {
-        let path = dir.join(format!("{stem}.csv"));
-        match csv.write_to(&path) {
-            Ok(()) => eprintln!("[csv] wrote {}", path.display()),
-            Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
-        }
-    };
-    match name {
-        "fig4" => save("fig4", fig4::run(artifacts, config, scale).to_csv()),
-        "fig5" => save("fig5", fig5::run(artifacts, config, scale).to_csv()),
-        "fig6" => save("fig6", fig6::run(artifacts, config, scale).to_csv()),
-        "fig7" => save("fig7", fig7::run(artifacts, config, scale).to_csv()),
-        "fig8" | "all" => {
-            let f5 = fig5::run(artifacts, config, scale);
-            let f7 = fig7::run(artifacts, config, scale);
-            if name == "all" {
-                save("fig4", fig4::run(artifacts, config, scale).to_csv());
-                save("fig5", f5.to_csv());
-                save("fig6", fig6::run(artifacts, config, scale).to_csv());
-                save("fig7", f7.to_csv());
-            }
-            save("fig8", fig8::run(&f5, &f7).to_csv());
-        }
-        _ => {}
+fn dispatch(args: &CliArgs) -> i32 {
+    match run(args) {
+        Ok(()) => 0,
+        Err(e) => report_error(&e),
     }
 }
 
-/// Runs the named experiment against prepared artifacts.
-///
-/// # Panics
-///
-/// Panics on an unknown experiment name.
-pub fn print_experiment(name: &str, artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) {
-    match name {
-        "baseline" => println!("{}", baseline::run(artifacts, config, scale)),
-        "fig4" => println!("{}", fig4::run(artifacts, config, scale)),
-        "fig5" => println!("{}", fig5::run(artifacts, config, scale)),
-        "fig6" => println!("{}", fig6::run(artifacts, config, scale)),
-        "fig7" => println!("{}", fig7::run(artifacts, config, scale)),
-        "fig8" => {
-            let f5 = fig5::run(artifacts, config, scale);
-            let f7 = fig7::run(artifacts, config, scale);
-            println!("{}", fig8::run(&f5, &f7));
-        }
-        "ablations" => println!("{}", ablations::run(artifacts, config, scale)),
-        "all" => {
-            println!("{}", baseline::run(artifacts, config, scale));
-            println!("{}", fig4::run(artifacts, config, scale));
-            let f5 = fig5::run(artifacts, config, scale);
-            println!("{f5}");
-            println!("{}", fig6::run(artifacts, config, scale));
-            let f7 = fig7::run(artifacts, config, scale);
-            println!("{f7}");
-            println!("{}", fig8::run(&f5, &f7));
-            println!("{}", ablations::run(artifacts, config, scale));
-        }
-        other => panic!("unknown experiment '{other}'"),
-    }
+fn report_error(e: &CliError) -> i32 {
+    eprintln!("error: {e}");
+    exit_code(e)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn artifacts_dir_defaults() {
-        // No --artifacts flag in the test binary's args.
-        assert_eq!(artifacts_dir(), PathBuf::from("artifacts"));
+    fn parse(args: &[&str]) -> CliArgs {
+        CliArgs::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
     }
 
     #[test]
-    fn svg_and_csv_outputs_written() {
-        let dir = std::env::temp_dir().join("repro-bench-cli-svg-test");
-        let _ = std::fs::remove_dir_all(&dir);
-        let config = PipelineConfig::quick(dir.join("artifacts"));
-        let artifacts = prepare(&config);
-        write_csvs(
+    fn parses_flags_and_names() {
+        let args = parse(&[
             "fig4",
-            &artifacts,
-            &config,
-            Scale::smoke(),
-            &dir.join("csv"),
-        );
-        write_svgs(
-            "fig4",
-            &artifacts,
-            &config,
-            Scale::smoke(),
-            &dir.join("svg"),
-        );
-        assert!(dir.join("csv/fig4.csv").exists());
-        let svg = std::fs::read_to_string(dir.join("svg/fig4a_nominal.svg")).unwrap();
-        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
-        assert!(dir.join("svg/fig4b_adversarial.svg").exists());
-        let _ = std::fs::remove_dir_all(&dir);
+            "--smoke",
+            "--quick",
+            "--csv",
+            "/tmp/c",
+            "--svg",
+            "/tmp/s",
+            "--artifacts",
+            "/tmp/a",
+            "--perf-json",
+            "/tmp/p.json",
+            "fig5",
+        ]);
+        assert_eq!(args.names, ["fig4", "fig5"]);
+        assert!(args.smoke && args.quick);
+        assert_eq!(args.csv.as_deref(), Some(Path::new("/tmp/c")));
+        assert_eq!(args.svg.as_deref(), Some(Path::new("/tmp/s")));
+        assert_eq!(args.artifacts.as_deref(), Some(Path::new("/tmp/a")));
+        assert_eq!(args.perf_json.as_deref(), Some(Path::new("/tmp/p.json")));
+        assert_eq!(args.select().unwrap().len(), 2);
+        assert!(args.pipeline_config().dir.ends_with("a"));
     }
 
     #[test]
-    #[should_panic(expected = "unknown experiment")]
-    fn unknown_experiment_panics() {
-        let dir = std::env::temp_dir().join("repro-bench-cli-test");
-        let config = PipelineConfig::quick(&dir);
-        let artifacts = prepare(&config);
-        print_experiment("nope", &artifacts, &config, Scale::smoke());
+    fn parse_rejects_unknown_and_dangling_flags() {
+        let all: Vec<String> = vec!["--frobnicate".into()];
+        assert!(matches!(
+            CliArgs::parse(&all),
+            Err(CliError::UnknownFlag(_))
+        ));
+        let dangling: Vec<String> = vec!["--csv".into()];
+        assert!(matches!(
+            CliArgs::parse(&dangling),
+            Err(CliError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_experiment_error_includes_registry_list() {
+        let args = parse(&["nope"]);
+        let err = args.select().err().expect("unknown name must not select");
+        assert_eq!(exit_code(&err), 2);
+        let text = err.to_string();
+        assert!(text.contains("unknown experiment 'nope'"));
+        // The error doubles as `--list` output so the user sees what is
+        // available.
+        for e in Registry::all() {
+            assert!(text.contains(e.name()), "error lists {}", e.name());
+        }
+    }
+
+    #[test]
+    fn all_and_filter_select_from_registry() {
+        let args = parse(&["--all"]);
+        assert_eq!(args.select().unwrap().len(), Registry::all().len());
+        let args = parse(&["--filter", "fig"]);
+        assert_eq!(args.select().unwrap().len(), 5);
+        let args = parse(&["--filter", "zzz"]);
+        assert!(matches!(args.select(), Err(CliError::NoMatch(_))));
+        // Nothing selected: empty, so binaries can apply their default.
+        let args = parse(&[]);
+        assert!(args.select().unwrap().is_empty());
+        assert!(!args.selects_anything());
+    }
+
+    #[test]
+    fn scale_follows_smoke_flag() {
+        assert_eq!(parse(&["--smoke"]).scale(), Scale::smoke());
     }
 }

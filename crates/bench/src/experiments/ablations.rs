@@ -22,9 +22,10 @@
 //!    detector under seeded hardware faults (`drive-sim::faults`): its
 //!    false-positive rate on fault-injected but *unattacked* episodes
 //!    versus its true-positive rate against the learned camera and IMU
-//!    attackers, across fault intensities.
+//!    attackers, across the context's fault intensities.
 
-use crate::harness::{attacked_records, AgentKind, Scale};
+use crate::engine::{Experiment, ExperimentOutput, RunContext};
+use crate::harness::{attacked_records, AgentKind};
 use attack_core::adv_reward::AdvReward;
 use attack_core::budget::AttackBudget;
 use attack_core::defense::SimplexSwitcher;
@@ -32,13 +33,14 @@ use attack_core::detector::{DetectorConfig, DetectorSimplexAgent};
 use attack_core::eval::{run_attacked_episode_with_faults, run_attacked_episodes};
 use attack_core::learned::LearnedAttacker;
 use attack_core::oracle::OracleAttacker;
-use attack_core::pipeline::{Artifacts, PipelineConfig};
 use attack_core::sensor::{AttackerSensor, SensorKind};
 use attack_core::state_attack::{StateAttackConfig, StateAttackedAgent};
 use drive_agents::e2e::E2eAgent;
 use drive_metrics::episode::CellSummary;
+use drive_metrics::export::Csv;
 use drive_metrics::report::{fmt_f, fmt_pct, Table};
 use drive_sim::faults::{FaultInjector, FaultSchedule};
+use std::sync::Arc;
 
 /// Result of one ablation arm.
 #[derive(Debug, Clone)]
@@ -86,11 +88,21 @@ pub struct FaultDetectorCell {
     pub mean_hardened_benign: f64,
 }
 
-/// Runs all ablations.
-pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> AblationResult {
+/// Runs (or reuses) all ablations via the context memo. Each arm derives
+/// its episode seeds from its own subtree of `root/ablations`; arms that
+/// compare configurations (2–6) share one base seed per section so the
+/// sweep variable is the only difference between their cells.
+pub fn run(ctx: &RunContext) -> Arc<AblationResult> {
+    ctx.memo("ablations", || compute(ctx))
+}
+
+fn compute(ctx: &RunContext) -> AblationResult {
+    let artifacts = ctx.artifacts;
+    let config = ctx.config;
+    let ns = ctx.seeds_for("ablations");
     let adv = AdvReward::default();
     let budget = AttackBudget::new(1.0);
-    let episodes = scale.box_episodes;
+    let episodes = ctx.scale.box_episodes;
 
     // --- 1. Oracle vs learned camera attacker ---
     let mut attacker_arms = Vec::new();
@@ -102,7 +114,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             &adv,
             &config.scenario,
             episodes,
-            scale.seed,
+            ns.child("oracle").seed(),
         );
         attacker_arms.push(AblationCell {
             label: "oracle".into(),
@@ -113,10 +125,9 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
         AgentKind::E2e,
         Some((&artifacts.camera_attacker, SensorKind::Camera)),
         budget,
-        artifacts,
-        config,
+        ctx,
         episodes,
-        scale.seed,
+        &ns.child("learned-camera"),
     );
     attacker_arms.push(AblationCell {
         label: "learned camera".into(),
@@ -126,8 +137,11 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
     // --- 2. Switcher threshold sweep (attacked at eps = 0.5) ---
     // Arms 2-7 parallelize over their sweep items: every item builds its
     // own agent and per-episode attackers, so the cells are independent
-    // and `par_map` keeps them in sweep order for any worker count.
+    // and `par_map` keeps them in sweep order for any worker count. The
+    // sweep items share one base seed so the swept knob is the only
+    // difference between cells.
     let sweep_budget = AttackBudget::new(0.5);
+    let switcher_seed = ns.child("switcher").seed();
     let sigmas = [0.0, 0.2, 0.4, 0.6];
     let switcher_arms = drive_par::par_map(&sigmas, |_, &sigma| {
         let mut agent = E2eAgent::new(
@@ -150,7 +164,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             &adv,
             &config.scenario,
             episodes,
-            scale.seed + 50,
+            switcher_seed,
         );
         AblationCell {
             label: format!("sigma={sigma:.1}"),
@@ -159,6 +173,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
     });
 
     // --- 3. IMU noise sensitivity ---
+    let imu_noise_seed = ns.child("imu-noise").seed();
     let noise_mults = [0.0, 1.0, 4.0, 10.0];
     let imu_noise_arms = drive_par::par_map(&noise_mults, |_, &mult| {
         let mut imu_cfg = config.imu.clone();
@@ -179,7 +194,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             &adv,
             &config.scenario,
             episodes,
-            scale.seed + 99,
+            imu_noise_seed,
         );
         AblationCell {
             label: format!("noise x{mult:.0}"),
@@ -188,6 +203,9 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
     });
 
     // --- 4. Idealized vs detector-driven switcher ---
+    // Both switchers of a pair share the same episode seeds, so the
+    // switching policy is the only difference between them.
+    let detector_seed = ns.child("detector").seed();
     let detector_eps = [0.0, 0.5, 1.0];
     let detector_pairs = drive_par::par_map(&detector_eps, |_, &eps| {
         let b = AttackBudget::new(eps);
@@ -214,7 +232,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             &adv,
             &config.scenario,
             episodes,
-            scale.seed + 7,
+            detector_seed,
         );
         let ideal_cell = AblationCell {
             label: format!("ideal switcher eps={eps:.1}"),
@@ -234,7 +252,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             &adv,
             &config.scenario,
             episodes,
-            scale.seed + 7,
+            detector_seed,
         );
         let detector_cell = AblationCell {
             label: format!("detector switcher eps={eps:.1}"),
@@ -248,6 +266,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
         .collect();
 
     // --- 5. Scenario transfer ---
+    let transfer_seed = ns.child("transfer").seed();
     let scenarios = [
         ("default", config.scenario.clone()),
         ("dense", drive_sim::scenario::Scenario::dense_traffic()),
@@ -270,7 +289,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             &adv,
             scenario,
             episodes,
-            scale.seed + 123,
+            transfer_seed,
         );
         AblationCell {
             label: label.to_string(),
@@ -285,16 +304,16 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             AgentKind::E2e,
             Some((&artifacts.camera_attacker, SensorKind::Camera)),
             budget,
-            artifacts,
-            config,
+            ctx,
             episodes,
-            scale.seed + 200,
+            &ns.child("paradigm").child("action-space"),
         );
         paradigm_arms.push(AblationCell {
             label: "action-space eps=1.0 (black-box)".into(),
             summary: CellSummary::from_records(&records),
         });
     }
+    let state_seed = ns.child("paradigm").child("state-space").seed();
     let state_eps = [0.05f32, 0.1, 0.2];
     paradigm_arms.extend(drive_par::par_map(&state_eps, |_, &eps| {
         let mut agent = StateAttackedAgent::new(
@@ -312,7 +331,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
             &adv,
             &config.scenario,
             episodes,
-            scale.seed + 200,
+            state_seed,
         );
         // The state attack perturbs observations, not steering, so the
         // steering-based attribution of `attack_success` never fires;
@@ -331,13 +350,17 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
     // because the detection verdict is read off the agent after each
     // episode: with latching on, `hardened_fraction() > 0` means the
     // detector fired at least once.
-    let intensities = [0.0, 0.5, 1.0];
+    let fault_ns = ns.child("fault-detector");
+    let intensities = ctx.fault_intensities.clone();
     let fault_detector_arms = drive_par::par_map(&intensities, |_, &intensity| {
-        let schedule = FaultSchedule::benign(intensity, 0xfa17);
+        let arm = fault_ns.child(format!("{intensity:.1}"));
+        let schedule = FaultSchedule::benign(intensity, arm.child("schedule").seed());
         let mut fired = [0usize; 3]; // benign, camera, imu
         let mut hardened_sum = 0.0;
         for e in 0..episodes {
-            let seed = scale.seed + 400 + e as u64;
+            let ep = arm.child(e);
+            let seed = ep.seed();
+            let act_fault_seed = ep.child("act-faults").seed();
             let mut run_one = |attack_sensor: Option<SensorKind>| -> bool {
                 let mut agent = DetectorSimplexAgent::new(
                     artifacts.pnn.clone(),
@@ -358,7 +381,7 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
                     };
                     LearnedAttacker::new(policy, sensor, budget, seed, true)
                 });
-                let mut act_faults = FaultInjector::for_episode(&schedule, seed ^ 0x5f5f);
+                let mut act_faults = FaultInjector::for_episode(&schedule, act_fault_seed);
                 let _ = run_attacked_episode_with_faults(
                     &mut agent,
                     attacker
@@ -398,6 +421,103 @@ pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Abla
         transfer_arms,
         paradigm_arms,
         fault_detector_arms,
+    }
+}
+
+impl AblationResult {
+    /// Sections 1–6 as `(section, arms)` pairs, in report order.
+    fn sections(&self) -> [(&'static str, &[AblationCell]); 6] {
+        [
+            ("attacker", &self.attacker_arms),
+            ("switcher", &self.switcher_arms),
+            ("imu-noise", &self.imu_noise_arms),
+            ("detector", &self.detector_arms),
+            ("transfer", &self.transfer_arms),
+            ("paradigm", &self.paradigm_arms),
+        ]
+    }
+
+    /// Exports ablations 1–6 as CSV (one row per arm).
+    pub fn to_csv(&self) -> Csv {
+        let mut csv = Csv::new([
+            "section",
+            "arm",
+            "success_rate",
+            "adv_mean",
+            "nominal_mean",
+            "mean_effort",
+            "episodes",
+        ]);
+        for (section, arms) in self.sections() {
+            for a in arms {
+                csv.row([
+                    section.to_string(),
+                    a.label.clone(),
+                    format!("{:.3}", a.summary.success_rate),
+                    format!("{:.3}", a.summary.adversarial.mean),
+                    format!("{:.3}", a.summary.nominal.mean),
+                    format!("{:.4}", a.summary.mean_effort),
+                    a.summary.episodes.to_string(),
+                ]);
+            }
+        }
+        csv
+    }
+
+    /// Exports ablation 7 (detector vs benign faults) as CSV.
+    pub fn fault_detector_csv(&self) -> Csv {
+        let mut csv = Csv::new([
+            "intensity",
+            "benign_fpr",
+            "camera_tpr",
+            "imu_tpr",
+            "mean_hardened_benign",
+        ]);
+        for c in &self.fault_detector_arms {
+            csv.row([
+                format!("{:.1}", c.intensity),
+                format!("{:.3}", c.benign_fpr),
+                format!("{:.3}", c.camera_tpr),
+                format!("{:.3}", c.imu_tpr),
+                format!("{:.4}", c.mean_hardened_benign),
+            ]);
+        }
+        csv
+    }
+}
+
+/// Registry entry for the ablation studies.
+pub struct AblationsExperiment;
+
+impl Experiment for AblationsExperiment {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn description(&self) -> &'static str {
+        "Seven ablation arms: attacker, switcher, noise, detector, transfer, paradigm, faults"
+    }
+
+    fn cells(&self) -> usize {
+        // 1: oracle + learned; 2: four sigmas; 3: four noise levels;
+        // 4: three eps pairs; 5: four scenarios; 6: action + three state;
+        // 7: default three fault intensities.
+        2 + 4 + 4 + 6 + 4 + 4 + 3
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
+        let r = run(ctx);
+        ExperimentOutput {
+            report: r.to_string(),
+            csvs: vec![
+                ("ablations".to_string(), r.to_csv()),
+                (
+                    "ablations_fault_detector".to_string(),
+                    r.fault_detector_csv(),
+                ),
+            ],
+            svgs: Vec::new(),
+        }
     }
 }
 
@@ -493,14 +613,16 @@ impl std::fmt::Display for AblationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attack_core::pipeline::prepare;
+    use crate::harness::Scale;
+    use attack_core::pipeline::{prepare, PipelineConfig};
 
     #[test]
     fn smoke_ablations_run() {
         let dir = std::env::temp_dir().join("repro-bench-ablations-test");
         let config = PipelineConfig::quick(&dir);
         let artifacts = prepare(&config);
-        let result = run(&artifacts, &config, Scale::smoke());
+        let ctx = RunContext::new(&artifacts, &config, Scale::smoke());
+        let result = run(&ctx);
         assert_eq!(result.attacker_arms.len(), 2);
         assert_eq!(result.switcher_arms.len(), 4);
         assert_eq!(result.imu_noise_arms.len(), 4);
@@ -530,5 +652,8 @@ mod tests {
         assert!(text.contains("two-lane"));
         assert!(text.contains("state-space"));
         assert!(text.contains("benign FPR"));
+        // CSV exports cover every arm.
+        assert_eq!(result.to_csv().len(), 2 + 4 + 4 + 6 + 4 + 4);
+        assert_eq!(result.fault_detector_csv().len(), 3);
     }
 }

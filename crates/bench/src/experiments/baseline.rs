@@ -5,11 +5,13 @@
 //! without collision and the end-to-end agent completes all 180 steps
 //! passing 5.96/6 NPCs on average over 30 episodes with no collisions.
 
-use crate::harness::{attacked_records, AgentKind, Scale};
+use crate::engine::{Experiment, ExperimentOutput, RunContext};
+use crate::harness::{attacked_records, AgentKind};
 use attack_core::budget::AttackBudget;
-use attack_core::pipeline::{Artifacts, PipelineConfig};
 use drive_metrics::episode::CellSummary;
+use drive_metrics::export::Csv;
 use drive_metrics::report::{fmt_f, fmt_pct, Table};
+use std::sync::Arc;
 
 /// Nominal driving statistics for one agent.
 #[derive(Debug, Clone)]
@@ -32,28 +34,80 @@ impl BaselineResult {
     pub fn cell(&self, agent: AgentKind) -> Option<&BaselineCell> {
         self.cells.iter().find(|c| c.agent == agent)
     }
+
+    /// Exports both cells as CSV.
+    pub fn to_csv(&self) -> Csv {
+        let mut csv = Csv::new([
+            "agent",
+            "mean_passed",
+            "collision_rate",
+            "nominal_mean",
+            "mean_deviation_rmse",
+            "episodes",
+        ]);
+        for c in &self.cells {
+            csv.row([
+                c.agent.label().to_string(),
+                format!("{:.3}", c.summary.mean_passed),
+                format!("{:.3}", c.summary.collision_rate),
+                format!("{:.3}", c.summary.nominal.mean),
+                format!("{:.5}", c.summary.mean_deviation_rmse),
+                c.summary.episodes.to_string(),
+            ]);
+        }
+        csv
+    }
 }
 
-/// Runs the baseline experiment. The two agent cells are independent and
-/// run in parallel; `par_map` preserves the modular-then-e2e order.
-pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> BaselineResult {
-    let agents = [AgentKind::Modular, AgentKind::E2e];
-    let cells = drive_par::par_map(&agents, |_, &agent| {
-        let records = attacked_records(
-            agent,
-            None,
-            AttackBudget::ZERO,
-            artifacts,
-            config,
-            scale.box_episodes,
-            scale.seed,
-        );
-        BaselineCell {
-            agent,
-            summary: CellSummary::from_records(&records),
+/// Runs (or reuses) the baseline experiment via the context memo. The two
+/// agent cells are independent and run in parallel; `par_map` preserves
+/// the modular-then-e2e order.
+pub fn run(ctx: &RunContext) -> Arc<BaselineResult> {
+    ctx.memo("baseline", || {
+        let ns = ctx.seeds_for("baseline");
+        let agents = [AgentKind::Modular, AgentKind::E2e];
+        let cells = drive_par::par_map(&agents, |_, &agent| {
+            let records = attacked_records(
+                agent,
+                None,
+                AttackBudget::ZERO,
+                ctx,
+                ctx.scale.box_episodes,
+                &ns.child(agent.label()),
+            );
+            BaselineCell {
+                agent,
+                summary: CellSummary::from_records(&records),
+            }
+        });
+        BaselineResult { cells }
+    })
+}
+
+/// Registry entry for the §III baseline.
+pub struct BaselineExperiment;
+
+impl Experiment for BaselineExperiment {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn description(&self) -> &'static str {
+        "Nominal driving performance of the modular and end-to-end agents (no attack)"
+    }
+
+    fn cells(&self) -> usize {
+        2
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
+        let r = run(ctx);
+        ExperimentOutput {
+            report: r.to_string(),
+            csvs: vec![("baseline".to_string(), r.to_csv())],
+            svgs: Vec::new(),
         }
-    });
-    BaselineResult { cells }
+    }
 }
 
 impl std::fmt::Display for BaselineResult {
@@ -86,14 +140,16 @@ impl std::fmt::Display for BaselineResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attack_core::pipeline::prepare;
+    use crate::harness::Scale;
+    use attack_core::pipeline::{prepare, PipelineConfig};
 
     #[test]
     fn smoke_baseline_runs_both_agents() {
         let dir = std::env::temp_dir().join("repro-bench-baseline-test");
         let config = PipelineConfig::quick(&dir);
         let artifacts = prepare(&config);
-        let result = run(&artifacts, &config, Scale::smoke());
+        let ctx = RunContext::new(&artifacts, &config, Scale::smoke());
+        let result = run(&ctx);
         assert_eq!(result.cells.len(), 2);
         let modular = result.cell(AgentKind::Modular).unwrap();
         // The paper's "modular never collides" claim is a 30-episode
@@ -102,5 +158,9 @@ mod tests {
         // assertion tolerates at most one.
         assert!(modular.summary.collision_rate <= 0.25);
         assert!(modular.summary.mean_passed >= 4.0);
+        assert_eq!(result.to_csv().len(), 2);
+        // Second call reuses the memoized result.
+        let again = run(&ctx);
+        assert!(Arc::ptr_eq(&result, &again));
     }
 }

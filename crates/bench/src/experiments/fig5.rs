@@ -8,9 +8,9 @@
 //! for the modular one, lower tracking error for the modular agent at low
 //! effort, and mean times-to-collision of 0.87 s (e2e) / 1.14 s (modular).
 
-use crate::harness::{attacked_records, AgentKind, Scale};
+use crate::engine::{Experiment, ExperimentOutput, RunContext};
+use crate::harness::{attacked_records, AgentKind};
 use attack_core::budget::AttackBudget;
-use attack_core::pipeline::{Artifacts, PipelineConfig};
 use attack_core::sensor::SensorKind;
 use drive_metrics::agg::mean;
 use drive_metrics::episode::{
@@ -18,7 +18,9 @@ use drive_metrics::episode::{
 };
 use drive_metrics::export::Csv;
 use drive_metrics::report::{fmt_f, Table};
+use drive_seed::SeedTree;
 use drive_sim::record::EpisodeRecord;
+use std::sync::Arc;
 
 /// Per-agent series of the Fig. 5 sweep.
 #[derive(Debug, Clone)]
@@ -71,32 +73,54 @@ impl Fig5Result {
     }
 }
 
-/// Runs the camera-attack sweep for one agent.
+/// Builds per-series scatter SVGs named `<stem_prefix>_<agent>`, titled
+/// `<title_prefix> — <agent> under camera attack` (shared by Fig. 5 and
+/// Fig. 7, whose series have the same shape).
+pub(crate) fn scatter_svgs(
+    stem_prefix: &str,
+    title_prefix: &str,
+    series: &[Fig5Series],
+) -> Vec<(String, String)> {
+    series
+        .iter()
+        .map(|s| {
+            (
+                format!(
+                    "{stem_prefix}_{}",
+                    s.agent.label().replace(['(', ')', '=', '/'], "_")
+                ),
+                drive_metrics::svg::scatter_svg(
+                    &format!("{title_prefix} — {} under camera attack", s.agent.label()),
+                    &s.points,
+                    "attack effort",
+                    "deviation RMSE",
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Runs the camera-attack sweep for one agent within the given seed
+/// namespace (each budget cell derives from `seeds/eps<budget>`).
 ///
-/// The 13 budget cells are independent (per-cell seeds, fresh agents per
-/// cell), so they run in parallel; concatenating the index-ordered
-/// results reproduces the serial record order exactly.
-pub fn sweep_agent(
-    agent: AgentKind,
-    artifacts: &Artifacts,
-    config: &PipelineConfig,
-    scale: Scale,
-) -> Fig5Series {
+/// The 13 budget cells are independent (per-cell seed subtrees, fresh
+/// agents per cell), so they run in parallel; concatenating the
+/// index-ordered results reproduces the serial record order exactly.
+pub fn sweep_agent(agent: AgentKind, ctx: &RunContext, seeds: &SeedTree) -> Fig5Series {
     let budgets = AttackBudget::fig5_grid();
     let per_budget = drive_par::par_map(&budgets, |_, &budget| {
         let attack = if budget.is_zero() {
             None
         } else {
-            Some((&artifacts.camera_attacker, SensorKind::Camera))
+            Some((&ctx.artifacts.camera_attacker, SensorKind::Camera))
         };
         attacked_records(
             agent,
             attack,
             budget,
-            artifacts,
-            config,
-            scale.scatter_rounds,
-            scale.seed + (budget.epsilon() * 100.0) as u64,
+            ctx,
+            ctx.scale.scatter_rounds,
+            &seeds.child(format!("eps{:.2}", budget.epsilon())),
         )
     });
     let records: Vec<_> = per_budget.into_iter().flatten().collect();
@@ -118,13 +142,43 @@ pub fn sweep_agent(
     }
 }
 
-/// Runs the full Fig. 5 experiment (modular vs end-to-end).
-pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Fig5Result {
-    Fig5Result {
-        series: [AgentKind::E2e, AgentKind::Modular]
-            .into_iter()
-            .map(|a| sweep_agent(a, artifacts, config, scale))
-            .collect(),
+/// Runs (or reuses) the full Fig. 5 experiment (modular vs end-to-end)
+/// via the context memo.
+pub fn run(ctx: &RunContext) -> Arc<Fig5Result> {
+    ctx.memo("fig5", || {
+        let ns = ctx.seeds_for("fig5");
+        Fig5Result {
+            series: [AgentKind::E2e, AgentKind::Modular]
+                .into_iter()
+                .map(|a| sweep_agent(a, ctx, &ns.child(a.label())))
+                .collect(),
+        }
+    })
+}
+
+/// Registry entry for Fig. 5.
+pub struct Fig5Experiment;
+
+impl Experiment for Fig5Experiment {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn description(&self) -> &'static str {
+        "Deviation vs attack effort scatter for the e2e and modular agents (camera attack)"
+    }
+
+    fn cells(&self) -> usize {
+        2 * AttackBudget::fig5_grid().len()
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
+        let r = run(ctx);
+        ExperimentOutput {
+            report: r.to_string(),
+            csvs: vec![("fig5".to_string(), r.to_csv())],
+            svgs: scatter_svgs("fig5", "Fig. 5", &r.series),
+        }
     }
 }
 
@@ -171,14 +225,16 @@ impl std::fmt::Display for Fig5Result {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attack_core::pipeline::prepare;
+    use crate::harness::Scale;
+    use attack_core::pipeline::{prepare, PipelineConfig};
 
     #[test]
     fn smoke_fig5_sweeps_both_agents() {
         let dir = std::env::temp_dir().join("repro-bench-fig5-test");
         let config = PipelineConfig::quick(&dir);
         let artifacts = prepare(&config);
-        let result = run(&artifacts, &config, Scale::smoke());
+        let ctx = RunContext::new(&artifacts, &config, Scale::smoke());
+        let result = run(&ctx);
         assert_eq!(result.series.len(), 2);
         let e2e = result.series(AgentKind::E2e).unwrap();
         // 13 budgets x smoke rounds.
@@ -191,5 +247,8 @@ mod tests {
             result.to_csv().len(),
             2 * 13 * Scale::smoke().scatter_rounds
         );
+        let svgs = scatter_svgs("fig5", "Fig. 5", &result.series);
+        assert_eq!(svgs.len(), 2);
+        assert!(svgs[0].0.starts_with("fig5_"));
     }
 }

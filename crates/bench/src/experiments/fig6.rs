@@ -6,14 +6,16 @@
 //! fine-tuning improves attacked performance but degrades the nominal
 //! (`eps <= 0.25`) cases; PNN keeps nominal performance intact.
 
-use crate::harness::{attacked_records, AgentKind, Scale};
+use crate::engine::{Experiment, ExperimentOutput, RunContext};
+use crate::harness::{attacked_records, AgentKind};
 use attack_core::budget::AttackBudget;
-use attack_core::pipeline::{Artifacts, PipelineConfig};
 use attack_core::sensor::SensorKind;
 use drive_metrics::agg::BoxStats;
 use drive_metrics::episode::CellSummary;
 use drive_metrics::export::Csv;
 use drive_metrics::report::{fmt_f, Table};
+use drive_metrics::svg::box_plot_svg;
+use std::sync::Arc;
 
 /// One (agent, budget) cell.
 #[derive(Debug, Clone)]
@@ -75,41 +77,95 @@ impl Fig6Result {
         }
         csv
     }
+
+    /// Builds the Fig. 6 nominal-reward box plot.
+    pub fn to_svgs(&self) -> Vec<(String, String)> {
+        let budgets: Vec<String> = AttackBudget::fig4_grid()
+            .iter()
+            .map(|b| format!("{b}"))
+            .collect();
+        let series: Vec<(String, Vec<BoxStats>)> = AgentKind::enhanced_lineup()
+            .into_iter()
+            .map(|agent| {
+                let boxes = AttackBudget::fig4_grid()
+                    .iter()
+                    .filter_map(|b| self.nominal_box(agent, b.epsilon()).copied())
+                    .collect();
+                (agent.label().to_string(), boxes)
+            })
+            .collect();
+        vec![(
+            "fig6_nominal".to_string(),
+            box_plot_svg(
+                "Fig. 6 — nominal reward of original and enhanced agents",
+                &budgets,
+                &series,
+                "attack budget",
+                "nominal driving reward",
+            ),
+        )]
+    }
 }
 
-/// Runs the Fig. 6 experiment.
+/// Runs (or reuses) the Fig. 6 experiment via the context memo.
 ///
-/// All 25 (agent, budget) cells are independent and run in parallel;
-/// `par_map` keeps them in lineup-then-budget order for any worker count.
-pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Fig6Result {
-    let mut grid = Vec::new();
-    for agent in AgentKind::enhanced_lineup() {
-        for budget in AttackBudget::fig4_grid() {
-            grid.push((agent, budget));
+/// All 25 (agent, budget) cells are independent and run in parallel off
+/// per-cell seed subtrees (`root/fig6/<agent>/eps<budget>`); `par_map`
+/// keeps them in lineup-then-budget order for any worker count.
+pub fn run(ctx: &RunContext) -> Arc<Fig6Result> {
+    ctx.memo("fig6", || {
+        let ns = ctx.seeds_for("fig6");
+        let mut grid = Vec::new();
+        for agent in AgentKind::enhanced_lineup() {
+            for budget in AttackBudget::fig4_grid() {
+                grid.push((agent, budget));
+            }
+        }
+        let cells = drive_par::par_map(&grid, |_, &(agent, budget)| {
+            let attack = if budget.is_zero() {
+                None
+            } else {
+                Some((&ctx.artifacts.camera_attacker, SensorKind::Camera))
+            };
+            let seeds = ns
+                .child(agent.label())
+                .child(format!("eps{:.2}", budget.epsilon()));
+            let records =
+                attacked_records(agent, attack, budget, ctx, ctx.scale.box_episodes, &seeds);
+            Fig6Cell {
+                agent,
+                budget: budget.epsilon(),
+                summary: CellSummary::from_records(&records),
+            }
+        });
+        Fig6Result { cells }
+    })
+}
+
+/// Registry entry for Fig. 6.
+pub struct Fig6Experiment;
+
+impl Experiment for Fig6Experiment {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "Nominal reward of the original and enhanced agents under camera attacks"
+    }
+
+    fn cells(&self) -> usize {
+        AgentKind::enhanced_lineup().len() * AttackBudget::fig4_grid().len()
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
+        let r = run(ctx);
+        ExperimentOutput {
+            report: r.to_string(),
+            csvs: vec![("fig6".to_string(), r.to_csv())],
+            svgs: r.to_svgs(),
         }
     }
-    let cells = drive_par::par_map(&grid, |_, &(agent, budget)| {
-        let attack = if budget.is_zero() {
-            None
-        } else {
-            Some((&artifacts.camera_attacker, SensorKind::Camera))
-        };
-        let records = attacked_records(
-            agent,
-            attack,
-            budget,
-            artifacts,
-            config,
-            scale.box_episodes,
-            scale.seed + (budget.epsilon() * 100.0) as u64,
-        );
-        Fig6Cell {
-            agent,
-            budget: budget.epsilon(),
-            summary: CellSummary::from_records(&records),
-        }
-    });
-    Fig6Result { cells }
 }
 
 impl std::fmt::Display for Fig6Result {
@@ -144,18 +200,21 @@ impl std::fmt::Display for Fig6Result {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attack_core::pipeline::prepare;
+    use crate::harness::Scale;
+    use attack_core::pipeline::{prepare, PipelineConfig};
 
     #[test]
     fn smoke_fig6_covers_lineup_and_budgets() {
         let dir = std::env::temp_dir().join("repro-bench-fig6-test");
         let config = PipelineConfig::quick(&dir);
         let artifacts = prepare(&config);
-        let result = run(&artifacts, &config, Scale::smoke());
+        let ctx = RunContext::new(&artifacts, &config, Scale::smoke());
+        let result = run(&ctx);
         assert_eq!(result.cells.len(), 5 * 5);
         assert!(result.nominal_box(AgentKind::PnnSigma02, 0.0).is_some());
         let text = format!("{result}");
         assert!(text.contains("pi_pnn(sigma=0.4)"));
         assert_eq!(result.to_csv().len(), 25);
+        assert_eq!(result.to_svgs().len(), 1);
     }
 }

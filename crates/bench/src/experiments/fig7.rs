@@ -6,12 +6,14 @@
 //! (`sigma = 0.2`), with the PNN agents admitting no successful attack
 //! below effort 0.4 / 0.6 respectively.
 
-use crate::experiments::fig5::{sweep_agent, Fig5Series};
-use crate::harness::{AgentKind, Scale};
-use attack_core::pipeline::{Artifacts, PipelineConfig};
+use crate::engine::{Experiment, ExperimentOutput, RunContext};
+use crate::experiments::fig5::{scatter_svgs, sweep_agent, Fig5Series};
+use crate::harness::AgentKind;
+use attack_core::budget::AttackBudget;
 use drive_metrics::agg::mean;
 use drive_metrics::export::Csv;
 use drive_metrics::report::{fmt_f, Table};
+use std::sync::Arc;
 
 /// Full Fig. 7 result: one sweep per enhanced agent.
 #[derive(Debug, Clone)]
@@ -78,13 +80,43 @@ impl Fig7Result {
     }
 }
 
-/// Runs the Fig. 7 experiment.
-pub fn run(artifacts: &Artifacts, config: &PipelineConfig, scale: Scale) -> Fig7Result {
-    Fig7Result {
-        series: Fig7Result::lineup()
-            .into_iter()
-            .map(|a| sweep_agent(a, artifacts, config, scale))
-            .collect(),
+/// Runs (or reuses) the Fig. 7 experiment via the context memo; each
+/// agent's sweep derives from `root/fig7/<agent>`.
+pub fn run(ctx: &RunContext) -> Arc<Fig7Result> {
+    ctx.memo("fig7", || {
+        let ns = ctx.seeds_for("fig7");
+        Fig7Result {
+            series: Fig7Result::lineup()
+                .into_iter()
+                .map(|a| sweep_agent(a, ctx, &ns.child(a.label())))
+                .collect(),
+        }
+    })
+}
+
+/// Registry entry for Fig. 7.
+pub struct Fig7Experiment;
+
+impl Experiment for Fig7Experiment {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn description(&self) -> &'static str {
+        "Robustness of the four enhanced agents: deviation vs effort scatter (camera attack)"
+    }
+
+    fn cells(&self) -> usize {
+        Fig7Result::lineup().len() * AttackBudget::fig5_grid().len()
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
+        let r = run(ctx);
+        ExperimentOutput {
+            report: r.to_string(),
+            csvs: vec![("fig7".to_string(), r.to_csv())],
+            svgs: scatter_svgs("fig7", "Fig. 7", &r.series),
+        }
     }
 }
 
@@ -123,14 +155,16 @@ impl std::fmt::Display for Fig7Result {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use attack_core::pipeline::prepare;
+    use crate::harness::Scale;
+    use attack_core::pipeline::{prepare, PipelineConfig};
 
     #[test]
     fn smoke_fig7_sweeps_enhanced_agents() {
         let dir = std::env::temp_dir().join("repro-bench-fig7-test");
         let config = PipelineConfig::quick(&dir);
         let artifacts = prepare(&config);
-        let result = run(&artifacts, &config, Scale::smoke());
+        let ctx = RunContext::new(&artifacts, &config, Scale::smoke());
+        let result = run(&ctx);
         assert_eq!(result.series.len(), 4);
         for agent in Fig7Result::lineup() {
             assert!(result.avg_tracking_error(agent).is_some(), "{agent:?}");

@@ -6,12 +6,15 @@
 //! agents still show successes at small efforts, PNN agents have the
 //! lowest success rates everywhere.
 
+use crate::engine::{Experiment, ExperimentOutput, RunContext};
 use crate::experiments::fig5::Fig5Result;
 use crate::experiments::fig7::Fig7Result;
 use crate::harness::AgentKind;
 use drive_metrics::export::Csv;
 use drive_metrics::report::{fmt_pct, Table};
+use drive_metrics::svg::bar_chart_svg;
 use drive_metrics::windows::{fig8_windows, EffortWindow};
+use std::sync::Arc;
 
 /// Per-agent windowed success rates.
 #[derive(Debug, Clone)]
@@ -37,7 +40,7 @@ impl Fig8Result {
 }
 
 /// Builds Fig. 8 from the Fig. 5 and Fig. 7 sweeps (no new episodes).
-pub fn run(fig5: &Fig5Result, fig7: &Fig7Result) -> Fig8Result {
+pub fn derive(fig5: &Fig5Result, fig7: &Fig7Result) -> Fig8Result {
     let mut series = Vec::new();
     if let Some(e2e) = fig5.series(AgentKind::E2e) {
         series.push(Fig8Series {
@@ -56,6 +59,20 @@ pub fn run(fig5: &Fig5Result, fig7: &Fig7Result) -> Fig8Result {
     Fig8Result { series }
 }
 
+/// Runs (or reuses) Fig. 8 via the context memo.
+///
+/// Purely derived: pulls the memoized Fig. 5 and Fig. 7 sweeps (running
+/// them if this is a standalone fig8 invocation) and re-bins their
+/// scatter points — the seed namespaces are the sweeps' own, so a
+/// standalone run and an `--all` run agree byte for byte.
+pub fn run(ctx: &RunContext) -> Arc<Fig8Result> {
+    ctx.memo("fig8", || {
+        let f5 = crate::experiments::fig5::run(ctx);
+        let f7 = crate::experiments::fig7::run(ctx);
+        derive(&f5, &f7)
+    })
+}
+
 impl Fig8Result {
     /// Exports per-window success rates as CSV.
     pub fn to_csv(&self) -> Csv {
@@ -71,6 +88,60 @@ impl Fig8Result {
             }
         }
         csv
+    }
+
+    /// Builds the Fig. 8 grouped bar chart.
+    pub fn to_svgs(&self) -> Vec<(String, String)> {
+        let windows: Vec<String> = self
+            .series
+            .first()
+            .map(|s| s.windows.iter().map(EffortWindow::label).collect())
+            .unwrap_or_default();
+        let series: Vec<(String, Vec<f64>)> = self
+            .series
+            .iter()
+            .map(|s| {
+                (
+                    s.agent.label().to_string(),
+                    s.windows.iter().map(|w| w.success_rate).collect(),
+                )
+            })
+            .collect();
+        vec![(
+            "fig8_success_rates".to_string(),
+            bar_chart_svg(
+                "Fig. 8 — success rate per effort window",
+                &windows,
+                &series,
+                "attack success rate",
+            ),
+        )]
+    }
+}
+
+/// Registry entry for Fig. 8.
+pub struct Fig8Experiment;
+
+impl Experiment for Fig8Experiment {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn description(&self) -> &'static str {
+        "Success rate per effort window, derived from the fig5 and fig7 sweeps"
+    }
+
+    fn cells(&self) -> usize {
+        0
+    }
+
+    fn run(&self, ctx: &RunContext) -> ExperimentOutput {
+        let r = run(ctx);
+        ExperimentOutput {
+            report: r.to_string(),
+            csvs: vec![("fig8".to_string(), r.to_csv())],
+            svgs: r.to_svgs(),
+        }
     }
 }
 
@@ -107,7 +178,6 @@ impl std::fmt::Display for Fig8Result {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::{fig5, fig7};
     use crate::harness::Scale;
     use attack_core::pipeline::{prepare, PipelineConfig};
 
@@ -116,9 +186,8 @@ mod tests {
         let dir = std::env::temp_dir().join("repro-bench-fig8-test");
         let config = PipelineConfig::quick(&dir);
         let artifacts = prepare(&config);
-        let f5 = fig5::run(&artifacts, &config, Scale::smoke());
-        let f7 = fig7::run(&artifacts, &config, Scale::smoke());
-        let f8 = run(&f5, &f7);
+        let ctx = RunContext::new(&artifacts, &config, Scale::smoke());
+        let f8 = run(&ctx);
         assert_eq!(f8.series.len(), 5);
         for s in &f8.series {
             assert_eq!(s.windows.len(), 5);
@@ -128,5 +197,11 @@ mod tests {
         let text = format!("{f8}");
         assert!(text.contains("0.8+"));
         assert_eq!(f8.to_csv().len(), 25);
+        // The derived run reuses the memoized sweeps: deriving again from
+        // the context's fig5/fig7 yields the same windows.
+        let f5 = crate::experiments::fig5::run(&ctx);
+        let f7 = crate::experiments::fig7::run(&ctx);
+        let direct = derive(&f5, &f7);
+        assert_eq!(direct.to_csv().to_csv_string(), f8.to_csv().to_csv_string());
     }
 }

@@ -107,27 +107,30 @@ pub fn build_agent(
 /// Collects attacked episode records for one `(agent, attack policy,
 /// budget)` cell.
 ///
-/// A zero budget (or `attack == None`) yields the nominal, unattacked cell.
-#[allow(clippy::too_many_arguments)]
+/// `seeds` is the cell's namespace in the run's seed tree: the agent's
+/// exploration stream derives from `seeds/agent`, episode seeds from
+/// `seeds/episodes`. A zero budget (or `attack == None`) yields the
+/// nominal, unattacked cell.
 pub fn attacked_records(
     kind: AgentKind,
     attack: Option<(&GaussianPolicy, SensorKind)>,
     budget: AttackBudget,
-    artifacts: &Artifacts,
-    config: &PipelineConfig,
+    ctx: &crate::engine::RunContext,
     episodes: usize,
-    base_seed: u64,
+    seeds: &drive_seed::SeedTree,
 ) -> Vec<EpisodeRecord> {
+    let artifacts = ctx.artifacts;
+    let config = ctx.config;
     let adv = AdvReward::default();
-    let mut agent = build_agent(kind, artifacts, config, budget, base_seed ^ 0xa6e17);
+    let mut agent = build_agent(kind, artifacts, config, budget, seeds.child("agent").seed());
     // Episodes run through the hardened cell executor: one panicking
     // episode is retried with a fresh seed instead of aborting the whole
-    // figure run. First attempts use `base_seed + e`, so healthy runs are
-    // bit-identical to the naive loop this replaces.
+    // figure run. First attempts use `base + e` off the cell's episode
+    // namespace, so healthy cells stay deterministic for any worker count.
     let outcome = crate::resilience::run_cell(
         episodes,
-        base_seed,
-        &crate::resilience::ResilienceConfig::default(),
+        seeds.child("episodes").seed(),
+        &ctx.resilience,
         |seed| {
             let mut attacker = attack.and_then(|(policy, sensor_kind)| {
                 if budget.is_zero() {
@@ -244,14 +247,15 @@ mod tests {
     #[test]
     fn attacked_records_nominal_vs_attacked() {
         let (artifacts, config) = quick_setup();
+        let ctx = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+        let seeds = ctx.seeds.child("harness-test");
         let nominal = attacked_records(
             AgentKind::Modular,
             None,
             AttackBudget::ZERO,
-            &artifacts,
-            &config,
+            &ctx,
             2,
-            100,
+            &seeds,
         );
         assert_eq!(nominal.len(), 2);
         assert!(nominal.iter().all(|r| r.attack_effort() == 0.0));
@@ -260,12 +264,23 @@ mod tests {
             AgentKind::Modular,
             Some((&artifacts.camera_attacker, SensorKind::Camera)),
             AttackBudget::new(1.0),
-            &artifacts,
-            &config,
+            &ctx,
             2,
-            100,
+            &seeds,
         );
         assert!(attacked.iter().any(|r| r.attack_effort() > 0.0));
+
+        // Same namespace, same records: the cell is a pure function of its
+        // seed subtree.
+        let again = attacked_records(
+            AgentKind::Modular,
+            None,
+            AttackBudget::ZERO,
+            &ctx,
+            2,
+            &seeds,
+        );
+        assert_eq!(nominal, again);
     }
 
     #[test]

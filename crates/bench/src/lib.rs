@@ -1,20 +1,27 @@
 #![warn(missing_docs)]
 
-//! # repro-bench — experiment harnesses for every figure of the paper
+//! # repro-bench — the experiment engine for every figure of the paper
 //!
 //! Each module of [`experiments`] regenerates one figure (or the baseline /
-//! ablations) from the trained [`attack_core::pipeline::Artifacts`]; the
-//! binaries in `src/bin/` run them at the paper's scale and print the
-//! tables, while the `figures` bench target runs the same code at smoke
-//! scale under `cargo bench`. Criterion micro-benches of the substrate
-//! live in the `perf` bench target.
+//! ablations) from the trained [`attack_core::pipeline::Artifacts`]. All of
+//! them implement the [`engine::Experiment`] trait and register in
+//! [`engine::Registry`]; the CLI ([`cli`]) and every binary in `src/bin/`
+//! dispatch through the registry, and [`engine::execute`] emits a
+//! [`manifest::Manifest`] next to each run's CSVs. The `figures` bench
+//! target runs the same engine at smoke scale under `cargo bench`;
+//! criterion micro-benches of the substrate live in the `perf` bench
+//! target.
 
 pub mod cli;
+pub mod engine;
 pub mod experiments;
 pub mod harness;
+pub mod manifest;
 pub mod perf;
 pub mod resilience;
 
+pub use engine::{execute, EngineRun, Experiment, ExperimentOutput, Registry, RunContext};
 pub use harness::{attacked_records, build_agent, AgentKind, Scale};
+pub use manifest::{Manifest, OutputEntry};
 pub use perf::{PerfReport, PerfSample, ThroughputProbe};
 pub use resilience::{run_cell, CellOutcome, ResilienceConfig};

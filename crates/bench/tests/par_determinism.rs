@@ -7,6 +7,7 @@
 
 use attack_core::pipeline::{prepare, Artifacts, PipelineConfig};
 use proptest::prelude::*;
+use repro_bench::engine::RunContext;
 use repro_bench::experiments::fig4;
 use repro_bench::harness::Scale;
 use std::collections::HashMap;
@@ -41,10 +42,12 @@ fn fig4_csv(workers: usize) -> String {
         return hit.clone();
     }
     let (artifacts, config) = setup();
+    // A fresh context per worker count: the memo must not leak results
+    // across counts, or the invariance check would compare a cache to
+    // itself.
     let csv = drive_par::with_jobs(workers, || {
-        fig4::run(artifacts, config, scale())
-            .to_csv()
-            .to_csv_string()
+        let ctx = RunContext::new(artifacts, config, scale());
+        fig4::run(&ctx).to_csv().to_csv_string()
     });
     cache.lock().unwrap().insert(workers, csv.clone());
     csv

@@ -27,6 +27,7 @@ use drive_rl::actor::Actor;
 use drive_rl::env::Env;
 use drive_rl::replay::{ReplayBuffer, Transition};
 use drive_rl::sac::{Sac, SacConfig};
+use drive_seed::SeedTree;
 use drive_sim::scenario::Scenario;
 use drive_sim::sensors::FeatureConfig;
 use rand::rngs::StdRng;
@@ -92,7 +93,7 @@ fn adversarial_train<A: Actor + Clone + Sync>(
     features: &FeatureConfig,
     config: &DefenseTrainConfig,
 ) -> A {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xdef);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("finetune").seed());
     let sac_config = SacConfig {
         init_alpha: 0.01,
         actor_lr: 1e-4,
@@ -105,7 +106,7 @@ fn adversarial_train<A: Actor + Clone + Sync>(
     let mut buffer = ReplayBuffer::new(100_000, env.obs_dim(), env.action_dim());
 
     let mut episode_seed = config.seed.wrapping_mul(31337) + 1;
-    let mut budget_rng = StdRng::seed_from_u64(config.seed ^ 0xb4d6);
+    let mut budget_rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("budget").seed());
     let arm_episode = |env: &mut DrivingEnv, seed: u64, rng: &mut StdRng| -> Vec<f32> {
         let budget = sample_training_budget(config.rho, rng);
         if budget.is_zero() {
@@ -179,7 +180,8 @@ fn eval_actor<A: Actor + Clone + Sync>(
     // never drawn), so evaluating them in parallel is output-identical to
     // the serial loop. `par_map` keeps the means budget-ordered.
     let means = drive_par::par_map(&eval_budgets, |_, &eps| {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe7a1);
+        let mut rng =
+            StdRng::seed_from_u64(SeedTree::root(config.seed).child("pnn-dataset").seed());
         let budget = AttackBudget::new(eps);
         let mut env = DrivingEnv::new(scenario.clone(), features.clone());
         let mut total = 0.0;
@@ -253,7 +255,7 @@ pub fn train_pnn_defense(
     features: &FeatureConfig,
     config: &DefenseTrainConfig,
 ) -> PnnPolicy {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9aa);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("pnn-sac").seed());
     let pnn = PnnPolicy::new(original.clone(), PnnInit::CopyBase, &mut rng);
     adversarial_train(pnn, attacker_policy, scenario, features, config)
 }

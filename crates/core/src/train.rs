@@ -20,6 +20,7 @@ use drive_rl::bc::{clone_policy, BcConfig, Demonstrations};
 use drive_rl::env::Env;
 use drive_rl::replay::{ReplayBuffer, Transition};
 use drive_rl::sac::{Sac, SacConfig};
+use drive_seed::SeedTree;
 use drive_sim::scenario::Scenario;
 use drive_sim::sensors::{FeatureConfig, ImuConfig};
 use drive_sim::vehicle::Actuation;
@@ -122,8 +123,13 @@ pub fn collect_teacher_demos(
         let mut world = World::new(episode);
         let mut agent = victim();
         let mut cam = AttackerSensor::camera(features.clone());
-        let mut imu_sensor =
-            AttackerSensor::imu(imu.clone(), (base_seed ^ 0x1b0).wrapping_add(e as u64));
+        let mut imu_sensor = AttackerSensor::imu(
+            imu.clone(),
+            SeedTree::root(base_seed)
+                .child("imu-sensor")
+                .child(e)
+                .seed(),
+        );
         let mut trng = StdRng::seed_from_u64(0);
         agent.reset(&world);
         cam.reset();
@@ -184,7 +190,7 @@ pub fn train_camera_attacker(
     features: &FeatureConfig,
     config: &AttackTrainConfig,
 ) -> GaussianPolicy {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xca3);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("camera-bc").seed());
     let budget = AttackBudget::new(config.budget);
     let demos = collect_oracle_demos(
         victim,
@@ -230,7 +236,7 @@ pub fn train_imu_attacker(
     imu: &ImuConfig,
     config: &AttackTrainConfig,
 ) -> GaussianPolicy {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1b1);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("imu-bc").seed());
     let budget = AttackBudget::new(config.budget);
     let demos = collect_teacher_demos(
         victim,
@@ -256,7 +262,12 @@ pub fn train_imu_attacker(
     if config.sac_steps == 0 {
         return policy;
     }
-    let sensor = AttackerSensor::imu(imu.clone(), config.seed ^ 0xf00d);
+    let sensor = AttackerSensor::imu(
+        imu.clone(),
+        SeedTree::root(config.seed)
+            .child("imu-teacher-sensor")
+            .seed(),
+    );
     let teacher = Teacher::new(teacher.clone(), features.clone());
     refine_attacker(
         policy,
@@ -282,7 +293,7 @@ fn refine_attacker(
     imu: &ImuConfig,
     config: &AttackTrainConfig,
 ) -> GaussianPolicy {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xa77c);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("attack-sac").seed());
     let budget = AttackBudget::new(config.budget);
     let kind = sensor.kind();
     let eval_seed = 70_000 + config.seed;

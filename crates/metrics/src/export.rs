@@ -79,15 +79,32 @@ impl Csv {
 
     /// Writes the CSV to a file, creating parent directories.
     ///
+    /// The write is atomic (a sibling temp file renamed into place,
+    /// matching the checkpoint convention), so a run killed mid-write
+    /// never leaves a truncated results file — readers see either the old
+    /// complete CSV or the new one.
+    ///
     /// # Errors
     ///
-    /// Propagates I/O errors.
+    /// Propagates I/O errors. A failed write removes the temp file on a
+    /// best-effort basis.
     pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.to_csv_string())
+        let file_name = path.file_name().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("CSV path has no file name: {}", path.display()),
+            )
+        })?;
+        let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
+        if let Err(e) = std::fs::write(&tmp, self.to_csv_string()) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, path)
     }
 }
 
@@ -129,6 +146,20 @@ mod tests {
         c.row(["1"]);
         c.write_to(&path).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n1\n");
+        // Atomic write: no temp file left behind, and overwriting an
+        // existing CSV replaces it completely.
+        assert!(!dir.join("t.csv.tmp").exists());
+        let mut c2 = Csv::new(["v"]);
+        c2.row(["2"]);
+        c2.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "v\n2\n");
+        assert!(!dir.join("t.csv.tmp").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_to_rejects_pathless_target() {
+        let c = Csv::new(["v"]);
+        assert!(c.write_to("/").is_err());
     }
 }

@@ -369,14 +369,9 @@ pub fn decode_pnn(text: &str) -> Result<PnnPolicy, CheckpointError> {
 }
 
 /// FNV-1a 64-bit hash — the integrity checksum appended to saved files.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// The same hash drive-seed exposes workspace-wide (run manifests use it
+/// too), so checksums printed anywhere are comparable.
+use drive_seed::fnv1a_64 as fnv1a64;
 
 /// Prefix of the integrity line appended by [`save_to_file`].
 const CHECKSUM_TAG: &str = "checksum ";

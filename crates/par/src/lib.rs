@@ -71,6 +71,56 @@ pub fn jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// A pinned-worker-count executor handle.
+///
+/// [`Executor::current`] snapshots the worker count resolved at a known
+/// point (e.g. when an experiment run context is built); running work
+/// through the handle then pins that count for the duration via
+/// [`with_jobs`], so later environment changes — or being called from a
+/// thread without the override — cannot shift the parallelism mid-run.
+/// Run manifests record [`Executor::jobs`] as the authoritative count the
+/// run actually used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor pinned to the worker count resolved right now (see
+    /// [`jobs`]).
+    #[must_use]
+    pub fn current() -> Self {
+        Executor { jobs: jobs() }
+    }
+
+    /// An executor pinned to an explicit worker count (min 1).
+    #[must_use]
+    pub fn with_worker_count(jobs: usize) -> Self {
+        Executor { jobs: jobs.max(1) }
+    }
+
+    /// The pinned worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f` with the worker count pinned to this executor's.
+    pub fn run<T>(&self, f: impl FnOnce() -> T) -> T {
+        with_jobs(self.jobs, f)
+    }
+
+    /// [`par_map`] pinned to this executor's worker count.
+    pub fn par_map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(usize, &I) -> R + Sync,
+    {
+        self.run(|| par_map(items, f))
+    }
+}
+
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
 /// `f` receives `(index, &item)`. With an effective worker count of 1 (or
@@ -155,6 +205,24 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i as u32) * 101);
         }
+    }
+
+    #[test]
+    fn executor_pins_worker_count() {
+        let ex = Executor::with_worker_count(3);
+        assert_eq!(ex.jobs(), 3);
+        assert_eq!(ex.run(jobs), 3);
+        // Pinning is scoped: outside the handle the ambient count rules.
+        let ambient = with_jobs(5, || {
+            let pinned = Executor::with_worker_count(2).run(jobs);
+            (pinned, jobs())
+        });
+        assert_eq!(ambient, (2, 5));
+        // Zero clamps to one, and the executor's map matches plain par_map.
+        assert_eq!(Executor::with_worker_count(0).jobs(), 1);
+        let items: Vec<u32> = (0..9).collect();
+        let out = ex.par_map(&items, |i, &x| x + i as u32);
+        assert_eq!(out, with_jobs(1, || par_map(&items, |i, &x| x + i as u32)));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::env::{rollout, Env};
 use crate::replay::{ReplayBuffer, Transition};
 use crate::sac::{Sac, SacLosses};
 use crate::stats::RunningStats;
+use drive_seed::SeedTree;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -99,7 +100,7 @@ fn losses_healthy(l: &SacLosses, threshold: f32) -> bool {
 /// restores the snapshot instead of continuing from the poisoned state.
 /// Rollbacks are counted in [`TrainStats::rollbacks`].
 pub fn train_sac<E: Env + ?Sized>(env: &mut E, sac: &mut Sac, config: TrainConfig) -> TrainStats {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ac5_ac5a);
+    let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("sac-train").seed());
     let mut buffer = ReplayBuffer::new(config.replay_capacity, env.obs_dim(), env.action_dim());
     let mut stats = TrainStats::default();
     let mut episode_seed = config.seed;

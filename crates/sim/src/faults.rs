@@ -179,10 +179,10 @@ impl FaultInjector {
     /// so batches of episodes see independent (but reproducible) fault
     /// timings.
     pub fn for_episode(schedule: &FaultSchedule, episode_seed: u64) -> Self {
-        // SplitMix64-style mix keeps nearby episode seeds decorrelated.
-        let mixed = schedule
-            .seed
-            .wrapping_add(episode_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Full SplitMix64 finalizer (shared via drive-seed) keeps nearby
+        // episode seeds decorrelated from each other and from the
+        // schedule's own stream.
+        let mixed = drive_seed::splitmix64(schedule.seed ^ drive_seed::splitmix64(episode_seed));
         Self::with_seed(schedule, mixed)
     }
 

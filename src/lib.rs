@@ -12,6 +12,7 @@
 //!
 //! This facade re-exports the workspace crates:
 //!
+//! * [`seed`] — hierarchical seed derivation ([`drive_seed`])
 //! * [`sim`] — simulator substrate ([`drive_sim`])
 //! * [`nn`] — neural networks ([`drive_nn`])
 //! * [`rl`] — soft actor-critic ([`drive_rl`])
@@ -33,6 +34,7 @@ pub use drive_agents as agents;
 pub use drive_metrics as metrics;
 pub use drive_nn as nn;
 pub use drive_rl as rl;
+pub use drive_seed as seed;
 pub use drive_sim as sim;
 
 /// One prelude across the whole stack.

@@ -1,0 +1,51 @@
+//! Repo lint: no ad-hoc seed derivation is allowed anywhere in `crates/`.
+//!
+//! Every stochastic stream must derive its seed through
+//! `drive_seed::SeedTree`; xor-a-magic-constant expressions like the old
+//! `seed ^ 0x5f5f` collide silently and are impossible to audit. This test
+//! walks every Rust source file under `crates/` and fails with file:line
+//! locations if the pattern reappears.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_magic_constant_seed_xors_in_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut sources = Vec::new();
+    rust_sources(&root, &mut sources);
+    assert!(
+        sources.len() > 10,
+        "expected a populated crates/ tree, found {} files",
+        sources.len()
+    );
+
+    let mut offenders = Vec::new();
+    for path in &sources {
+        let text = fs::read_to_string(path).expect("readable source");
+        for (i, line) in text.lines().enumerate() {
+            // Doc comments may mention the outlawed idiom by name; only
+            // code counts.
+            let code = line.split("//").next().unwrap_or("");
+            if code.contains("seed ^ 0x") || code.contains("seed^0x") {
+                offenders.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "magic-constant seed derivations found (use drive_seed::SeedTree):\n{}",
+        offenders.join("\n")
+    );
+}
