@@ -14,9 +14,14 @@
 //! * `--artifacts <dir>` — checkpoint directory (default `artifacts/`)
 //! * `--perf-json <path>` — write per-phase throughput as JSON
 //! * `validate-manifest <path>` — re-check a manifest's file checksums
+//! * `bench-compare <current.json>` — diff a fresh `PERF_JSON` export from
+//!   the `perf` criterion bench against `--baseline` (default
+//!   `BENCH_perf.json`); exits nonzero when any bench's median exceeds
+//!   `--tolerance` (default 1.5) times its baseline or is missing
 //!
 //! Worker-thread count comes from `DRIVE_JOBS` (see `drive_par`).
 
+use crate::benchcmp;
 use crate::engine::{self, Registry, RunContext};
 use crate::harness::Scale;
 use crate::manifest::Manifest;
@@ -49,6 +54,13 @@ pub struct CliArgs {
     pub perf_json: Option<PathBuf>,
     /// Manifest to validate instead of running experiments.
     pub validate_manifest: Option<PathBuf>,
+    /// Fresh bench export to compare against the baseline.
+    pub bench_compare: Option<PathBuf>,
+    /// Baseline for `bench-compare` (`None` = `BENCH_perf.json`).
+    pub baseline: Option<PathBuf>,
+    /// Acceptable `current / baseline` ratio for `bench-compare`
+    /// (`None` = [`crate::benchcmp::DEFAULT_TOLERANCE`]).
+    pub tolerance: Option<f64>,
 }
 
 /// Errors surfaced to the user by the CLI (exit codes in
@@ -61,10 +73,14 @@ pub enum CliError {
     UnknownFlag(String),
     /// A flag that requires a value was last on the line.
     MissingValue(String),
+    /// A flag value that does not parse (flag, offending value).
+    InvalidValue(String, String),
     /// `--filter` matched nothing.
     NoMatch(String),
     /// `validate-manifest` found a bad or mismatching manifest.
     ManifestInvalid(String),
+    /// `bench-compare` found a regression (or could not read its inputs).
+    BenchRegression(String),
     /// Output-sink failure.
     Io(std::io::Error),
 }
@@ -79,12 +95,16 @@ impl std::fmt::Display for CliError {
             }
             CliError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
             CliError::MissingValue(flag) => write!(f, "flag '{flag}' needs a value"),
+            CliError::InvalidValue(flag, value) => {
+                write!(f, "flag '{flag}' got invalid value '{value}'")
+            }
             CliError::NoMatch(filter) => {
                 writeln!(f, "no experiment matches filter '{filter}'")?;
                 writeln!(f, "\navailable experiments:")?;
                 write!(f, "{}", Registry::list(Registry::all()))
             }
             CliError::ManifestInvalid(msg) => write!(f, "manifest invalid:\n{msg}"),
+            CliError::BenchRegression(msg) => write!(f, "{msg}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -103,8 +123,9 @@ pub fn exit_code(err: &CliError) -> i32 {
         CliError::UnknownExperiment(_)
         | CliError::UnknownFlag(_)
         | CliError::MissingValue(_)
+        | CliError::InvalidValue(..)
         | CliError::NoMatch(_) => 2,
-        CliError::ManifestInvalid(_) | CliError::Io(_) => 1,
+        CliError::ManifestInvalid(_) | CliError::BenchRegression(_) | CliError::Io(_) => 1,
     }
 }
 
@@ -147,6 +168,23 @@ impl CliArgs {
                 "validate-manifest" => {
                     out.validate_manifest = Some(value(&mut it, "validate-manifest")?)
                 }
+                "bench-compare" => out.bench_compare = Some(value(&mut it, "bench-compare")?),
+                "--baseline" => out.baseline = Some(value(&mut it, "--baseline")?),
+                "--tolerance" => {
+                    let raw = it
+                        .next()
+                        .ok_or_else(|| CliError::MissingValue("--tolerance".to_string()))?;
+                    let ratio: f64 = raw.parse().map_err(|_| {
+                        CliError::InvalidValue("--tolerance".to_string(), raw.clone())
+                    })?;
+                    if !(ratio.is_finite() && ratio > 0.0) {
+                        return Err(CliError::InvalidValue(
+                            "--tolerance".to_string(),
+                            raw.clone(),
+                        ));
+                    }
+                    out.tolerance = Some(ratio);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(CliError::UnknownFlag(flag.to_string()))
                 }
@@ -174,6 +212,7 @@ impl CliArgs {
             || !self.names.is_empty()
             || self.filter.is_some()
             || self.validate_manifest.is_some()
+            || self.bench_compare.is_some()
     }
 
     /// The pipeline configuration (artifact dir + quick preset).
@@ -249,6 +288,24 @@ fn validate_manifest_cmd(path: &Path) -> Result<(), CliError> {
     }
 }
 
+/// Compares a fresh bench export against the checked-in baseline and
+/// fails on any regressed or missing bench.
+fn bench_compare_cmd(args: &CliArgs, current: &Path) -> Result<(), CliError> {
+    let baseline = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_perf.json"));
+    let tolerance = args.tolerance.unwrap_or(benchcmp::DEFAULT_TOLERANCE);
+    let cmp = benchcmp::compare_files(current, &baseline, tolerance)
+        .map_err(CliError::BenchRegression)?;
+    if cmp.passed() {
+        print!("{}", cmp.render());
+        Ok(())
+    } else {
+        Err(CliError::BenchRegression(cmp.render()))
+    }
+}
+
 /// Runs the parsed command: list, validate, or execute the selected
 /// experiments through the engine (preparing artifacts once).
 ///
@@ -258,6 +315,9 @@ fn validate_manifest_cmd(path: &Path) -> Result<(), CliError> {
 pub fn run(args: &CliArgs) -> Result<(), CliError> {
     if let Some(path) = &args.validate_manifest {
         return validate_manifest_cmd(path);
+    }
+    if let Some(path) = &args.bench_compare {
+        return bench_compare_cmd(args, path);
     }
     if args.list {
         let experiments = match &args.filter {
@@ -329,7 +389,7 @@ pub fn main_from_env() -> i32 {
         Ok(args) => {
             if !args.selects_anything() {
                 eprintln!(
-                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--artifacts <dir>] [--perf-json <path>]\n"
+                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>|bench-compare <current.json>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--artifacts <dir>] [--perf-json <path>]\n       [--baseline <path>] [--tolerance <ratio>]\n"
                 );
                 eprint!("{}", Registry::list(Registry::all()));
                 return 2;
@@ -431,5 +491,68 @@ mod tests {
     #[test]
     fn scale_follows_smoke_flag() {
         assert_eq!(parse(&["--smoke"]).scale(), Scale::smoke());
+    }
+
+    #[test]
+    fn parses_bench_compare_and_rejects_bad_tolerance() {
+        let args = parse(&[
+            "bench-compare",
+            "/tmp/cur.json",
+            "--baseline",
+            "/tmp/base.json",
+            "--tolerance",
+            "1.25",
+        ]);
+        assert_eq!(
+            args.bench_compare.as_deref(),
+            Some(Path::new("/tmp/cur.json"))
+        );
+        assert_eq!(args.baseline.as_deref(), Some(Path::new("/tmp/base.json")));
+        assert_eq!(args.tolerance, Some(1.25));
+        assert!(args.selects_anything());
+        // Defaults stay unset so the command applies its own.
+        let args = parse(&["bench-compare", "cur.json"]);
+        assert!(args.baseline.is_none() && args.tolerance.is_none());
+
+        for bad in ["zero-point-five", "-1.0", "0", "inf"] {
+            let argv: Vec<String> = vec![
+                "bench-compare".into(),
+                "c.json".into(),
+                "--tolerance".into(),
+                bad.into(),
+            ];
+            let err = CliArgs::parse(&argv).expect_err(bad);
+            assert!(matches!(err, CliError::InvalidValue(..)), "{bad}: {err:?}");
+            assert_eq!(exit_code(&err), 2);
+        }
+    }
+
+    #[test]
+    fn bench_compare_cmd_gates_on_the_tolerance() {
+        let dir = std::env::temp_dir().join("repro-bench-cli-benchcmp-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = |median: f64| {
+            format!(
+                "{{\"schema\": \"repro-bench/bench-v1\", \"quick\": false, \"benches\": [{{\"name\": \"m\", \"median_ns\": {median}, \"mean_ns\": {median}, \"iters\": 5}}]}}"
+            )
+        };
+        std::fs::write(dir.join("base.json"), doc(100.0)).unwrap();
+        std::fs::write(dir.join("cur.json"), doc(120.0)).unwrap();
+
+        let mut args = parse(&["bench-compare", "ignored"]);
+        args.baseline = Some(dir.join("base.json"));
+        args.bench_compare = Some(dir.join("cur.json"));
+        run(&args).expect("1.2x is within the default 1.5x tolerance");
+
+        args.tolerance = Some(1.1);
+        let err = run(&args).expect_err("1.2x must fail a 1.1x gate");
+        assert!(matches!(err, CliError::BenchRegression(_)));
+        assert_eq!(exit_code(&err), 1);
+        assert!(err.to_string().contains("REGRESSED"));
+
+        args.bench_compare = Some(dir.join("nonexistent.json"));
+        assert!(run(&args).is_err(), "unreadable input must fail the gate");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,16 +10,20 @@
 //! [`manifest::Manifest`] next to each run's CSVs. The `figures` bench
 //! target runs the same engine at smoke scale under `cargo bench`;
 //! criterion micro-benches of the substrate live in the `perf` bench
-//! target.
+//! target, and `repro_bench bench-compare` ([`benchcmp`]) gates their
+//! `PERF_JSON` export against the checked-in `BENCH_perf.json` baseline.
 
+pub mod benchcmp;
 pub mod cli;
 pub mod engine;
 pub mod experiments;
 pub mod harness;
+mod json;
 pub mod manifest;
 pub mod perf;
 pub mod resilience;
 
+pub use benchcmp::{compare_files, BenchDelta, BenchStatus, Comparison};
 pub use engine::{execute, EngineRun, Experiment, ExperimentOutput, Registry, RunContext};
 pub use harness::{attacked_records, build_agent, AgentKind, Scale};
 pub use manifest::{Manifest, OutputEntry};

@@ -11,7 +11,7 @@
 use crate::activation::Activation;
 use crate::mat::Mat;
 use crate::mlp::{Mlp, MlpCache};
-use crate::scratch::ActScratch;
+use crate::scratch::{ActScratch, SampleBackScratch};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -36,16 +36,24 @@ pub fn randn_f32<R: Rng>(rng: &mut R) -> f32 {
 
 /// Fills a matrix with standard normal noise.
 pub fn randn_mat<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Mat {
-    let mut m = Mat::zeros(rows, cols);
+    let mut m = Mat::default();
+    fill_randn(&mut m, rows, cols, rng);
+    m
+}
+
+/// Resizes `m` and refills it with standard normal noise, drawing values
+/// in the same row-major order as [`randn_mat`] (so the two are
+/// interchangeable without perturbing a seeded RNG stream).
+pub fn fill_randn<R: Rng>(m: &mut Mat, rows: usize, cols: usize, rng: &mut R) {
+    m.resize(rows, cols);
     for v in m.data_mut() {
         *v = randn_f32(rng);
     }
-    m
 }
 
 /// A sampled batch from a tanh-Gaussian head, with everything needed for
 /// the backward pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HeadSample {
     /// Pre-squash mean, `(batch, action_dim)`.
     pub mean: Mat,
@@ -69,45 +77,77 @@ pub struct HeadSample {
 ///
 /// Panics if shapes are inconsistent.
 pub fn sample_head(raw: &Mat, action_dim: usize, noise: Mat) -> HeadSample {
+    let mut out = HeadSample {
+        noise,
+        ..HeadSample::default()
+    };
+    sample_head_into(raw, action_dim, &mut out);
+    out
+}
+
+/// [`sample_head`] into a reusable [`HeadSample`] whose `noise` field must
+/// already hold the `(batch, action_dim)` reparameterization noise.
+/// Allocation-free once the buffers have warmed up; bit-identical results.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn sample_head_into(raw: &Mat, action_dim: usize, out: &mut HeadSample) {
     assert_eq!(
         raw.cols(),
         2 * action_dim,
         "raw head output must be 2*action_dim wide"
     );
-    assert_eq!((noise.rows(), noise.cols()), (raw.rows(), action_dim));
-    let (mean, mut log_std) = raw.split_cols(action_dim);
-    let mut clamped = vec![false; log_std.data().len()];
-    for (i, v) in log_std.data_mut().iter_mut().enumerate() {
-        if *v < LOG_STD_MIN {
-            *v = LOG_STD_MIN;
-            clamped[i] = true;
-        } else if *v > LOG_STD_MAX {
-            *v = LOG_STD_MAX;
-            clamped[i] = true;
-        }
-    }
-    let batch = mean.rows();
-    let mut actions = Mat::zeros(batch, action_dim);
-    let mut log_prob = vec![0.0f32; batch];
-    #[allow(clippy::needless_range_loop)]
-    for b in 0..batch {
-        for i in 0..action_dim {
-            let ls = log_std.get(b, i);
-            let sigma = ls.exp();
-            let n = noise.get(b, i);
-            let u = mean.get(b, i) + sigma * n;
-            let a = u.tanh();
-            actions.set(b, i, a);
-            log_prob[b] += -0.5 * n * n - 0.5 * LOG_2PI - ls - (1.0 - a * a + TANH_EPS).ln();
-        }
-    }
-    HeadSample {
+    assert_eq!(
+        (out.noise.rows(), out.noise.cols()),
+        (raw.rows(), action_dim)
+    );
+    let batch = raw.rows();
+    let HeadSample {
         mean,
         log_std,
         clamped,
         noise,
         actions,
         log_prob,
+    } = out;
+    mean.resize(batch, action_dim);
+    log_std.resize(batch, action_dim);
+    actions.resize(batch, action_dim);
+    clamped.clear();
+    clamped.resize(batch * action_dim, false);
+    log_prob.clear();
+    log_prob.resize(batch, 0.0);
+    for b in 0..batch {
+        let raw_row = raw.row(b);
+        let mean_row = mean.row_mut(b);
+        mean_row.copy_from_slice(&raw_row[..action_dim]);
+        let ls_row = log_std.row_mut(b);
+        for (i, (ls, &v)) in ls_row.iter_mut().zip(&raw_row[action_dim..]).enumerate() {
+            *ls = v;
+            if v < LOG_STD_MIN {
+                *ls = LOG_STD_MIN;
+                clamped[b * action_dim + i] = true;
+            } else if v > LOG_STD_MAX {
+                *ls = LOG_STD_MAX;
+                clamped[b * action_dim + i] = true;
+            }
+        }
+        // One fused pass: squash and accumulate the log-density in the same
+        // ascending-element order as the allocating path.
+        let lp = &mut log_prob[b];
+        for (((a, &m), &ls), &n) in actions
+            .row_mut(b)
+            .iter_mut()
+            .zip(&*mean_row)
+            .zip(&*ls_row)
+            .zip(noise.row(b))
+        {
+            let sigma = ls.exp();
+            let u = m + sigma * n;
+            *a = u.tanh();
+            *lp += -0.5 * n * n - 0.5 * LOG_2PI - ls - (1.0 - *a * *a + TANH_EPS).ln();
+        }
     }
 }
 
@@ -119,6 +159,24 @@ pub fn sample_head(raw: &Mat, action_dim: usize, noise: Mat) -> HeadSample {
 ///
 /// Panics on shape mismatches.
 pub fn head_backward(sample: &HeadSample, grad_action: &Mat, grad_logp: &[f32]) -> Mat {
+    let mut grad_raw = Mat::default();
+    head_backward_into(sample, grad_action, grad_logp, &mut grad_raw);
+    grad_raw
+}
+
+/// [`head_backward`] into a reusable `(batch, 2 * action_dim)` buffer,
+/// writing the mean and log-std gradient halves of each row directly —
+/// no `grad_mean`/`grad_ls` temporaries, no `hcat`. Bit-identical results.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn head_backward_into(
+    sample: &HeadSample,
+    grad_action: &Mat,
+    grad_logp: &[f32],
+    grad_raw: &mut Mat,
+) {
     let batch = sample.actions.rows();
     let action_dim = sample.actions.cols();
     assert_eq!(
@@ -126,30 +184,28 @@ pub fn head_backward(sample: &HeadSample, grad_action: &Mat, grad_logp: &[f32]) 
         (batch, action_dim)
     );
     assert_eq!(grad_logp.len(), batch);
-    let mut grad_mean = Mat::zeros(batch, action_dim);
-    let mut grad_ls = Mat::zeros(batch, action_dim);
-    #[allow(clippy::needless_range_loop)]
-    for b in 0..batch {
-        for i in 0..action_dim {
-            let a = sample.actions.get(b, i);
-            let sigma = sample.log_std.get(b, i).exp();
-            let n = sample.noise.get(b, i);
+    grad_raw.resize(batch, 2 * action_dim);
+    for (b, &gl) in grad_logp.iter().enumerate() {
+        let clamped = &sample.clamped[b * action_dim..(b + 1) * action_dim];
+        let (gm_row, gls_row) = grad_raw.row_mut(b).split_at_mut(action_dim);
+        for (i, (gm, gls)) in gm_row.iter_mut().zip(gls_row).enumerate() {
+            let a = sample.actions.row(b)[i];
+            let sigma = sample.log_std.row(b)[i].exp();
+            let n = sample.noise.row(b)[i];
             let one_m_a2 = 1.0 - a * a;
             let da_dmean = one_m_a2;
             let da_dls = one_m_a2 * sigma * n;
             let dlogp_dmean = 2.0 * a * one_m_a2 / (one_m_a2 + TANH_EPS);
             let dlogp_dls = -1.0 + 2.0 * a * da_dls / (one_m_a2 + TANH_EPS);
-            let ga = grad_action.get(b, i);
-            let gl = grad_logp[b];
-            grad_mean.set(b, i, ga * da_dmean + gl * dlogp_dmean);
+            let ga = grad_action.row(b)[i];
+            *gm = ga * da_dmean + gl * dlogp_dmean;
             let mut g = ga * da_dls + gl * dlogp_dls;
-            if sample.clamped[b * action_dim + i] {
+            if clamped[i] {
                 g = 0.0;
             }
-            grad_ls.set(b, i, g);
+            *gls = g;
         }
     }
-    grad_mean.hcat(&grad_ls)
 }
 
 /// A stochastic policy `pi(a | s)` with a plain MLP trunk.
@@ -161,7 +217,7 @@ pub struct GaussianPolicy {
 
 /// Everything needed to backpropagate through one sampled batch of a
 /// [`GaussianPolicy`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SampleCache {
     trunk: MlpCache,
     /// The head sample (actions, log-probs, intermediates).
@@ -233,6 +289,18 @@ impl GaussianPolicy {
         self.sample_with_noise(obs, noise)
     }
 
+    /// [`GaussianPolicy::sample`] into a reusable cache — allocation-free
+    /// once the cache has warmed up. Draws RNG values in exactly the same
+    /// order as `sample` (noise first, row-major), so the two paths are
+    /// interchangeable mid-stream without perturbing seeded runs, and
+    /// computes bit-identical results.
+    pub fn sample_into<R: Rng>(&self, obs: &Mat, rng: &mut R, cache: &mut SampleCache) {
+        let SampleCache { trunk, head } = cache;
+        fill_randn(&mut head.noise, obs.rows(), self.action_dim, rng);
+        self.trunk.forward_cached_into(obs, trunk);
+        sample_head_into(trunk.output(), self.action_dim, head);
+    }
+
     /// Like [`GaussianPolicy::sample`] but with caller-provided noise
     /// (deterministic tests, finite differencing).
     ///
@@ -256,6 +324,22 @@ impl GaussianPolicy {
     ) -> Mat {
         let grad_raw = head_backward(&cache.head, grad_action, grad_logp);
         self.trunk.backward(&cache.trunk, &grad_raw)
+    }
+
+    /// [`GaussianPolicy::backward_sample`] through reusable buffers —
+    /// allocation-free once the scratch has warmed up, with parameter
+    /// gradients accumulating bit-identically. The observation gradient is
+    /// left in the scratch rather than returned (SAC never uses it).
+    pub fn backward_sample_with(
+        &mut self,
+        cache: &SampleCache,
+        grad_action: &Mat,
+        grad_logp: &[f32],
+        s: &mut SampleBackScratch,
+    ) {
+        let SampleBackScratch { grad_raw, trunk } = s;
+        head_backward_into(&cache.head, grad_action, grad_logp, grad_raw);
+        self.trunk.backward_with(&cache.trunk, grad_raw, trunk);
     }
 
     /// Backpropagates a gradient on the *deterministic* action `tanh(mean)`
@@ -466,6 +550,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(p.act(&[0.0; 4], &mut rng, true).len(), 2);
         assert_eq!(p.act(&[0.0; 4], &mut rng, false).len(), 2);
+    }
+
+    /// `sample_into` must be a drop-in for `sample`: bit-identical caches
+    /// AND identical RNG consumption across repeated scratch reuse.
+    #[test]
+    fn sample_into_matches_sample_and_rng_stream() {
+        let p = policy();
+        let mut r1 = StdRng::seed_from_u64(21);
+        let mut r2 = StdRng::seed_from_u64(21);
+        let mut cache = SampleCache::default();
+        for batch in [3usize, 1, 5] {
+            let obs = Mat::from_vec(batch, 4, (0..batch * 4).map(|i| (i as f32).sin()).collect());
+            let alloc = p.sample(&obs, &mut r1);
+            p.sample_into(&obs, &mut r2, &mut cache);
+            assert_eq!(alloc.actions(), cache.actions());
+            assert_eq!(alloc.log_prob(), cache.log_prob());
+            assert_eq!(alloc.head.noise, cache.head.noise);
+            assert_eq!(alloc.head.clamped, cache.head.clamped);
+        }
+        // Both RNGs must have advanced identically.
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    /// `backward_sample_with` must accumulate exactly the same parameter
+    /// gradients as the allocating `backward_sample`.
+    #[test]
+    fn backward_sample_with_matches_allocating_backward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p1 = GaussianPolicy::new(3, &[8], 2, &mut rng);
+        let mut p2 = p1.clone();
+        let obs = Mat::from_vec(2, 3, vec![0.1, -0.4, 0.8, -0.2, 0.5, 0.3]);
+        let noise = Mat::from_vec(2, 2, vec![0.3, -0.6, 1.1, 0.2]);
+        let cache = p1.sample_with_noise(&obs, noise);
+        let grad_action = Mat::from_vec(2, 2, vec![1.0, -0.5, 0.25, 2.0]);
+        let grad_logp = vec![0.5f32, -1.5];
+        p1.trunk_mut().zero_grad();
+        p2.trunk_mut().zero_grad();
+        p1.backward_sample(&cache, &grad_action, &grad_logp);
+        let mut s = SampleBackScratch::default();
+        p2.backward_sample_with(&cache, &grad_action, &grad_logp, &mut s);
+        // Repeat with the warmed scratch: gradients keep accumulating
+        // identically.
+        p1.backward_sample(&cache, &grad_action, &grad_logp);
+        p2.backward_sample_with(&cache, &grad_action, &grad_logp, &mut s);
+        assert_eq!(p1, p2);
     }
 
     #[test]

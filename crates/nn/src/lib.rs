@@ -42,10 +42,10 @@ pub mod scratch;
 pub mod prelude {
     pub use crate::activation::Activation;
     pub use crate::adam::{Adam, AdamConfig};
-    pub use crate::gaussian::{randn_f32, randn_mat, GaussianPolicy, SampleCache};
+    pub use crate::gaussian::{fill_randn, randn_f32, randn_mat, GaussianPolicy, SampleCache};
     pub use crate::linear::Linear;
     pub use crate::mat::Mat;
     pub use crate::mlp::{Mlp, MlpCache};
     pub use crate::pnn::{PnnInit, PnnPolicy, PnnSampleCache};
-    pub use crate::scratch::{ActScratch, Scratch};
+    pub use crate::scratch::{ActScratch, SampleBackScratch, Scratch};
 }

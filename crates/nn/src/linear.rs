@@ -85,7 +85,15 @@ impl Linear {
     pub fn backward_into(&mut self, x: &Mat, grad_out: &Mat, grad_in: &mut Mat) {
         // dW += grad_out^T @ x  (shape out x in)
         grad_out.matmul_tn_acc(x, &mut self.grad_w);
-        for (g, s) in self.grad_b.iter_mut().zip(grad_out.sum_rows()) {
+        // db += column sums of grad_out. Summed per column in ascending
+        // batch order into a register before one add into `grad_b` — same
+        // FP order as the `sum_rows` temporary this replaces, without its
+        // per-call allocation.
+        for (j, g) in self.grad_b.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for r in 0..grad_out.rows() {
+                s += grad_out.row(r)[j];
+            }
             *g += s;
         }
         // dX = grad_out @ W

@@ -5,6 +5,7 @@
 //! general linear-algebra library.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -145,11 +146,13 @@ impl Mat {
     /// `self @ other` written into `out` (resized and overwritten) —
     /// allocation-free when `out`'s buffer is already large enough.
     ///
-    /// The inner loops are branch-free and unrolled over `chunks_exact`
-    /// blocks of the inner dimension; each output element still accumulates
-    /// its products in ascending-`k` order, so results are bit-identical to
-    /// the naive triple loop. Note non-finite inputs propagate: `0.0 * NaN`
-    /// is `NaN` here (use [`Mat::sanitize_nonfinite`] to guard entry points).
+    /// Backed by the 4x4 register-tiled kernel ([`gemm_acc`]): sixteen
+    /// independent accumulators per output tile break the FP-add latency
+    /// chain while every output element still sums its products in
+    /// ascending-`k` order, so results stay bit-identical to the naive
+    /// triple loop and repeated calls are exactly deterministic. Note
+    /// non-finite inputs propagate: `0.0 * NaN` is `NaN` here (use
+    /// [`Mat::sanitize_nonfinite`] to guard entry points).
     ///
     /// # Panics
     ///
@@ -162,38 +165,14 @@ impl Mat {
         );
         out.resize(self.rows, other.cols);
         out.fill(0.0);
-        let oc = other.cols;
-        if oc == 0 {
-            return;
-        }
-        // i-k-j loop order: sequential access of `other` rows; k unrolled
-        // by 4 with one vectorizable j-sweep per unrolled block.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * oc..(i + 1) * oc];
-            let a_quads = a_row.chunks_exact(4);
-            let a_rem = a_quads.remainder();
-            let b_quads = other.data.chunks_exact(4 * oc);
-            let b_rem = b_quads.remainder();
-            for (aq, bq) in a_quads.zip(b_quads) {
-                let (b0, rest) = bq.split_at(oc);
-                let (b1, rest) = rest.split_at(oc);
-                let (b2, b3) = rest.split_at(oc);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    // Separate statements keep per-element accumulation in
-                    // ascending-k order (bit-identical to the scalar loop).
-                    *o += aq[0] * b0[j];
-                    *o += aq[1] * b1[j];
-                    *o += aq[2] * b2[j];
-                    *o += aq[3] * b3[j];
-                }
-            }
-            for (&a, b_row) in a_rem.iter().zip(b_rem.chunks_exact(oc)) {
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm_acc(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
     }
 
     /// `self @ other^T` — product with the transpose of `other`, the common
@@ -208,44 +187,53 @@ impl Mat {
         out
     }
 
-    /// `self @ other^T` written into `out` (resized and overwritten) —
-    /// allocation-free when `out`'s buffer is already large enough.
-    ///
-    /// Each dot product unrolls over `chunks_exact(4)` blocks but keeps a
-    /// single accumulator updated in ascending order, so results are
-    /// bit-identical to the scalar loop.
+    /// `self @ other^T` written into `out` via a thread-local pack buffer —
+    /// see [`Mat::matmul_nt_into_with`] for the caller-owned-scratch form.
+    /// Allocation-free once the thread's pack buffer has warmed up.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_nt_into(&self, other: &Mat, out: &mut Mat) {
+        PACK.with(|p| self.matmul_nt_into_with(other, &mut p.borrow_mut(), out));
+    }
+
+    /// `self @ other^T` written into `out` (resized and overwritten),
+    /// packing `other^T` into the caller-owned `pack` scratch so the one
+    /// register-tiled row-major kernel does all the work. The transposed
+    /// dot-product loop this replaces was latency-bound on a single
+    /// accumulator chain (~3x slower than the plain layout at 64x64).
+    ///
+    /// Per output element the products still accumulate in ascending
+    /// shared-dimension order, so results are bit-identical to the explicit
+    /// `self @ transpose(other)` product. Batches of fewer than [`TILE`]
+    /// rows skip the pack (it cannot amortize) and use a direct dot-product
+    /// sweep with the same accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_nt_into_with(&self, other: &Mat, pack: &mut Mat, out: &mut Mat) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt dims: {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
         out.resize(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                let a_quads = a_row.chunks_exact(4);
-                let a_rem = a_quads.remainder();
-                let b_quads = b_row.chunks_exact(4);
-                let b_rem = b_quads.remainder();
-                for (aq, bq) in a_quads.zip(b_quads) {
-                    acc += aq[0] * bq[0];
-                    acc += aq[1] * bq[1];
-                    acc += aq[2] * bq[2];
-                    acc += aq[3] * bq[3];
-                }
-                for (a, b) in a_rem.iter().zip(b_rem) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        if self.rows < TILE {
+            nt_dot(self, other, out);
+            return;
         }
+        other.transpose_into(pack);
+        out.fill(0.0);
+        gemm_acc(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &pack.data,
+            &mut out.data,
+        );
     }
 
     /// `self^T @ other` — used for weight-gradient accumulation
@@ -260,18 +248,35 @@ impl Mat {
         out
     }
 
-    /// `acc += self^T @ other` — accumulates the weight-gradient product
-    /// directly into an existing matrix (e.g. `grad_w`), avoiding the
-    /// temporary that `add_assign(&a.matmul_tn(b))` would allocate.
-    ///
-    /// Accumulation per output element runs in ascending batch-row order,
-    /// matching the naive loop bit-for-bit when `acc` starts at zero.
+    /// `acc += self^T @ other` via a thread-local pack buffer — see
+    /// [`Mat::matmul_tn_acc_with`] for the caller-owned-scratch form.
+    /// Allocation-free once the thread's pack buffer has warmed up.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows != other.rows` or `acc` is not
     /// `self.cols x other.cols`.
     pub fn matmul_tn_acc(&self, other: &Mat, acc: &mut Mat) {
+        PACK.with(|p| self.matmul_tn_acc_with(other, &mut p.borrow_mut(), acc));
+    }
+
+    /// `acc += self^T @ other` — accumulates the weight-gradient product
+    /// directly into an existing matrix (e.g. `grad_w`), packing `self^T`
+    /// into the caller-owned `pack` scratch and reusing the register-tiled
+    /// kernel. Avoids the temporary that `add_assign(&a.matmul_tn(b))`
+    /// would allocate.
+    ///
+    /// Per output element the batch-row products accumulate in ascending
+    /// order into a register before one add folds them into `acc`, so the
+    /// result matches the naive loop bit-for-bit when `acc` starts at zero.
+    /// Outputs narrower than [`TILE`] rows skip the pack and use a direct
+    /// broadcast sweep with the same accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows` or `acc` is not
+    /// `self.cols x other.cols`.
+    pub fn matmul_tn_acc_with(&self, other: &Mat, pack: &mut Mat, acc: &mut Mat) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn dims: ({}x{})^T @ {}x{}",
@@ -282,14 +287,29 @@ impl Mat {
             (self.cols, other.cols),
             "matmul_tn_acc accumulator shape"
         );
-        for b in 0..self.rows {
-            let a_row = self.row(b);
-            let o_row = other.row(b);
-            for (i, &a) in a_row.iter().enumerate() {
-                let out_row = &mut acc.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &g) in out_row.iter_mut().zip(o_row) {
-                    *o += a * g;
-                }
+        if self.cols < TILE {
+            tn_broadcast(self, other, acc);
+            return;
+        }
+        self.transpose_into(pack);
+        gemm_acc(
+            self.cols,
+            self.rows,
+            other.cols,
+            &pack.data,
+            &other.data,
+            &mut acc.data,
+        );
+    }
+
+    /// Writes `self^T` into `out` (resized; reuses `out`'s buffer). This is
+    /// the pack step that lets the transposed products share the plain
+    /// row-major kernel.
+    pub fn transpose_into(&self, out: &mut Mat) {
+        out.resize(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                out.data[c * self.rows + r] = v;
             }
         }
     }
@@ -345,14 +365,26 @@ impl Mat {
     ///
     /// Panics if row counts differ.
     pub fn hcat(&self, other: &Mat) -> Mat {
+        let mut out = Mat::default();
+        self.hcat_into(other, &mut out);
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]` written into `out`
+    /// (resized and overwritten) — allocation-free [`Mat::hcat`] once the
+    /// buffer has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hcat_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(self.rows, other.rows, "hcat needs equal row counts");
-        let mut out = Mat::zeros(self.rows, self.cols + other.cols);
+        out.resize(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             let dst = out.row_mut(r);
             dst[..self.cols].copy_from_slice(self.row(r));
             dst[self.cols..].copy_from_slice(other.row(r));
         }
-        out
     }
 
     /// Splits columns at `at`, returning `(left, right)`.
@@ -386,6 +418,194 @@ impl Mat {
 impl Default for Mat {
     fn default() -> Self {
         Mat::zeros(0, 0)
+    }
+}
+
+/// Row height of the register-blocked GEMM output tile (also the
+/// minimum operand extent for the pack-and-tile paths to pay off).
+pub const TILE: usize = 4;
+
+thread_local! {
+    /// Pack buffer behind the scratch-free [`Mat::matmul_nt_into`] /
+    /// [`Mat::matmul_tn_acc`] entry points. Thread-local so parallel
+    /// experiment workers never contend; its capacity persists across
+    /// calls, so steady-state packing allocates nothing.
+    static PACK: RefCell<Mat> = const {
+        RefCell::new(Mat {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        })
+    };
+}
+
+/// Column width of the GEMM micro-kernel (two 4-lane vectors per row).
+const NTILE: usize = 8;
+
+/// `out += a @ b` for row-major `m x k` / `k x n` / `m x n` slices — the
+/// one hot GEMM kernel every matmul variant funnels into.
+///
+/// The output is walked in 4x8 tiles ([`TILE`] rows by [`NTILE`]
+/// columns); each tile keeps 32 independent register accumulators, so the
+/// per-element FP-add latency chain never serializes across tile lanes,
+/// and the inner loop is written as a zip over `b`'s rows with fixed-size
+/// `[f32; NTILE]` loads so the compiler can keep it branch- and
+/// bounds-check-free. Each element's products are still summed in
+/// ascending-`k` order into its own accumulator (then one add folds the
+/// tile into `out`), which keeps the result independent of tiling and
+/// bit-identical run to run. Shape checks are `debug_assert!` only — the
+/// public `Mat` methods have already validated dimensions.
+fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k, "gemm_acc: a is not m x k");
+    debug_assert_eq!(b.len(), k * n, "gemm_acc: b is not k x n");
+    debug_assert_eq!(out.len(), m * n, "gemm_acc: out is not m x n");
+    if k == 0 || n == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + TILE <= m {
+        // Four A-row slices of exactly k elements: in-bounds by
+        // construction, so the zipped loads below need no checks.
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let mut j = 0;
+        while j + NTILE <= n {
+            let mut c0 = [0.0f32; NTILE];
+            let mut c1 = [0.0f32; NTILE];
+            let mut c2 = [0.0f32; NTILE];
+            let mut c3 = [0.0f32; NTILE];
+            for ((((brow, &x0), &x1), &x2), &x3) in
+                b.chunks_exact(n).zip(a0).zip(a1).zip(a2).zip(a3)
+            {
+                let bp: &[f32; NTILE] = brow[j..j + NTILE].try_into().expect("NTILE-wide strip");
+                for t in 0..NTILE {
+                    c0[t] += x0 * bp[t];
+                    c1[t] += x1 * bp[t];
+                    c2[t] += x2 * bp[t];
+                    c3[t] += x3 * bp[t];
+                }
+            }
+            for (r, acc) in [c0, c1, c2, c3].iter().enumerate() {
+                let dst = &mut out[(i + r) * n + j..(i + r) * n + j + NTILE];
+                for t in 0..NTILE {
+                    dst[t] += acc[t];
+                }
+            }
+            j += NTILE;
+        }
+        if j < n {
+            for (r, a_row) in [a0, a1, a2, a3].iter().enumerate() {
+                gemm_acc_row_tail(k, n, a_row, b, &mut out[(i + r) * n..(i + r + 1) * n], j);
+            }
+        }
+        i += TILE;
+    }
+    while i < m {
+        gemm_acc_row_tail(
+            k,
+            n,
+            &a[i * k..(i + 1) * k],
+            b,
+            &mut out[i * n..(i + 1) * n],
+            0,
+        );
+        i += 1;
+    }
+}
+
+/// Remainder path of [`gemm_acc`]: one output row, columns `j0..n`, as a
+/// plain i-k-j sweep with the same ascending-`k` accumulation order.
+fn gemm_acc_row_tail(k: usize, n: usize, a_row: &[f32], b: &[f32], out_row: &mut [f32], j0: usize) {
+    for (p, &av) in a_row.iter().enumerate().take(k) {
+        let b_row = &b[p * n + j0..(p + 1) * n];
+        for (o, &bv) in out_row[j0..].iter_mut().zip(b_row) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Small-batch `self @ other^T`: direct dot products, single accumulator
+/// per element in ascending order. Used when there are too few rows for
+/// the pack-and-tile path to pay for the transpose.
+fn nt_dot(a: &Mat, other: &Mat, out: &mut Mat) {
+    for i in 0..a.rows {
+        let a_row = a.row(i);
+        for j in 0..other.rows {
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(other.row(j)) {
+                acc += x * y;
+            }
+            out.data[i * other.rows + j] = acc;
+        }
+    }
+}
+
+/// Narrow-output `acc += self^T @ other`: ascending batch-row broadcast,
+/// used when the transposed output has fewer than [`TILE`] rows (e.g. the
+/// `(batch, 1)` critic-head gradients).
+fn tn_broadcast(a: &Mat, other: &Mat, acc: &mut Mat) {
+    for b in 0..a.rows {
+        let a_row = a.row(b);
+        let o_row = other.row(b);
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = &mut acc.data[i * other.cols..(i + 1) * other.cols];
+            for (o, &g) in out_row.iter_mut().zip(o_row) {
+                *o += av * g;
+            }
+        }
+    }
+}
+
+/// Naive reference kernels the fast paths are property-tested against.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::Mat;
+
+    /// Textbook `a @ b` triple loop.
+    pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(p, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Textbook `a @ b^T`.
+    pub fn matmul_nt(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0f32;
+                for p in 0..a.cols() {
+                    acc += a.get(i, p) * b.get(j, p);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Textbook `acc + a^T @ b`.
+    pub fn matmul_tn_acc(a: &Mat, b: &Mat, acc: &Mat) -> Mat {
+        let mut out = acc.clone();
+        for i in 0..a.cols() {
+            for j in 0..b.cols() {
+                let mut sum = 0.0f32;
+                for p in 0..a.rows() {
+                    sum += a.get(p, i) * b.get(p, j);
+                }
+                out.set(i, j, out.get(i, j) + sum);
+            }
+        }
+        out
     }
 }
 
@@ -542,6 +762,85 @@ mod tests {
     }
 
     #[test]
+    fn transpose_into_round_trips() {
+        let a = Mat::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let mut t = Mat::from_vec(1, 1, vec![9.9]); // dirty, mis-shaped
+        a.transpose_into(&mut t);
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+        let mut back = Mat::default();
+        t.transpose_into(&mut back);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn hcat_into_matches_hcat_on_dirty_buffer() {
+        let a = Mat::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Mat::from_vec(2, 1, vec![5., 6.]);
+        let mut out = Mat::from_vec(3, 3, vec![7.0; 9]);
+        a.hcat_into(&b, &mut out);
+        assert_eq!(out, a.hcat(&b));
+    }
+
+    #[test]
+    fn with_variants_match_thread_local_pack_paths() {
+        let a = Mat::from_vec(6, 5, (0..30).map(|i| (i as f32) * 0.3 - 4.0).collect());
+        let b = Mat::from_vec(7, 5, (0..35).map(|i| (i as f32) * -0.17 + 2.0).collect());
+        let mut pack = Mat::default();
+        let mut out = Mat::default();
+        a.matmul_nt_into_with(&b, &mut pack, &mut out);
+        assert_eq!(out, a.matmul_nt(&b));
+
+        let g = Mat::from_vec(6, 4, (0..24).map(|i| (i as f32) * 0.09).collect());
+        let mut acc_with = Mat::zeros(5, 4);
+        let mut acc_tl = Mat::zeros(5, 4);
+        a.matmul_tn_acc_with(&g, &mut pack, &mut acc_with);
+        a.matmul_tn_acc(&g, &mut acc_tl);
+        assert_eq!(acc_with, acc_tl);
+    }
+
+    /// Repeated calls that reuse the same scratch buffers must be exactly
+    /// deterministic: the blocked kernels' FP accumulation order depends
+    /// only on shapes, never on buffer history.
+    #[test]
+    fn repeated_calls_with_same_scratch_are_bit_identical() {
+        let a = Mat::from_vec(
+            9,
+            13,
+            (0..117).map(|i| ((i * 37) % 19) as f32 - 9.0).collect(),
+        );
+        let b = Mat::from_vec(
+            13,
+            6,
+            (0..78).map(|i| ((i * 11) % 23) as f32 * 0.25).collect(),
+        );
+        let bt = {
+            let mut t = Mat::default();
+            b.transpose_into(&mut t);
+            t
+        };
+        let mut pack = Mat::default();
+        let mut out = Mat::default();
+        a.matmul_into(&b, &mut out);
+        let first = out.clone();
+        let mut nt_out = Mat::default();
+        a.matmul_nt_into_with(&bt, &mut pack, &mut nt_out);
+        let nt_first = nt_out.clone();
+        let mut acc = Mat::zeros(13, 6);
+        a.matmul_tn_acc_with(&nt_out, &mut pack, &mut acc);
+        let acc_first = acc.clone();
+        for _ in 0..3 {
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, first);
+            a.matmul_nt_into_with(&bt, &mut pack, &mut nt_out);
+            assert_eq!(nt_out, nt_first);
+            acc.fill(0.0);
+            a.matmul_tn_acc_with(&nt_out, &mut pack, &mut acc);
+            assert_eq!(acc, acc_first);
+        }
+    }
+
+    #[test]
     fn sanitize_nonfinite_zeroes_only_bad_entries() {
         let mut m = Mat::from_vec(
             1,
@@ -552,5 +851,78 @@ mod tests {
         assert_eq!(m.data(), &[1.0, 0.0, 0.0, 0.0, -2.0]);
         // Healthy data is untouched.
         assert_eq!(m.sanitize_nonfinite(), 0);
+    }
+
+    mod properties {
+        use super::super::{reference, Mat};
+        use proptest::prelude::*;
+
+        /// A random matrix with dimensions in `1..=96` — spans everything
+        /// from pure-remainder shapes to multi-tile interiors.
+        fn mat(rows: usize, cols: usize, seed: &[f32]) -> Mat {
+            let data = (0..rows * cols)
+                .map(|i| seed[i % seed.len()])
+                .collect::<Vec<_>>();
+            Mat::from_vec(rows, cols, data)
+        }
+
+        fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+            (1usize..=96, 1usize..=96, 1usize..=96)
+        }
+
+        fn values() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+            (
+                proptest::collection::vec(-8.0f32..8.0, 7..=31),
+                proptest::collection::vec(-8.0f32..8.0, 7..=31),
+            )
+        }
+
+        fn assert_close(fast: &Mat, naive: &Mat, what: &str) {
+            assert_eq!((fast.rows(), fast.cols()), (naive.rows(), naive.cols()));
+            for (i, (&f, &n)) in fast.data().iter().zip(naive.data()).enumerate() {
+                let tol = 1e-4 * n.abs().max(1.0);
+                assert!((f - n).abs() <= tol, "{what}[{i}]: fast {f} vs naive {n}");
+            }
+        }
+
+        proptest! {
+            /// The tiled kernel matches the naive triple loop. The kernels
+            /// preserve per-element ascending-k accumulation, so this holds
+            /// bit-exactly — asserted within the issue's 1e-4 relative
+            /// tolerance to stay robust across float contraction settings.
+            #[test]
+            fn tiled_matmul_matches_naive((m, k, n) in dims(), (sa, sb) in values()) {
+                let a = mat(m, k, &sa);
+                let b = mat(k, n, &sb);
+                let mut out = Mat::default();
+                a.matmul_into(&b, &mut out);
+                assert_close(&out, &reference::matmul(&a, &b), "matmul");
+            }
+
+            /// The packed NT product matches the naive transposed product,
+            /// including the small-batch direct path (`m < TILE`).
+            #[test]
+            fn packed_matmul_nt_matches_naive((m, k, n) in dims(), (sa, sb) in values()) {
+                let a = mat(m, k, &sa);
+                let b = mat(n, k, &sb);
+                let mut pack = Mat::default();
+                let mut out = Mat::default();
+                a.matmul_nt_into_with(&b, &mut pack, &mut out);
+                assert_close(&out, &reference::matmul_nt(&a, &b), "matmul_nt");
+            }
+
+            /// The packed TN accumulation matches the naive version on top
+            /// of a non-zero accumulator.
+            #[test]
+            fn packed_matmul_tn_acc_matches_naive((m, k, n) in dims(), (sa, sb) in values()) {
+                let a = mat(k, m, &sa);
+                let b = mat(k, n, &sb);
+                let base = mat(m, n, &sb);
+                let mut pack = Mat::default();
+                let mut acc = base.clone();
+                a.matmul_tn_acc_with(&b, &mut pack, &mut acc);
+                assert_close(&acc, &reference::matmul_tn_acc(&a, &b, &base), "matmul_tn_acc");
+            }
+        }
     }
 }

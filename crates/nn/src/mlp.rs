@@ -18,7 +18,7 @@ pub struct Mlp {
 ///
 /// `post[i]` is the post-activation output of layer `i`; `post.last()` is the
 /// network output. The original input is kept separately.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MlpCache {
     input: Mat,
     post: Vec<Mat>,
@@ -146,17 +146,26 @@ impl Mlp {
     /// Applies the same non-finite input guard as [`Mlp::forward`]; the
     /// cache stores the sanitized input so backward sees consistent data.
     pub fn forward_cached(&self, x: &Mat) -> MlpCache {
-        let mut post = Vec::with_capacity(self.layers.len());
-        let mut input = x.clone();
-        input.sanitize_nonfinite();
+        let mut cache = MlpCache::default();
+        self.forward_cached_into(x, &mut cache);
+        cache
+    }
+
+    /// [`Mlp::forward_cached`] into a reusable cache — allocation-free once
+    /// the cache's buffers have warmed up, bit-identical outputs.
+    pub fn forward_cached_into(&self, x: &Mat, cache: &mut MlpCache) {
+        cache.input.copy_from(x);
+        cache.input.sanitize_nonfinite();
+        cache.post.resize_with(self.layers.len(), Mat::default);
         for (i, (layer, act)) in self.layers.iter().zip(&self.acts).enumerate() {
-            let src = if i == 0 { &input } else { &post[i - 1] };
-            let mut h = Mat::default();
-            layer.forward_into(src, &mut h);
-            act.apply_inplace(&mut h);
-            post.push(h);
+            // Split so the source (input or post[i-1]) and destination
+            // post[i] can be borrowed at once.
+            let (done, rest) = cache.post.split_at_mut(i);
+            let src = if i == 0 { &cache.input } else { &done[i - 1] };
+            let h = &mut rest[0];
+            layer.forward_into(src, h);
+            act.apply_inplace(h);
         }
-        MlpCache { input, post }
     }
 
     /// Backward pass from `grad_out` (gradient of the loss w.r.t. the

@@ -30,3 +30,12 @@ pub struct ActScratch {
     pub(crate) trunk: Scratch,
     pub(crate) action: Vec<f32>,
 }
+
+/// Workspace for a policy backward pass through a sampled head: the
+/// `(batch, 2 * action_dim)` raw-head gradient and the trunk's ping-pong
+/// buffers (see `GaussianPolicy::backward_sample_with`).
+#[derive(Debug, Clone, Default)]
+pub struct SampleBackScratch {
+    pub(crate) grad_raw: Mat,
+    pub(crate) trunk: Scratch,
+}

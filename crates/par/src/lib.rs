@@ -123,11 +123,13 @@ impl Executor {
 
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
-/// `f` receives `(index, &item)`. With an effective worker count of 1 (or
-/// at most one item) the map runs serially on the calling thread with no
-/// thread or synchronization overhead; otherwise items are claimed in
-/// contiguous chunks off a shared atomic cursor. Either way the output
-/// `Vec` is index-ordered and identical for every worker count.
+/// `f` receives `(index, &item)`. With an effective worker count of 1 —
+/// or a grid of at most two items, where thread spawn and join cost more
+/// than the second item — the map runs serially on the calling thread
+/// with no thread or synchronization overhead; otherwise items are
+/// claimed in contiguous chunks off a shared atomic cursor. Either way
+/// the output `Vec` is index-ordered and identical for every worker
+/// count.
 ///
 /// If `f` panics for one or more items, the panic payload of the
 /// lowest-index failing item is re-raised after all workers finish.
@@ -138,7 +140,7 @@ where
     F: Fn(usize, &I) -> R + Sync,
 {
     let workers = jobs().min(items.len());
-    if workers <= 1 {
+    if workers <= 1 || items.len() <= 2 {
         return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
     }
 
@@ -247,6 +249,33 @@ mod tests {
         let items = [1u8, 2];
         let out = with_jobs(16, || par_map(&items, |_, &x| x + 1));
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn tiny_grids_skip_thread_spawn_and_stay_index_ordered() {
+        // Grids of <= 2 items run on the calling thread even with many
+        // workers configured: the mapped closure must observe the caller's
+        // thread id, and output must stay index-ordered.
+        let caller = std::thread::current().id();
+        for len in 0..=2usize {
+            let items: Vec<usize> = (0..len).collect();
+            let out = with_jobs(8, || {
+                par_map(&items, |i, &x| {
+                    assert_eq!(
+                        std::thread::current().id(),
+                        caller,
+                        "tiny grid must not spawn threads"
+                    );
+                    (i, x * 10)
+                })
+            });
+            let expect: Vec<(usize, usize)> = (0..len).map(|i| (i, i * 10)).collect();
+            assert_eq!(out, expect, "len={len}");
+        }
+        // Three items is past the cutoff: still index-ordered.
+        let items = [5usize, 6, 7];
+        let out = with_jobs(8, || par_map(&items, |i, &x| (i, x)));
+        assert_eq!(out, vec![(0, 5), (1, 6), (2, 7)]);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use drive_nn::gaussian::GaussianPolicy;
 use drive_nn::mat::Mat;
 use drive_nn::pnn::PnnPolicy;
+use drive_nn::scratch::SampleBackScratch;
 use rand::rngs::StdRng;
 
 /// A sampled batch: actions in `[-1,1]` and their log-probabilities, plus
@@ -42,8 +43,9 @@ impl ActorSample for drive_nn::pnn::PnnSampleCache {
 
 /// A trainable stochastic policy.
 pub trait Actor {
-    /// The sample cache type produced by [`Actor::sample`].
-    type Sample: ActorSample;
+    /// The sample cache type produced by [`Actor::sample`]. `Clone + Debug`
+    /// so persistent update scratches holding a sample slot stay derivable.
+    type Sample: ActorSample + Clone + std::fmt::Debug;
 
     /// Observation dimensionality.
     fn obs_dim(&self) -> usize;
@@ -51,8 +53,28 @@ pub trait Actor {
     fn action_dim(&self) -> usize;
     /// Reparameterized batch sample.
     fn sample(&self, obs: &Mat, rng: &mut StdRng) -> Self::Sample;
+    /// Reparameterized batch sample into a reusable slot. Implementations
+    /// with allocation-free caches overwrite the slot in place; the default
+    /// just stores a fresh [`Actor::sample`]. Must consume the RNG in
+    /// exactly the same order as `sample` and produce identical results.
+    fn sample_into(&self, obs: &Mat, rng: &mut StdRng, slot: &mut Option<Self::Sample>) {
+        *slot = Some(self.sample(obs, rng));
+    }
     /// Backpropagates `dL/da` and `dL/dlogp` into trainable parameters.
     fn backward_sample(&mut self, cache: &Self::Sample, grad_action: &Mat, grad_logp: &[f32]);
+    /// [`Actor::backward_sample`] through a reusable workspace. The default
+    /// ignores the scratch and calls the allocating path; implementations
+    /// with `_with` variants override. Gradients must accumulate
+    /// identically either way.
+    fn backward_sample_with(
+        &mut self,
+        cache: &Self::Sample,
+        grad_action: &Mat,
+        grad_logp: &[f32],
+        _scratch: &mut SampleBackScratch,
+    ) {
+        self.backward_sample(cache, grad_action, grad_logp);
+    }
     /// Clears accumulated gradients.
     fn zero_grad(&mut self);
     /// Visits `(params, grads)` slices of the trainable parameters.
@@ -73,8 +95,21 @@ impl Actor for GaussianPolicy {
     fn sample(&self, obs: &Mat, rng: &mut StdRng) -> Self::Sample {
         GaussianPolicy::sample(self, obs, rng)
     }
+    fn sample_into(&self, obs: &Mat, rng: &mut StdRng, slot: &mut Option<Self::Sample>) {
+        let cache = slot.get_or_insert_with(Default::default);
+        GaussianPolicy::sample_into(self, obs, rng, cache);
+    }
     fn backward_sample(&mut self, cache: &Self::Sample, grad_action: &Mat, grad_logp: &[f32]) {
         GaussianPolicy::backward_sample(self, cache, grad_action, grad_logp);
+    }
+    fn backward_sample_with(
+        &mut self,
+        cache: &Self::Sample,
+        grad_action: &Mat,
+        grad_logp: &[f32],
+        scratch: &mut SampleBackScratch,
+    ) {
+        GaussianPolicy::backward_sample_with(self, cache, grad_action, grad_logp, scratch);
     }
     fn zero_grad(&mut self) {
         self.trunk_mut().zero_grad();

@@ -118,10 +118,15 @@ pub fn clone_policy<R: Rng>(
         let mut grad = Mat::zeros(pred.rows(), pred.cols());
         let mut loss = 0.0;
         for b in 0..pred.rows() {
-            for i in 0..pred.cols() {
-                let e = pred.get(b, i) - target.get(b, i);
+            for ((g, &p), &t) in grad
+                .row_mut(b)
+                .iter_mut()
+                .zip(pred.row(b))
+                .zip(target.row(b))
+            {
+                let e = p - t;
                 loss += e * e / n;
-                grad.set(b, i, 2.0 * e / n);
+                *g = 2.0 * e / n;
             }
         }
         last = loss;

@@ -11,7 +11,8 @@ use drive_nn::activation::Activation;
 use drive_nn::adam::Adam;
 use drive_nn::gaussian::GaussianPolicy;
 use drive_nn::mat::Mat;
-use drive_nn::mlp::Mlp;
+use drive_nn::mlp::{Mlp, MlpCache};
+use drive_nn::scratch::{SampleBackScratch, Scratch};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +73,68 @@ pub struct SacLosses {
     pub entropy: f32,
 }
 
+/// Persistent workspace for [`Sac::update_batch`] — every buffer the
+/// update needs, warmed up on the first call and reused afterwards so the
+/// hot training loop performs zero heap allocations. Pure workspace:
+/// carries no learned state, so cloning a learner clones only capacity.
+#[derive(Debug, Clone)]
+struct UpdateScratch<S> {
+    /// Policy sample at `next_obs` (critic targets).
+    next_sample: Option<S>,
+    /// Policy sample at `obs` (actor objective).
+    pi_sample: Option<S>,
+    next_in: Mat,
+    critic_in: Mat,
+    actor_in: Mat,
+    targets: Vec<f32>,
+    tgt1: Scratch,
+    tgt2: Scratch,
+    c1: MlpCache,
+    c2: MlpCache,
+    a1: MlpCache,
+    a2: MlpCache,
+    g1: Mat,
+    g2: Mat,
+    pick1: Mat,
+    pick2: Mat,
+    grad_action: Mat,
+    grad_logp: Vec<f32>,
+    bw1: Scratch,
+    bw2: Scratch,
+    actor_bw: SampleBackScratch,
+}
+
+// Manual impl: `derive(Default)` would demand `S: Default`, which actor
+// sample caches don't all provide (the `Option` slots default to `None`
+// regardless).
+impl<S> Default for UpdateScratch<S> {
+    fn default() -> Self {
+        UpdateScratch {
+            next_sample: None,
+            pi_sample: None,
+            next_in: Mat::default(),
+            critic_in: Mat::default(),
+            actor_in: Mat::default(),
+            targets: Vec::new(),
+            tgt1: Scratch::default(),
+            tgt2: Scratch::default(),
+            c1: MlpCache::default(),
+            c2: MlpCache::default(),
+            a1: MlpCache::default(),
+            a2: MlpCache::default(),
+            g1: Mat::default(),
+            g2: Mat::default(),
+            pick1: Mat::default(),
+            pick2: Mat::default(),
+            grad_action: Mat::default(),
+            grad_logp: Vec::new(),
+            bw1: Scratch::default(),
+            bw2: Scratch::default(),
+            actor_bw: SampleBackScratch::default(),
+        }
+    }
+}
+
 /// A soft actor-critic learner, generic over the actor architecture
 /// (plain Gaussian policy or progressive network).
 #[derive(Debug, Clone)]
@@ -95,6 +158,8 @@ pub struct Sac<A: Actor = GaussianPolicy> {
     /// Reusable mini-batch buffers for [`Sac::update`] — pure workspace,
     /// carries no learned state.
     batch_scratch: Batch,
+    /// Reusable buffers for [`Sac::update_batch`] — pure workspace.
+    update_scratch: UpdateScratch<A::Sample>,
 }
 
 impl Sac<GaussianPolicy> {
@@ -149,6 +214,7 @@ impl<A: Actor> Sac<A> {
             action_dim,
             updates: 0,
             batch_scratch: Batch::default(),
+            update_scratch: UpdateScratch::default(),
         }
     }
 
@@ -206,6 +272,10 @@ impl<A: Actor> Sac<A> {
     }
 
     /// Performs one gradient update on a pre-sampled batch.
+    ///
+    /// Every intermediate lives in a persistent [`UpdateScratch`], so after
+    /// the first call at a given batch size this performs zero heap
+    /// allocations (see `crates/rl/tests/alloc.rs`).
     pub fn update_batch(&mut self, batch: &Batch, rng: &mut StdRng) -> SacLosses {
         self.updates += 1;
         crate::perf::record_updates(1);
@@ -213,41 +283,86 @@ impl<A: Actor> Sac<A> {
         let n = batch.len();
         let nf = n as f32;
         let alpha = self.alpha();
+        let gamma = self.config.gamma;
+
+        // Move the workspace out so its buffers can be borrowed alongside
+        // `self`'s networks; restored before returning.
+        let mut us = std::mem::take(&mut self.update_scratch);
+        let UpdateScratch {
+            next_sample,
+            pi_sample,
+            next_in,
+            critic_in,
+            actor_in,
+            targets,
+            tgt1,
+            tgt2,
+            c1,
+            c2,
+            a1,
+            a2,
+            g1,
+            g2,
+            pick1,
+            pick2,
+            grad_action,
+            grad_logp,
+            bw1,
+            bw2,
+            actor_bw,
+        } = &mut us;
 
         // ------- Critic update -------
         // Target actions and values from the *current* policy at next_obs.
-        let next_sample = self.actor.sample(&batch.next_obs, rng);
-        let next_in = batch.next_obs.hcat(next_sample.actions());
-        let q1t = self.q1_target.forward(&next_in);
-        let q2t = self.q2_target.forward(&next_in);
-        let mut targets = vec![0.0f32; n];
-        #[allow(clippy::needless_range_loop)]
-        for b in 0..n {
-            let qmin = q1t.get(b, 0).min(q2t.get(b, 0));
-            let soft = qmin - alpha * next_sample.log_prob()[b];
-            targets[b] = batch.rewards[b] + self.config.gamma * (1.0 - batch.terminals[b]) * soft;
-        }
+        self.actor.sample_into(&batch.next_obs, rng, next_sample);
+        let next = next_sample.as_ref().expect("sample_into fills the slot");
+        batch.next_obs.hcat_into(next.actions(), next_in);
+        let q1t = self.q1_target.forward_with(next_in, tgt1);
+        let q2t = self.q2_target.forward_with(next_in, tgt2);
+        // Fused target pass: min-Q, entropy bonus, and Bellman backup in
+        // one sweep over the (n, 1) output columns.
+        targets.clear();
+        targets.extend(
+            q1t.data()
+                .iter()
+                .zip(q2t.data())
+                .zip(next.log_prob())
+                .zip(&batch.rewards)
+                .zip(&batch.terminals)
+                .map(|((((&v1, &v2), &lp), &r), &t)| {
+                    let soft = v1.min(v2) - alpha * lp;
+                    r + gamma * (1.0 - t) * soft
+                }),
+        );
 
-        let critic_in = batch.obs.hcat(&batch.actions);
-        let c1 = self.q1.forward_cached(&critic_in);
-        let c2 = self.q2.forward_cached(&critic_in);
-        let mut g1 = Mat::zeros(n, 1);
-        let mut g2 = Mat::zeros(n, 1);
+        batch.obs.hcat_into(&batch.actions, critic_in);
+        self.q1.forward_cached_into(critic_in, c1);
+        self.q2.forward_cached_into(critic_in, c2);
+        g1.resize(n, 1);
+        g2.resize(n, 1);
         let mut q1_loss = 0.0;
         let mut q2_loss = 0.0;
-        #[allow(clippy::needless_range_loop)]
-        for b in 0..n {
-            let e1 = c1.output().get(b, 0) - targets[b];
-            let e2 = c2.output().get(b, 0) - targets[b];
+        // Fused TD-error pass: losses and both critic gradients together.
+        for ((((&o1, &o2), gg1), gg2), &t) in c1
+            .output()
+            .data()
+            .iter()
+            .zip(c2.output().data())
+            .zip(g1.data_mut())
+            .zip(g2.data_mut())
+            .zip(&*targets)
+        {
+            let e1 = o1 - t;
+            let e2 = o2 - t;
             q1_loss += e1 * e1 / nf;
             q2_loss += e2 * e2 / nf;
-            g1.set(b, 0, 2.0 * e1 / nf);
-            g2.set(b, 0, 2.0 * e2 / nf);
+            *gg1 = 2.0 * e1 / nf;
+            *gg2 = 2.0 * e2 / nf;
         }
         self.q1.zero_grad();
         self.q2.zero_grad();
-        self.q1.backward(&c1, &g1);
-        self.q2.backward(&c2, &g2);
+        self.q1.backward_with(c1, g1, bw1);
+        self.q2.backward_with(c2, g2, bw2);
         self.opt_q1.step(|f| self.q1.visit_params(f));
         self.opt_q2.step(|f| self.q2.visit_params(f));
 
@@ -255,55 +370,63 @@ impl<A: Actor> Sac<A> {
         // a ~ pi(s) with reparameterization; loss = E[alpha logp - min Q].
         // During the critic warm-up (actor_delay) only diagnostics are
         // computed; actor and temperature stay frozen.
-        let pi = self.actor.sample(&batch.obs, rng);
-        let actor_in = batch.obs.hcat(pi.actions());
-        let a1 = self.q1.forward_cached(&actor_in);
-        let a2 = self.q2.forward_cached(&actor_in);
-        // Per-sample, gradient flows through the smaller critic.
-        let mut pick1 = Mat::zeros(n, 1);
-        let mut pick2 = Mat::zeros(n, 1);
+        self.actor.sample_into(&batch.obs, rng, pi_sample);
+        let pi = pi_sample.as_ref().expect("sample_into fills the slot");
+        batch.obs.hcat_into(pi.actions(), actor_in);
+        self.q1.forward_cached_into(actor_in, a1);
+        self.q2.forward_cached_into(actor_in, a2);
+        // Per-sample, gradient flows through the smaller critic
+        // (dL/dq = -1/n through the selected one); fused with the loss.
+        pick1.resize(n, 1);
+        pick1.fill(0.0);
+        pick2.resize(n, 1);
+        pick2.fill(0.0);
         let mut actor_loss = 0.0;
-        #[allow(clippy::needless_range_loop)]
-        for b in 0..n {
-            let (v1, v2) = (a1.output().get(b, 0), a2.output().get(b, 0));
+        for ((((&v1, &v2), p1), p2), &lp) in a1
+            .output()
+            .data()
+            .iter()
+            .zip(a2.output().data())
+            .zip(pick1.data_mut())
+            .zip(pick2.data_mut())
+            .zip(pi.log_prob())
+        {
             let qmin = v1.min(v2);
-            actor_loss += (alpha * pi.log_prob()[b] - qmin) / nf;
-            // dL/dq = -1/n through the selected critic.
+            actor_loss += (alpha * lp - qmin) / nf;
             if v1 <= v2 {
-                pick1.set(b, 0, -1.0 / nf);
+                *p1 = -1.0 / nf;
             } else {
-                pick2.set(b, 0, -1.0 / nf);
+                *p2 = -1.0 / nf;
             }
         }
         // Input gradients of the critics (their parameter grads from this
         // pass are discarded below).
         self.q1.zero_grad();
         self.q2.zero_grad();
-        let gi1 = self.q1.backward(&a1, &pick1);
-        let gi2 = self.q2.backward(&a2, &pick2);
+        let gi1 = self.q1.backward_with(a1, pick1, bw1);
+        let gi2 = self.q2.backward_with(a2, pick2, bw2);
         self.q1.zero_grad();
         self.q2.zero_grad();
-        let mut grad_action = Mat::zeros(n, self.action_dim);
-        #[allow(clippy::needless_range_loop)]
+        grad_action.resize(n, self.action_dim);
         for b in 0..n {
-            for i in 0..self.action_dim {
-                grad_action.set(
-                    b,
-                    i,
-                    gi1.get(b, self.obs_dim + i) + gi2.get(b, self.obs_dim + i),
-                );
+            let r1 = &gi1.row(b)[self.obs_dim..];
+            let r2 = &gi2.row(b)[self.obs_dim..];
+            for ((g, &x1), &x2) in grad_action.row_mut(b).iter_mut().zip(r1).zip(r2) {
+                *g = x1 + x2;
             }
         }
         let mean_logp = pi.log_prob().iter().sum::<f32>() / nf;
         if !actor_frozen {
-            let grad_logp = vec![alpha / nf; n];
+            grad_logp.clear();
+            grad_logp.resize(n, alpha / nf);
             self.actor.zero_grad();
-            self.actor.backward_sample(&pi, &grad_action, &grad_logp);
+            self.actor
+                .backward_sample_with(pi, grad_action, grad_logp, actor_bw);
             self.opt_actor.step(|f| self.actor.visit_params(f));
 
             // ------- Temperature update -------
             // L(alpha) = -log_alpha * E[logp + target_entropy].
-            let mut alpha_grad = vec![-(mean_logp + self.target_entropy)];
+            let mut alpha_grad = [-(mean_logp + self.target_entropy)];
             let log_alpha = &mut self.log_alpha;
             self.opt_alpha.step(|f| f(log_alpha, &mut alpha_grad));
             // Keep alpha in a sane range.
@@ -314,6 +437,7 @@ impl<A: Actor> Sac<A> {
         self.q1_target.polyak_from(&self.q1, self.config.tau);
         self.q2_target.polyak_from(&self.q2, self.config.tau);
 
+        self.update_scratch = us;
         SacLosses {
             q1_loss,
             q2_loss,
