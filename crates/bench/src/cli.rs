@@ -11,6 +11,13 @@
 //! * `--quick` — quick-trained artifacts (CI preset, not paper numbers)
 //! * `--csv <dir>` / `--svg <dir>` — write data/figure outputs (a
 //!   `<name>.manifest.json` with per-file checksums lands next to them)
+//! * `--resume <dir>` — re-open the crash-safety journal of a killed run
+//!   and continue it (`<dir>` doubles as the CSV dir unless `--csv` is
+//!   given); completed experiments are skipped, completed cells replay
+//!   from the journal, and the finished outputs are byte-identical to an
+//!   uninterrupted run
+//! * `--no-journal` — disable the journal (it is on whenever a CSV or SVG
+//!   directory is set)
 //! * `--artifacts <dir>` — checkpoint directory (default `artifacts/`)
 //! * `--perf-json <path>` — write per-phase throughput as JSON
 //! * `validate-manifest <path>` — re-check a manifest's file checksums
@@ -48,6 +55,10 @@ pub struct CliArgs {
     pub csv: Option<PathBuf>,
     /// SVG output directory.
     pub svg: Option<PathBuf>,
+    /// Run directory of a killed run to resume.
+    pub resume: Option<PathBuf>,
+    /// Disable the crash-safety journal.
+    pub no_journal: bool,
     /// Artifact checkpoint directory (`None` = `artifacts/`).
     pub artifacts: Option<PathBuf>,
     /// Perf-report JSON path.
@@ -81,6 +92,9 @@ pub enum CliError {
     ManifestInvalid(String),
     /// `bench-compare` found a regression (or could not read its inputs).
     BenchRegression(String),
+    /// `--resume` could not re-open the run's journal (incompatible
+    /// parameters, corruption beyond tail repair, or I/O failure).
+    Resume(String),
     /// Output-sink failure.
     Io(std::io::Error),
 }
@@ -105,6 +119,7 @@ impl std::fmt::Display for CliError {
             }
             CliError::ManifestInvalid(msg) => write!(f, "manifest invalid:\n{msg}"),
             CliError::BenchRegression(msg) => write!(f, "{msg}"),
+            CliError::Resume(msg) => write!(f, "cannot resume: {msg}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -125,7 +140,10 @@ pub fn exit_code(err: &CliError) -> i32 {
         | CliError::MissingValue(_)
         | CliError::InvalidValue(..)
         | CliError::NoMatch(_) => 2,
-        CliError::ManifestInvalid(_) | CliError::BenchRegression(_) | CliError::Io(_) => 1,
+        CliError::ManifestInvalid(_)
+        | CliError::BenchRegression(_)
+        | CliError::Resume(_)
+        | CliError::Io(_) => 1,
     }
 }
 
@@ -163,6 +181,8 @@ impl CliArgs {
                 }
                 "--csv" => out.csv = Some(value(&mut it, "--csv")?),
                 "--svg" => out.svg = Some(value(&mut it, "--svg")?),
+                "--resume" => out.resume = Some(value(&mut it, "--resume")?),
+                "--no-journal" => out.no_journal = true,
                 "--artifacts" => out.artifacts = Some(value(&mut it, "--artifacts")?),
                 "--perf-json" => out.perf_json = Some(value(&mut it, "--perf-json")?),
                 "validate-manifest" => {
@@ -337,6 +357,39 @@ pub fn run(args: &CliArgs) -> Result<(), CliError> {
         scale.scatter_rounds
     );
 
+    // `--resume <dir>` names the run directory; it doubles as the CSV dir
+    // unless one was given explicitly, so the resumed run writes (and
+    // verifies) the same files the killed run did.
+    let csv_dir = args.csv.clone().or_else(|| args.resume.clone());
+    // The journal is opened before artifact preparation: a run killed
+    // while still training leaves a (cell-less) journal behind, and
+    // resuming it re-enters training at the victim's own snapshot.
+    let journal = if args.no_journal {
+        None
+    } else if let Some(run_dir) = csv_dir.as_ref().or(args.svg.as_ref()) {
+        let header = crate::journal::RunHeader::for_run(&config, scale);
+        let journal_dir = run_dir.join("journal");
+        let journal = if args.resume.is_some() {
+            crate::journal::JournalHandle::resume(&journal_dir, header)
+                .map_err(|e| CliError::Resume(e.to_string()))?
+        } else {
+            crate::journal::JournalHandle::create(&journal_dir, header)
+                .map_err(|e| CliError::Resume(e.to_string()))?
+        };
+        eprintln!(
+            "[journal] {} at {}",
+            if args.resume.is_some() {
+                "resumed"
+            } else {
+                "started"
+            },
+            journal_dir.display()
+        );
+        Some(std::sync::Arc::new(journal))
+    } else {
+        None
+    };
+
     let total = ThroughputProbe::start();
     let mut report = PerfReport::new();
     let probe = ThroughputProbe::start();
@@ -344,8 +397,9 @@ pub fn run(args: &CliArgs) -> Result<(), CliError> {
     report.push(probe.sample("prepare"));
 
     let mut ctx = RunContext::new(&artifacts, &config, scale);
-    ctx.csv_dir = args.csv.clone();
+    ctx.csv_dir = csv_dir;
     ctx.svg_dir = args.svg.clone();
+    ctx.journal = journal;
     for exp in experiments {
         let outcome = engine::execute(exp, &ctx)?;
         println!("{}", outcome.report);
@@ -389,7 +443,7 @@ pub fn main_from_env() -> i32 {
         Ok(args) => {
             if !args.selects_anything() {
                 eprintln!(
-                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>|bench-compare <current.json>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--artifacts <dir>] [--perf-json <path>]\n       [--baseline <path>] [--tolerance <ratio>]\n"
+                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>|bench-compare <current.json>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--resume <dir>] [--no-journal]\n       [--artifacts <dir>] [--perf-json <path>] [--baseline <path>] [--tolerance <ratio>]\n"
                 );
                 eprint!("{}", Registry::list(Registry::all()));
                 return 2;
@@ -491,6 +545,22 @@ mod tests {
     #[test]
     fn scale_follows_smoke_flag() {
         assert_eq!(parse(&["--smoke"]).scale(), Scale::smoke());
+    }
+
+    #[test]
+    fn parses_resume_and_no_journal() {
+        let args = parse(&["--all", "--resume", "/tmp/run", "--no-journal"]);
+        assert_eq!(args.resume.as_deref(), Some(Path::new("/tmp/run")));
+        assert!(args.no_journal);
+        let args = parse(&["--all"]);
+        assert!(args.resume.is_none() && !args.no_journal);
+        let dangling: Vec<String> = vec!["--resume".into()];
+        assert!(matches!(
+            CliArgs::parse(&dangling),
+            Err(CliError::MissingValue(_))
+        ));
+        // Resume failures exit 1 (runtime, not usage).
+        assert_eq!(exit_code(&CliError::Resume("x".into())), 1);
     }
 
     #[test]

@@ -95,6 +95,12 @@ pub struct RunContext<'a> {
     pub csv_dir: Option<PathBuf>,
     /// Where SVG outputs land; `None` disables them.
     pub svg_dir: Option<PathBuf>,
+    /// Crash-safety journal ([`crate::journal`]): when set, completed
+    /// cells and experiments are logged as they finish, journaled cells
+    /// are replayed from their sidecars instead of re-simulated, and
+    /// already-completed experiments (with verified manifests) are
+    /// skipped. `None` (the default) runs without crash safety.
+    pub journal: Option<Arc<crate::journal::JournalHandle>>,
     cache: Mutex<HashMap<&'static str, Arc<dyn Any + Send + Sync>>>,
 }
 
@@ -112,6 +118,7 @@ impl<'a> RunContext<'a> {
             fault_intensities: vec![0.0, 0.5, 1.0],
             csv_dir: None,
             svg_dir: None,
+            journal: None,
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -149,6 +156,12 @@ impl<'a> RunContext<'a> {
     /// The seed namespace for one experiment: `root/<name>`.
     pub fn seeds_for(&self, experiment: &str) -> SeedTree {
         self.seeds.child(experiment)
+    }
+
+    /// The run parameters a crash-safety journal is pinned to (same
+    /// config hash as the manifests).
+    pub fn run_header(&self) -> crate::journal::RunHeader {
+        crate::journal::RunHeader::for_run(self.config, self.scale)
     }
 }
 
@@ -230,6 +243,47 @@ pub struct EngineRun {
 /// to completion by then (its report is lost only on sink failure).
 pub fn execute(exp: &dyn Experiment, ctx: &RunContext) -> std::io::Result<EngineRun> {
     let probe = ThroughputProbe::start();
+    // Resume fast path: an experiment journaled as complete is skipped
+    // outright — but only if its manifest still loads and every listed
+    // output verifies byte-for-byte, so a deleted or edited CSV forces a
+    // re-run instead of a silent gap.
+    if let (Some(journal), Some(dir)) =
+        (&ctx.journal, ctx.csv_dir.as_ref().or(ctx.svg_dir.as_ref()))
+    {
+        if journal.experiment_done(exp.name()) {
+            let manifest_path = dir.join(format!("{}.manifest.json", exp.name()));
+            match Manifest::load(&manifest_path).map(|m| match m.verify(dir) {
+                Ok(()) => Ok(m),
+                Err(problems) => Err(problems.join("; ")),
+            }) {
+                Ok(Ok(m)) => {
+                    eprintln!(
+                        "[resume] {} already complete ({} output file(s) verified) — skipping",
+                        exp.name(),
+                        m.outputs.len()
+                    );
+                    return Ok(EngineRun {
+                        name: exp.name(),
+                        report: format!(
+                            "[resume] {} already complete — outputs verified, skipping\n",
+                            exp.name()
+                        ),
+                        sample: probe.sample(exp.name()),
+                        manifest: Some(m),
+                        written: Vec::new(),
+                    });
+                }
+                Ok(Err(problems)) => eprintln!(
+                    "[resume] {} journaled but outputs fail verification ({problems}); re-running",
+                    exp.name()
+                ),
+                Err(e) => eprintln!(
+                    "[resume] {} journaled but manifest unreadable ({e}); re-running",
+                    exp.name()
+                ),
+            }
+        }
+    }
     let out = ctx.executor.run(|| exp.run(ctx));
     let sample = probe.sample(exp.name());
 
@@ -285,6 +339,18 @@ pub fn execute(exp: &dyn Experiment, ctx: &RunContext) -> std::io::Result<Engine
         };
         let path = dir.join(format!("{}.manifest.json", exp.name()));
         m.write_to(&path)?;
+        // The manifest is the experiment's commit point: only after it is
+        // on disk is the experiment journaled as done, so a kill anywhere
+        // earlier re-runs the experiment (replaying its journaled cells).
+        if let Some(journal) = &ctx.journal {
+            let manifest_fnv = std::fs::read(&path).map(|b| fnv1a_64(&b)).unwrap_or(0);
+            if let Err(e) = journal.record_experiment(exp.name(), manifest_fnv) {
+                eprintln!(
+                    "warning: could not journal completion of {}: {e}",
+                    exp.name()
+                );
+            }
+        }
         written.push(path);
         Some(m)
     } else {

@@ -119,6 +119,41 @@ pub fn attacked_records(
     episodes: usize,
     seeds: &drive_seed::SeedTree,
 ) -> Vec<EpisodeRecord> {
+    // Crash-safety fast path: a cell journaled by an earlier (killed) run
+    // replays from its sidecar. The key pins everything the records are a
+    // function of — the seed namespace, the run seed, and the cell's own
+    // coordinates — while the journal header pins the pipeline config the
+    // artifacts derive from.
+    let sensor_name = match attack {
+        None => "none",
+        Some((_, SensorKind::Camera)) => "camera",
+        Some((_, SensorKind::Imu)) => "imu",
+    };
+    let cell_label = format!(
+        "{}|{}|{}|eps={}|{}ep",
+        seeds.path(),
+        kind.label(),
+        sensor_name,
+        budget.epsilon(),
+        episodes
+    );
+    let cell_key = drive_seed::fnv1a_64(
+        format!(
+            "cell|{}|{:016x}|{:?}|{}|{:016x}|{}",
+            seeds.path(),
+            ctx.scale.seed,
+            kind,
+            sensor_name,
+            budget.epsilon().to_bits(),
+            episodes
+        )
+        .as_bytes(),
+    );
+    if let Some(journal) = &ctx.journal {
+        if let Some(records) = journal.load_cell(cell_key, episodes) {
+            return records;
+        }
+    }
     let artifacts = ctx.artifacts;
     let config = ctx.config;
     let adv = AdvReward::default();
@@ -167,7 +202,19 @@ pub fn attacked_records(
             kind.label(),
         );
     }
-    outcome.into_records()
+    let clean = outcome.failures.is_empty();
+    let records = outcome.into_records();
+    // Journal only clean, complete cells: a cell with retried-out episodes
+    // is partial and must be recomputed on resume. Journal failures cost a
+    // recomputation later, never correctness — warn and continue.
+    if let Some(journal) = &ctx.journal {
+        if clean && records.len() == episodes {
+            if let Err(e) = journal.store_cell(cell_key, &cell_label, episodes, &records) {
+                eprintln!("warning: could not journal cell {cell_label}: {e}");
+            }
+        }
+    }
+    records
 }
 
 /// Experiment scale: the paper's episode counts or a fast smoke preset.

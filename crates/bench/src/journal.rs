@@ -1,0 +1,617 @@
+//! Crash-safe run journal: a write-ahead log of completed work.
+//!
+//! A `repro_bench` run with a CSV directory keeps a journal under
+//! `<dir>/journal/`: an append-only WAL (`wal.bin`) of length-prefixed,
+//! FNV-checksummed records, a `cells/` directory of per-cell episode-record
+//! sidecars, and a flush-per-row `progress.csv` for humans watching a long
+//! run. Every completed grid cell (one `(agent, attack, budget)` evaluation
+//! in [`attacked_records`](crate::harness::attacked_records)) and every
+//! completed experiment (manifest written and verified) is journaled the
+//! moment it finishes.
+//!
+//! `--resume <dir>` re-opens the journal: the WAL is scanned, a torn or
+//! corrupt tail (the record being appended when the process was killed) is
+//! truncated away, and the run replays — journaled cells load from their
+//! sidecars instead of re-simulating, journaled experiments with verified
+//! manifests are skipped outright. Because every cell is a pure function of
+//! its seed namespace, a resumed run produces byte-identical outputs to an
+//! uninterrupted one.
+//!
+//! ## WAL format
+//!
+//! The file starts with the magic bytes [`MAGIC`]. Each record is framed as
+//! `[u32 le payload length][u64 le FNV-1a of payload][payload]`; payloads
+//! are single-line UTF-8:
+//!
+//! * `run <seed:016x> <config:016x> <box> <scatter>` — the run header
+//!   (always the first record); a resume with different flags is refused.
+//! * `cell <key:016x> <digest:016x> <episodes> <label>` — one completed
+//!   cell; `digest` checksums the sidecar's record text.
+//! * `exp <manifest_fnv:016x> <name>` — one completed experiment.
+
+use drive_metrics::export::CsvSink;
+use drive_seed::fnv1a_64;
+use drive_sim::record::{decode_records, encode_records, EpisodeRecord};
+use std::collections::{HashMap, HashSet};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic bytes at the start of every WAL file.
+pub const MAGIC: &[u8] = b"RBJRNL1\n";
+
+/// Bytes of frame overhead per record (length prefix + checksum).
+const FRAME_HEADER: usize = 4 + 8;
+
+/// Errors from journal creation, resume, or appends.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem failure.
+    Io(std::io::Error),
+    /// The journal on disk belongs to a run with different parameters
+    /// (seed, scale, or pipeline configuration).
+    Incompatible(String),
+    /// The journal is structurally broken beyond tail truncation (bad
+    /// magic, missing or malformed header record).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Incompatible(msg) => write!(f, "journal incompatible: {msg}"),
+            JournalError::Corrupt(msg) => write!(f, "journal corrupt: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The parameters a journal is pinned to: resuming with a different
+/// header is refused rather than silently mixing two runs' results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunHeader {
+    /// Root evaluation seed ([`Scale::seed`](crate::harness::Scale)).
+    pub seed: u64,
+    /// FNV-1a hash of the pipeline configuration's debug rendering (the
+    /// same hash the manifests record).
+    pub config_hash: u64,
+    /// Episodes per box cell.
+    pub box_episodes: usize,
+    /// Rounds per scatter budget.
+    pub scatter_rounds: usize,
+}
+
+impl RunHeader {
+    /// The header for a run over `config` at `scale` — the same
+    /// `config_hash` formula the manifests use, so one hash identifies the
+    /// run everywhere.
+    pub fn for_run(
+        config: &attack_core::pipeline::PipelineConfig,
+        scale: crate::harness::Scale,
+    ) -> RunHeader {
+        RunHeader {
+            seed: scale.seed,
+            config_hash: fnv1a_64(format!("{config:?}").as_bytes()),
+            box_episodes: scale.box_episodes,
+            scatter_rounds: scale.scatter_rounds,
+        }
+    }
+
+    fn encode(&self) -> String {
+        format!(
+            "run {:016x} {:016x} {} {}",
+            self.seed, self.config_hash, self.box_episodes, self.scatter_rounds
+        )
+    }
+
+    fn decode(line: &str) -> Result<RunHeader, JournalError> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 5 || parts[0] != "run" {
+            return Err(JournalError::Corrupt(format!(
+                "bad run header record '{line}'"
+            )));
+        }
+        let bad = |what: &str| JournalError::Corrupt(format!("bad {what} in run header '{line}'"));
+        Ok(RunHeader {
+            seed: u64::from_str_radix(parts[1], 16).map_err(|_| bad("seed"))?,
+            config_hash: u64::from_str_radix(parts[2], 16).map_err(|_| bad("config hash"))?,
+            box_episodes: parts[3].parse().map_err(|_| bad("box episodes"))?,
+            scatter_rounds: parts[4].parse().map_err(|_| bad("scatter rounds"))?,
+        })
+    }
+}
+
+/// Frames one payload for the WAL: length prefix, FNV-1a checksum, bytes.
+pub fn encode_frame(payload: &str) -> Vec<u8> {
+    let bytes = payload.as_bytes();
+    let mut out = Vec::with_capacity(FRAME_HEADER + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a_64(bytes).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Scans a WAL body (everything after [`MAGIC`]) and returns the decoded
+/// payloads of every intact frame plus the byte length of that valid
+/// prefix. Scanning stops — without failing — at the first torn frame
+/// (incomplete length/checksum/payload), checksum mismatch, or non-UTF-8
+/// payload: exactly the states an append interrupted by SIGKILL can leave.
+pub fn scan_frames(body: &[u8]) -> (Vec<String>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while body.len() - pos >= FRAME_HEADER {
+        let len = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let sum = u64::from_le_bytes(body[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let start = pos + FRAME_HEADER;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= body.len()) else {
+            break; // torn: payload shorter than the length prefix claims
+        };
+        let payload = &body[start..end];
+        if fnv1a_64(payload) != sum {
+            break; // torn or corrupted mid-append
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        records.push(text.to_string());
+        pos = end;
+    }
+    (records, pos)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CellEntry {
+    digest: u64,
+    episodes: usize,
+}
+
+struct Inner {
+    wal: std::fs::File,
+    cells: HashMap<u64, CellEntry>,
+    experiments: HashSet<String>,
+    progress: CsvSink,
+}
+
+/// Handle to one run's journal; clone-free, shared via `Arc` in the
+/// [`RunContext`](crate::engine::RunContext). All appends go through an
+/// internal mutex, so experiments can journal from worker threads.
+pub struct JournalHandle {
+    dir: PathBuf,
+    header: RunHeader,
+    inner: Mutex<Inner>,
+}
+
+const PROGRESS_HEADERS: [&str; 4] = ["kind", "name", "episodes", "digest"];
+
+impl JournalHandle {
+    fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.bin")
+    }
+
+    fn cell_path(&self, key: u64) -> PathBuf {
+        self.dir.join("cells").join(format!("cell-{key:016x}.ckpt"))
+    }
+
+    /// Starts a fresh journal in `<dir>`, discarding any previous one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(dir: impl Into<PathBuf>, header: RunHeader) -> Result<Self, JournalError> {
+        let dir = dir.into();
+        // A fresh run owns the directory: stale sidecars from an older,
+        // differently-configured run must not survive next to the new WAL.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("cells"))?;
+        let mut wal = std::fs::File::create(Self::wal_path(&dir))?;
+        wal.write_all(MAGIC)?;
+        wal.write_all(&encode_frame(&header.encode()))?;
+        wal.sync_data()?;
+        let progress = CsvSink::create(dir.join("progress.csv"), PROGRESS_HEADERS)?;
+        Ok(JournalHandle {
+            dir,
+            header,
+            inner: Mutex::new(Inner {
+                wal,
+                cells: HashMap::new(),
+                experiments: HashSet::new(),
+                progress,
+            }),
+        })
+    }
+
+    /// Re-opens an existing journal, truncating any torn tail, and
+    /// verifies it belongs to a run with the same parameters. A missing
+    /// WAL (the previous run was killed before journal creation, or the
+    /// directory is new) falls back to [`JournalHandle::create`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Incompatible`] when the on-disk header differs from
+    /// `header`, [`JournalError::Corrupt`] for bad magic or a broken
+    /// header record, [`JournalError::Io`] for filesystem failures.
+    pub fn resume(dir: impl Into<PathBuf>, header: RunHeader) -> Result<Self, JournalError> {
+        let dir = dir.into();
+        let wal_path = Self::wal_path(&dir);
+        if !wal_path.exists() {
+            return Self::create(dir, header);
+        }
+        let bytes = std::fs::read(&wal_path)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::Corrupt(format!(
+                "{} does not start with the journal magic",
+                wal_path.display()
+            )));
+        }
+        let (records, valid_len) = scan_frames(&bytes[MAGIC.len()..]);
+        let Some(header_line) = records.first() else {
+            return Err(JournalError::Corrupt(format!(
+                "{} has no run header record",
+                wal_path.display()
+            )));
+        };
+        let on_disk = RunHeader::decode(header_line)?;
+        if on_disk != header {
+            return Err(JournalError::Incompatible(format!(
+                "journal was written by a different run \
+                 (on disk: seed {:016x}, config {:016x}, scale {}x{}; \
+                 this run: seed {:016x}, config {:016x}, scale {}x{}) — \
+                 rerun without --resume to start fresh",
+                on_disk.seed,
+                on_disk.config_hash,
+                on_disk.box_episodes,
+                on_disk.scatter_rounds,
+                header.seed,
+                header.config_hash,
+                header.box_episodes,
+                header.scatter_rounds,
+            )));
+        }
+        let mut cells = HashMap::new();
+        let mut experiments = HashSet::new();
+        for line in &records[1..] {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.first() {
+                Some(&"cell") if parts.len() >= 4 => {
+                    let (Ok(key), Ok(digest), Ok(episodes)) = (
+                        u64::from_str_radix(parts[1], 16),
+                        u64::from_str_radix(parts[2], 16),
+                        parts[3].parse::<usize>(),
+                    ) else {
+                        continue; // checksummed but unparseable: skip, recompute
+                    };
+                    cells.insert(key, CellEntry { digest, episodes });
+                }
+                Some(&"exp") if parts.len() >= 3 => {
+                    experiments.insert(parts[2..].join(" "));
+                }
+                _ => {} // unknown record kind: forward compatibility
+            }
+        }
+        // Truncate the torn tail so subsequent appends start on a frame
+        // boundary.
+        let keep = MAGIC.len() + valid_len;
+        if keep < bytes.len() {
+            eprintln!(
+                "[resume] truncating {} torn byte(s) from {}",
+                bytes.len() - keep,
+                wal_path.display()
+            );
+        }
+        let wal = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
+        wal.set_len(keep as u64)?;
+        let mut wal = wal;
+        use std::io::Seek as _;
+        wal.seek(std::io::SeekFrom::End(0))?;
+        std::fs::create_dir_all(dir.join("cells"))?;
+        let progress = CsvSink::append_or_create(dir.join("progress.csv"), PROGRESS_HEADERS)?;
+        Ok(JournalHandle {
+            dir,
+            header,
+            inner: Mutex::new(Inner {
+                wal,
+                cells,
+                experiments,
+                progress,
+            }),
+        })
+    }
+
+    /// The header this journal is pinned to.
+    pub fn header(&self) -> RunHeader {
+        self.header
+    }
+
+    /// Number of journaled cells (test/observability hook).
+    pub fn cell_count(&self) -> usize {
+        self.inner.lock().expect("journal lock").cells.len()
+    }
+
+    /// Whether `name` completed (manifest written) in a journaled run.
+    pub fn experiment_done(&self, name: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .experiments
+            .contains(name)
+    }
+
+    fn append(inner: &mut Inner, payload: &str) -> std::io::Result<()> {
+        inner.wal.write_all(&encode_frame(payload))?;
+        inner.wal.sync_data()
+    }
+
+    /// Journals a completed experiment (its manifest checksum and name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL append failures; the caller warns and continues (a
+    /// failed journal append costs recomputation on resume, not
+    /// correctness).
+    pub fn record_experiment(&self, name: &str, manifest_fnv: u64) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("journal lock");
+        Self::append(&mut inner, &format!("exp {manifest_fnv:016x} {name}"))?;
+        inner.experiments.insert(name.to_string());
+        let _ = inner
+            .progress
+            .row(["experiment", name, "-", &format!("{manifest_fnv:016x}")]);
+        Ok(())
+    }
+
+    /// Loads a journaled cell's records from its sidecar, or `None` if the
+    /// cell is not journaled, was journaled with a different episode
+    /// count, or its sidecar fails any integrity check — every failure
+    /// mode degrades to recomputing the cell.
+    pub fn load_cell(&self, key: u64, episodes: usize) -> Option<Vec<EpisodeRecord>> {
+        let entry = {
+            let inner = self.inner.lock().expect("journal lock");
+            inner.cells.get(&key).copied()?
+        };
+        if entry.episodes != episodes {
+            return None;
+        }
+        let path = self.cell_path(key);
+        let text = match drive_nn::checkpoint::load_from_file(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("[resume] journaled cell {key:016x} unreadable ({e}); recomputing");
+                return None;
+            }
+        };
+        if fnv1a_64(text.as_bytes()) != entry.digest {
+            eprintln!("[resume] journaled cell {key:016x} digest mismatch; recomputing");
+            return None;
+        }
+        match decode_records(&text) {
+            Ok(records) if records.len() == episodes => Some(records),
+            Ok(records) => {
+                eprintln!(
+                    "[resume] journaled cell {key:016x} has {} record(s), expected {episodes}; recomputing",
+                    records.len()
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("[resume] journaled cell {key:016x} undecodable ({e}); recomputing");
+                None
+            }
+        }
+    }
+
+    /// Journals a completed cell: writes the sidecar durably, then the WAL
+    /// record (sidecar-first ordering, so a journaled cell always has its
+    /// data), then a progress row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sidecar/WAL write failures; the caller warns and
+    /// continues.
+    pub fn store_cell(
+        &self,
+        key: u64,
+        label: &str,
+        episodes: usize,
+        records: &[EpisodeRecord],
+    ) -> std::io::Result<()> {
+        let text = encode_records(records);
+        let digest = fnv1a_64(text.as_bytes());
+        drive_nn::checkpoint::save_to_file(self.cell_path(key), &text)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut inner = self.inner.lock().expect("journal lock");
+        Self::append(
+            &mut inner,
+            &format!("cell {key:016x} {digest:016x} {episodes} {label}"),
+        )?;
+        inner.cells.insert(key, CellEntry { digest, episodes });
+        let _ = inner.progress.row([
+            "cell",
+            label,
+            &episodes.to_string(),
+            &format!("{digest:016x}"),
+        ]);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for JournalHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalHandle")
+            .field("dir", &self.dir)
+            .field("header", &self.header)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drive_sim::record::EpisodeRecord;
+
+    fn header() -> RunHeader {
+        RunHeader {
+            seed: 10_000,
+            config_hash: 0xabcd_ef01_2345_6789,
+            box_episodes: 4,
+            scatter_rounds: 2,
+        }
+    }
+
+    fn records(n: usize) -> Vec<EpisodeRecord> {
+        (0..n)
+            .map(|i| EpisodeRecord {
+                steps: 10 + i,
+                dt: 0.1,
+                deviation: vec![0.1 * i as f64; 3],
+                ..EpisodeRecord::default()
+            })
+            .collect()
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn frames_round_trip_and_stop_at_torn_tail() {
+        let payloads = ["run 1 2 3 4", "cell a b 4 fig5/x", "exp ff baseline"];
+        let mut body = Vec::new();
+        for p in &payloads {
+            body.extend_from_slice(&encode_frame(p));
+        }
+        let (all, len) = scan_frames(&body);
+        assert_eq!(all, payloads);
+        assert_eq!(len, body.len());
+        // Truncating anywhere inside the last frame drops exactly it.
+        let cut = body.len() - 1;
+        let (partial, plen) = scan_frames(&body[..cut]);
+        assert_eq!(partial, payloads[..2]);
+        assert!(plen <= cut);
+        // A flipped payload byte stops the scan at the corrupt frame.
+        let mut corrupt = body.clone();
+        let second_payload_start = encode_frame(payloads[0]).len() + FRAME_HEADER;
+        corrupt[second_payload_start] ^= 0xff;
+        let (recovered, _) = scan_frames(&corrupt);
+        assert_eq!(recovered, payloads[..1]);
+    }
+
+    #[test]
+    fn create_resume_round_trips_cells_and_experiments() {
+        let dir = temp("repro-bench-journal-roundtrip");
+        let j = JournalHandle::create(&dir, header()).unwrap();
+        let recs = records(4);
+        j.store_cell(42, "fig5/pi_ori/camera/0.5", 4, &recs)
+            .unwrap();
+        j.record_experiment("baseline", 0xdead_beef).unwrap();
+        assert_eq!(j.load_cell(42, 4).unwrap(), recs);
+        assert!(j.load_cell(43, 4).is_none(), "unknown key");
+        assert!(j.load_cell(42, 5).is_none(), "episode-count mismatch");
+        drop(j);
+
+        let j = JournalHandle::resume(&dir, header()).unwrap();
+        assert_eq!(j.cell_count(), 1);
+        assert!(j.experiment_done("baseline"));
+        assert!(!j.experiment_done("fig4"));
+        assert_eq!(j.load_cell(42, 4).unwrap(), recs);
+        // Appending after a resume works (the WAL cursor is at the end).
+        j.store_cell(77, "fig5/pi_ori/camera/1.0", 4, &recs)
+            .unwrap();
+        drop(j);
+        let j = JournalHandle::resume(&dir, header()).unwrap();
+        assert_eq!(j.cell_count(), 2);
+        // progress.csv survives with one row per event plus the header.
+        let progress = std::fs::read_to_string(dir.join("progress.csv")).unwrap();
+        assert_eq!(progress.lines().count(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_and_recovers_the_prefix() {
+        let dir = temp("repro-bench-journal-torn");
+        let j = JournalHandle::create(&dir, header()).unwrap();
+        j.store_cell(1, "a", 4, &records(4)).unwrap();
+        j.store_cell(2, "b", 4, &records(4)).unwrap();
+        drop(j);
+        // Simulate a kill mid-append: chop bytes off the WAL tail.
+        let wal = dir.join("wal.bin");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let full = bytes.len();
+        bytes.truncate(full - 5);
+        bytes.extend_from_slice(&encode_frame("cell 000000000000000")[..7]);
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let j = JournalHandle::resume(&dir, header()).unwrap();
+        assert_eq!(j.cell_count(), 1, "torn second cell is dropped");
+        assert!(j.load_cell(1, 4).is_some());
+        // The tail was truncated: a fresh append lands on a frame boundary
+        // and survives the next resume.
+        j.store_cell(3, "c", 4, &records(4)).unwrap();
+        drop(j);
+        let j = JournalHandle::resume(&dir, header()).unwrap();
+        assert_eq!(j.cell_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_a_different_run_and_bad_magic() {
+        let dir = temp("repro-bench-journal-incompat");
+        let j = JournalHandle::create(&dir, header()).unwrap();
+        drop(j);
+        let other = RunHeader {
+            seed: 9,
+            ..header()
+        };
+        match JournalHandle::resume(&dir, other) {
+            Err(JournalError::Incompatible(msg)) => {
+                assert!(msg.contains("different run"), "{msg}")
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+        std::fs::write(dir.join("wal.bin"), b"not a journal at all").unwrap();
+        assert!(matches!(
+            JournalHandle::resume(&dir, header()),
+            Err(JournalError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_on_an_empty_dir_is_a_fresh_journal() {
+        let dir = temp("repro-bench-journal-fresh");
+        let j = JournalHandle::resume(&dir, header()).unwrap();
+        assert_eq!(j.cell_count(), 0);
+        assert!(dir.join("wal.bin").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_sidecar_degrades_to_recompute() {
+        let dir = temp("repro-bench-journal-tamper");
+        let j = JournalHandle::create(&dir, header()).unwrap();
+        j.store_cell(7, "x", 4, &records(4)).unwrap();
+        let sidecar = dir.join("cells").join(format!("cell-{:016x}.ckpt", 7));
+        // Deleting the sidecar: journaled but unreadable -> None.
+        std::fs::remove_file(&sidecar).unwrap();
+        assert!(j.load_cell(7, 4).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_discards_a_previous_journal() {
+        let dir = temp("repro-bench-journal-recreate");
+        let j = JournalHandle::create(&dir, header()).unwrap();
+        j.store_cell(1, "a", 4, &records(4)).unwrap();
+        drop(j);
+        let j = JournalHandle::create(&dir, header()).unwrap();
+        assert_eq!(j.cell_count(), 0);
+        assert!(j.load_cell(1, 4).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

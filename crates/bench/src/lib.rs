@@ -18,6 +18,7 @@ pub mod cli;
 pub mod engine;
 pub mod experiments;
 pub mod harness;
+pub mod journal;
 mod json;
 pub mod manifest;
 pub mod perf;
@@ -26,6 +27,7 @@ pub mod resilience;
 pub use benchcmp::{compare_files, BenchDelta, BenchStatus, Comparison};
 pub use engine::{execute, EngineRun, Experiment, ExperimentOutput, Registry, RunContext};
 pub use harness::{attacked_records, build_agent, AgentKind, Scale};
+pub use journal::{JournalError, JournalHandle, RunHeader};
 pub use manifest::{Manifest, OutputEntry};
 pub use perf::{PerfReport, PerfSample, ThroughputProbe};
 pub use resilience::{run_cell, CellOutcome, ResilienceConfig};

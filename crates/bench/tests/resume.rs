@@ -1,0 +1,256 @@
+//! Crash-safety integration tests: a `repro_bench` run SIGKILLed at
+//! arbitrary points and restarted with `--resume` must complete with
+//! byte-identical outputs to an uninterrupted run.
+//!
+//! The subprocess test drives the real binary (`CARGO_BIN_EXE_repro_bench`)
+//! against pre-trained quick artifacts, kills it mid-flight at three or
+//! more randomized points, resumes each time, and compares every CSV/SVG
+//! and manifest output list against a golden un-journaled run. The
+//! in-process tests exercise the engine-level skip and cell-replay paths
+//! directly.
+
+use attack_core::pipeline::{prepare, Artifacts, PipelineConfig};
+use repro_bench::engine::{self, Registry, RunContext};
+use repro_bench::harness::Scale;
+use repro_bench::journal::JournalHandle;
+use repro_bench::manifest::Manifest;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One quick-trained artifact cache shared by every test in this file and
+/// by every subprocess (they load it instead of retraining).
+fn setup() -> (&'static Artifacts, &'static PipelineConfig) {
+    static SETUP: OnceLock<(Artifacts, PipelineConfig)> = OnceLock::new();
+    let (a, c) = SETUP.get_or_init(|| {
+        let dir = std::env::temp_dir().join("repro-bench-resume-artifacts");
+        let config = PipelineConfig::quick(&dir);
+        let artifacts = prepare(&config);
+        (artifacts, config)
+    });
+    (a, c)
+}
+
+fn out_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-bench-resume-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The full `--all` run against the shared artifacts. Paper evaluation
+/// scale (no `--smoke`): a multi-second window, so randomized kills land
+/// mid-evaluation.
+fn run_cmd(run_dir: &Path, resume: bool) -> Command {
+    let (_, config) = setup();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro_bench"));
+    cmd.arg("--quick").arg("--all");
+    if resume {
+        cmd.arg("--resume").arg(run_dir);
+    } else {
+        cmd.arg("--csv").arg(run_dir);
+    }
+    cmd.arg("--svg").arg(run_dir);
+    cmd.arg("--artifacts").arg(&config.dir);
+    cmd.env_remove("REPRO_SCALE");
+    cmd.stdout(Stdio::null()).stderr(Stdio::null());
+    cmd
+}
+
+/// Compares two finished run directories: the same set of CSV/SVG files
+/// with byte-identical contents, and manifests listing identical outputs
+/// (sizes + checksums). Wall-clock manifest fields are run-dependent and
+/// excluded; the `journal/` subdirectory is bookkeeping, not output.
+fn assert_outputs_match(golden: &Path, other: &Path) {
+    let mut names: Vec<String> = fs::read_dir(golden)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".csv") || n.ends_with(".svg") || n.ends_with(".manifest.json"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "golden run produced no outputs");
+    for name in &names {
+        let g = golden.join(name);
+        let o = other.join(name);
+        if name.ends_with(".manifest.json") {
+            let gm = Manifest::load(&g).unwrap();
+            let om = Manifest::load(&o).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(gm.outputs, om.outputs, "{name}: output lists differ");
+            assert_eq!(gm.seed_root, om.seed_root, "{name}");
+        } else {
+            let gb = fs::read(&g).unwrap();
+            let ob = fs::read(&o).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(gb, ob, "{name}: bytes differ from the golden run");
+        }
+    }
+}
+
+#[test]
+fn killed_and_resumed_run_matches_golden_byte_for_byte() {
+    setup(); // train the shared artifacts before any subprocess starts
+
+    // Golden: one uninterrupted run WITHOUT the journal, the ground truth
+    // the journaled runs must reproduce.
+    let golden = out_dir("golden");
+    let status = run_cmd(&golden, false)
+        .arg("--no-journal")
+        .status()
+        .expect("spawn golden run");
+    assert!(status.success(), "golden run failed: {status}");
+
+    // Sanity: a clean journaled run is byte-identical to the un-journaled
+    // golden — journaling must never change results.
+    let clean = out_dir("clean");
+    let status = run_cmd(&clean, false).status().expect("spawn clean run");
+    assert!(status.success(), "clean journaled run failed: {status}");
+    assert_outputs_match(&golden, &clean);
+
+    // Kill loop: SIGKILL the run at randomized delays, resuming each
+    // time. Delays are capped well below the remaining work, so the first
+    // three attempts are guaranteed to be genuine mid-flight kills.
+    let killed = out_dir("killed");
+    let mut kills = 0;
+    let mut attempts = 0;
+    let mut lcg: u64 = 0x5eed_cafe_f00d_beef;
+    while kills < 3 {
+        attempts += 1;
+        assert!(
+            attempts <= 12,
+            "needed more than 12 attempts to land 3 kills"
+        );
+        let mut child = run_cmd(&killed, attempts > 1).spawn().expect("spawn");
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let delay = 150 + (lcg >> 33) % 600; // 150..750 ms
+        std::thread::sleep(Duration::from_millis(delay));
+        match child.try_wait().expect("try_wait") {
+            None => {
+                child.kill().expect("SIGKILL");
+                child.wait().expect("reap");
+                kills += 1;
+            }
+            Some(status) => {
+                // Finished before the kill fired — only acceptable once
+                // three genuine kills have already happened.
+                assert!(status.success(), "early completion failed: {status}");
+                assert!(
+                    kills >= 3,
+                    "run completed after {delay}ms on attempt {attempts} with only {kills} kill(s)"
+                );
+            }
+        }
+    }
+
+    // Final resume: run to completion and compare everything.
+    let output = run_cmd(&killed, true).output().expect("final resume");
+    assert!(output.status.success(), "final resume failed");
+    assert_outputs_match(&golden, &killed);
+
+    // The journal did its job: the WAL and flush-per-row progress log are
+    // in place, with the experiment completions recorded.
+    assert!(killed.join("journal").join("wal.bin").exists());
+    let progress = fs::read_to_string(killed.join("journal").join("progress.csv")).unwrap();
+    assert!(
+        progress.lines().any(|l| l.starts_with("experiment,")),
+        "progress.csv records experiment completions:\n{progress}"
+    );
+}
+
+#[test]
+fn engine_skips_verified_experiments_and_replays_cells_on_resume() {
+    let (artifacts, config) = setup();
+    let dir = out_dir("engine");
+    let journal_dir = dir.join("journal");
+
+    let mut ctx = RunContext::new(artifacts, config, Scale::smoke());
+    ctx.csv_dir = Some(dir.clone());
+    let header = ctx.run_header();
+    ctx.journal = Some(Arc::new(
+        JournalHandle::create(&journal_dir, header).unwrap(),
+    ));
+    let fig4 = Registry::find("fig4").unwrap();
+    let first = engine::execute(fig4, &ctx).expect("first run");
+    assert!(!first.written.is_empty());
+    let csv_path = dir.join("fig4.csv");
+    let first_bytes = fs::read(&csv_path).unwrap();
+    assert!(
+        ctx.journal.as_ref().unwrap().cell_count() > 0,
+        "fig4 journals its grid cells"
+    );
+    drop(ctx);
+
+    // Resume 1: the experiment is journaled and its manifest verifies, so
+    // the engine skips it without touching the outputs.
+    let mut ctx = RunContext::new(artifacts, config, Scale::smoke());
+    ctx.csv_dir = Some(dir.clone());
+    ctx.journal = Some(Arc::new(
+        JournalHandle::resume(&journal_dir, header).unwrap(),
+    ));
+    let skipped = engine::execute(fig4, &ctx).expect("skipped run");
+    assert!(
+        skipped.report.contains("[resume]"),
+        "skip reported: {}",
+        skipped.report
+    );
+    assert!(skipped.written.is_empty(), "a skipped run writes nothing");
+    drop(ctx);
+
+    // Resume 2: delete the CSV — manifest verification fails, the
+    // experiment re-runs, but every cell replays from its journaled
+    // sidecar, and the regenerated CSV is byte-identical.
+    fs::remove_file(&csv_path).unwrap();
+    let mut ctx = RunContext::new(artifacts, config, Scale::smoke());
+    ctx.csv_dir = Some(dir.clone());
+    let journal = Arc::new(JournalHandle::resume(&journal_dir, header).unwrap());
+    let cells_before = journal.cell_count();
+    ctx.journal = Some(journal.clone());
+    let rerun = engine::execute(fig4, &ctx).expect("rerun");
+    assert!(!rerun.written.is_empty(), "re-run rewrites the outputs");
+    assert_eq!(
+        fs::read(&csv_path).unwrap(),
+        first_bytes,
+        "replayed cells regenerate byte-identical CSVs"
+    );
+    assert_eq!(
+        journal.cell_count(),
+        cells_before,
+        "replay loads cells instead of recomputing and re-journaling"
+    );
+}
+
+#[test]
+fn incompatible_resume_is_refused_by_the_cli_binary() {
+    let (_, config) = setup();
+    let dir = out_dir("incompatible");
+    // Seed a journal pinned to different run parameters.
+    let header = repro_bench::journal::RunHeader {
+        seed: 1,
+        config_hash: 2,
+        box_episodes: 3,
+        scatter_rounds: 4,
+    };
+    JournalHandle::create(dir.join("journal"), header).unwrap();
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro_bench"))
+        .arg("--quick")
+        .arg("baseline")
+        .arg("--resume")
+        .arg(&dir)
+        .arg("--artifacts")
+        .arg(&config.dir)
+        .env_remove("REPRO_SCALE")
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "incompatible --resume exits 1"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("cannot resume") && stderr.contains("different run"),
+        "stderr explains the refusal:\n{stderr}"
+    );
+}

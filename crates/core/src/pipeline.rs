@@ -170,7 +170,14 @@ pub fn prepare(config: &PipelineConfig) -> Artifacts {
     };
 
     let victim = policy_cache("victim_e2e.ckpt", &mut || {
-        train_victim(&config.scenario, &config.features, &config.victim)
+        // Give the long SAC refinement a crash-recovery snapshot next to
+        // the artifact cache (unless the caller pinned one): a killed run
+        // resumes mid-training instead of restarting the whole stage.
+        let mut victim_config = config.victim.clone();
+        if victim_config.snapshot_path.is_none() {
+            victim_config.snapshot_path = Some(dir.join("snapshots").join("victim_sac.snap"));
+        }
+        train_victim(&config.scenario, &config.features, &victim_config)
     });
 
     let camera_attacker = policy_cache("attacker_camera.ckpt", &mut || {

@@ -1,6 +1,13 @@
 //! CSV export of experiment data (for plotting outside the terminal).
+//!
+//! Two writers with different durability trade-offs: [`Csv`] accumulates in
+//! memory and writes atomically at the end (a killed run leaves the previous
+//! complete file), while [`CsvSink`] appends and flushes one row at a time
+//! (a killed run leaves every row completed so far — the progress-log shape
+//! used by the crash-safe bench journal).
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
 
 /// A minimal CSV builder with RFC-4180-style quoting.
@@ -108,6 +115,101 @@ impl Csv {
     }
 }
 
+/// A line-buffered CSV writer that flushes after every row.
+///
+/// Unlike [`Csv`], rows hit the file immediately, so a process killed at an
+/// arbitrary point leaves a valid partial CSV: the header plus every fully
+/// written row. The newline is part of the same buffered write as the row,
+/// so a torn final line can only occur if the OS itself crashes mid-write.
+#[derive(Debug)]
+pub struct CsvSink {
+    file: std::fs::File,
+    columns: usize,
+}
+
+impl CsvSink {
+    fn write_line(file: &mut std::fs::File, cells: &[String]) -> std::io::Result<()> {
+        let line = format!(
+            "{}\n",
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Creates (or truncates) `path`, writes the header line, and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating parent directories or the file.
+    pub fn create<S: Into<String>, I: IntoIterator<Item = S>>(
+        path: impl AsRef<Path>,
+        headers: I,
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let mut file = std::fs::File::create(path)?;
+        Self::write_line(&mut file, &headers)?;
+        Ok(CsvSink {
+            file,
+            columns: headers.len(),
+        })
+    }
+
+    /// Opens `path` for appending if it already exists (a resumed run keeps
+    /// its earlier rows), or creates it with the header line otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append_or_create<S: Into<String>, I: IntoIterator<Item = S>>(
+        path: impl AsRef<Path>,
+        headers: I,
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        if path.exists() {
+            let file = std::fs::OpenOptions::new().append(true).open(path)?;
+            return Ok(CsvSink {
+                file,
+                columns: headers.len(),
+            });
+        }
+        Self::create(path, headers)
+    }
+
+    /// Appends one row and flushes it to the file immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(
+        &mut self,
+        cells: I,
+    ) -> std::io::Result<()> {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns,
+            "row has {} cells, expected {}",
+            row.len(),
+            self.columns
+        );
+        Self::write_line(&mut self.file, &row)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +263,43 @@ mod tests {
     fn write_to_rejects_pathless_target() {
         let c = Csv::new(["v"]);
         assert!(c.write_to("/").is_err());
+    }
+
+    #[test]
+    fn sink_flushes_each_row_and_resumes_appending() {
+        let dir = std::env::temp_dir().join("drive-metrics-sink-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("progress.csv");
+        let mut sink = CsvSink::create(&path, ["step", "label"]).unwrap();
+        sink.row(["1", "plain"]).unwrap();
+        sink.row(["2", "has,comma"]).unwrap();
+        // Rows are on disk while the sink is still open (flush-per-row),
+        // exactly what a concurrent reader of a killed run would see.
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "step,label\n1,plain\n2,\"has,comma\"\n"
+        );
+        drop(sink);
+        // Re-opening appends after the existing rows instead of truncating.
+        let mut resumed = CsvSink::append_or_create(&path, ["step", "label"]).unwrap();
+        resumed.row(["3", "after-resume"]).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "step,label\n1,plain\n2,\"has,comma\"\n3,after-resume\n"
+        );
+        // A fresh `create` truncates back to just the header.
+        let sink = CsvSink::create(&path, ["step", "label"]).unwrap();
+        drop(sink);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "step,label\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2")]
+    fn sink_wrong_arity_panics() {
+        let dir = std::env::temp_dir().join("drive-metrics-sink-arity-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = CsvSink::create(dir.join("p.csv"), ["a", "b"]).unwrap();
+        let _ = sink.row(["only-one"]);
     }
 }

@@ -22,7 +22,7 @@ pub mod prelude {
     pub use crate::episode::{
         dominance_threshold, scatter_points, time_to_collision_stats, CellSummary, ScatterPoint,
     };
-    pub use crate::export::Csv;
+    pub use crate::export::{Csv, CsvSink};
     pub use crate::report::{fmt_f, fmt_pct, Table};
     pub use crate::svg::{bar_chart_svg, box_plot_svg, scatter_svg, write_svg};
     pub use crate::windows::{effort_windows, fig8_windows, EffortWindow};

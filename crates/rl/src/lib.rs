@@ -25,6 +25,7 @@ pub mod env;
 pub mod perf;
 pub mod replay;
 pub mod sac;
+pub mod snapshot;
 pub mod stats;
 pub mod train;
 
@@ -35,6 +36,9 @@ pub mod prelude {
     pub use crate::env::{rollout, Env, EnvStep};
     pub use crate::replay::{Batch, ReplayBuffer, Transition};
     pub use crate::sac::{Sac, SacConfig, SacLosses};
+    pub use crate::snapshot::{SnapshotConfig, TrainSnapshot};
     pub use crate::stats::{Ema, RunningStats};
-    pub use crate::train::{evaluate, train_sac, EvalStats, TrainConfig, TrainStats};
+    pub use crate::train::{
+        evaluate, train_sac, train_sac_resumable, EvalStats, TrainConfig, TrainStats,
+    };
 }

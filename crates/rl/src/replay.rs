@@ -1,7 +1,11 @@
 //! Uniform experience replay buffer.
 
+use drive_nn::checkpoint::{encode_floats, CheckpointError, Reader};
 use drive_nn::mat::Mat;
 use rand::Rng;
+
+/// Version tag of the replay-buffer checkpoint section.
+const REPLAY_VERSION: &str = "v1";
 
 /// One stored transition.
 #[derive(Debug, Clone, PartialEq)]
@@ -158,6 +162,101 @@ impl ReplayBuffer {
             out.terminals.push(if t.terminal { 1.0 } else { 0.0 });
         }
     }
+
+    /// Appends the buffer — capacity, shapes, write cursor, and every
+    /// stored transition — as a versioned checkpoint section. A restored
+    /// buffer evicts and samples exactly like the original, which training
+    /// snapshots rely on for deterministic resume.
+    pub fn encode_into(&self, buf: &mut String) {
+        buf.push_str(&format!(
+            "replay {REPLAY_VERSION} {} {} {} {} {}\n",
+            self.capacity,
+            self.obs_dim,
+            self.action_dim,
+            self.storage.len(),
+            self.next
+        ));
+        for t in &self.storage {
+            buf.push_str(&format!(
+                "t {} {}\n",
+                t.reward,
+                if t.terminal { 1 } else { 0 }
+            ));
+            encode_floats(buf, &t.obs);
+            encode_floats(buf, &t.action);
+            encode_floats(buf, &t.next_obs);
+        }
+    }
+
+    /// Parses one buffer section from a reader positioned at its `replay`
+    /// tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Version`] for a section written by a
+    /// different format revision — an old snapshot must surface as a typed
+    /// error, never load as garbage transitions — and
+    /// [`CheckpointError::Parse`] on structural mismatch.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let parse_err = CheckpointError::Parse;
+        let args = r.expect_tag("replay")?;
+        let version = *args
+            .first()
+            .ok_or_else(|| parse_err("replay tag needs a version".into()))?;
+        if version != REPLAY_VERSION {
+            return Err(CheckpointError::Version {
+                found: version.to_string(),
+                expected: REPLAY_VERSION,
+            });
+        }
+        if args.len() != 6 {
+            return Err(parse_err(
+                "replay tag needs '<version> <capacity> <obs_dim> <action_dim> <len> <next>'"
+                    .into(),
+            ));
+        }
+        let mut nums = [0usize; 5];
+        for (dst, tok) in nums.iter_mut().zip(&args[1..6]) {
+            *dst = tok
+                .parse()
+                .map_err(|_| parse_err(format!("bad replay field '{tok}'")))?;
+        }
+        let [capacity, obs_dim, action_dim, len, next] = nums;
+        if capacity == 0 || len > capacity || next >= capacity.max(1) {
+            return Err(parse_err(format!(
+                "inconsistent replay geometry: capacity {capacity}, len {len}, next {next}"
+            )));
+        }
+        let mut rb = ReplayBuffer::new(capacity, obs_dim, action_dim);
+        for _ in 0..len {
+            let targs = r.expect_tag("t")?;
+            if targs.len() != 2 {
+                return Err(parse_err(
+                    "transition tag needs '<reward> <terminal>'".into(),
+                ));
+            }
+            let reward: f32 = targs[0]
+                .parse()
+                .map_err(|_| parse_err(format!("bad reward '{}'", targs[0])))?;
+            let terminal = match targs[1] {
+                "0" => false,
+                "1" => true,
+                other => return Err(parse_err(format!("bad terminal flag '{other}'"))),
+            };
+            let obs = r.floats(obs_dim)?;
+            let action = r.floats(action_dim)?;
+            let next_obs = r.floats(obs_dim)?;
+            rb.storage.push(Transition {
+                obs,
+                action,
+                reward,
+                next_obs,
+                terminal,
+            });
+        }
+        rb.next = next;
+        Ok(rb)
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +341,67 @@ mod tests {
         }
         // RNG streams stayed in lockstep.
         assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_sampling_and_eviction() {
+        let mut rb = ReplayBuffer::new(6, 2, 1);
+        for i in 0..9 {
+            let mut t = tr(i as f32);
+            t.terminal = i % 3 == 0;
+            rb.push(t);
+        }
+        let mut buf = String::new();
+        rb.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let mut back = ReplayBuffer::decode_from(&mut r).expect("round trip");
+        assert_eq!(back.capacity(), rb.capacity());
+        assert_eq!(back.len(), rb.len());
+        assert_eq!(back.storage, rb.storage);
+        // Identical sampling stream...
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = rb.sample(8, &mut r1);
+        let b = back.sample(8, &mut r2);
+        assert_eq!(a.rewards, b.rewards);
+        assert_eq!(a.obs, b.obs);
+        // ...and the eviction cursor continues from the same slot.
+        rb.push(tr(50.0));
+        back.push(tr(50.0));
+        assert_eq!(back.storage, rb.storage);
+        assert_eq!(back.next, rb.next);
+    }
+
+    #[test]
+    fn checkpoint_version_mismatch_is_typed_error() {
+        let mut rb = ReplayBuffer::new(4, 2, 1);
+        rb.push(tr(1.0));
+        let mut buf = String::new();
+        rb.encode_into(&mut buf);
+        let tampered = buf.replacen("replay v1", "replay v0", 1);
+        let mut r = Reader::new(&tampered);
+        match ReplayBuffer::decode_from(&mut r) {
+            Err(CheckpointError::Version { found, expected }) => {
+                assert_eq!(found, "v0");
+                assert_eq!(expected, REPLAY_VERSION);
+            }
+            other => panic!("old-version file must be a typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_inconsistent_geometry() {
+        let mut rb = ReplayBuffer::new(4, 2, 1);
+        rb.push(tr(1.0));
+        let mut buf = String::new();
+        rb.encode_into(&mut buf);
+        // len > capacity must be refused before reading transitions.
+        let bad = buf.replacen("replay v1 4 2 1 1 0", "replay v1 4 2 1 9 0", 1);
+        let mut r = Reader::new(&bad);
+        assert!(matches!(
+            ReplayBuffer::decode_from(&mut r),
+            Err(CheckpointError::Parse(_))
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::actor::{Actor, ActorSample};
 use crate::replay::{Batch, ReplayBuffer};
 use drive_nn::activation::Activation;
 use drive_nn::adam::Adam;
+use drive_nn::checkpoint::{self, CheckpointError, Reader};
 use drive_nn::gaussian::GaussianPolicy;
 use drive_nn::mat::Mat;
 use drive_nn::mlp::{Mlp, MlpCache};
@@ -162,6 +163,9 @@ pub struct Sac<A: Actor = GaussianPolicy> {
     update_scratch: UpdateScratch<A::Sample>,
 }
 
+/// Version tag of the SAC learner checkpoint section.
+const SAC_STATE_VERSION: &str = "v1";
+
 impl Sac<GaussianPolicy> {
     /// Creates a learner with fresh actor/critic networks using the given
     /// hidden sizes.
@@ -174,6 +178,104 @@ impl Sac<GaussianPolicy> {
     ) -> Self {
         let actor = GaussianPolicy::new(obs_dim, hidden, action_dim, rng);
         Self::with_actor(actor, hidden, config, rng)
+    }
+
+    /// Appends the learner's full state — actor, both critics and targets,
+    /// all four optimizers, the entropy temperature, and the update counter
+    /// — as a versioned checkpoint section. The scratch workspaces carry no
+    /// learned state and are rebuilt lazily, so a decoded learner continues
+    /// training bit-exactly.
+    pub fn encode_state_into(&self, buf: &mut String) {
+        buf.push_str(&format!(
+            "sac-state {SAC_STATE_VERSION} {} {} {}\n",
+            self.updates, self.target_entropy, self.log_alpha[0]
+        ));
+        checkpoint::encode_policy_into(buf, &self.actor);
+        checkpoint::encode_mlp_into(buf, &self.q1);
+        checkpoint::encode_mlp_into(buf, &self.q2);
+        checkpoint::encode_mlp_into(buf, &self.q1_target);
+        checkpoint::encode_mlp_into(buf, &self.q2_target);
+        checkpoint::encode_adam_into(buf, &self.opt_actor);
+        checkpoint::encode_adam_into(buf, &self.opt_q1);
+        checkpoint::encode_adam_into(buf, &self.opt_q2);
+        checkpoint::encode_adam_into(buf, &self.opt_alpha);
+    }
+
+    /// Parses one learner section from a reader positioned at its
+    /// `sac-state` tag. Hyper-parameters are not serialized; the caller
+    /// supplies the same `config` the original run used (snapshot formats
+    /// pin it with a config hash).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Version`] for a section written by a
+    /// different format revision, [`CheckpointError::Parse`] on structural
+    /// mismatch.
+    pub fn decode_state_from(
+        r: &mut Reader<'_>,
+        config: SacConfig,
+    ) -> Result<Self, CheckpointError> {
+        let parse_err = CheckpointError::Parse;
+        let args = r.expect_tag("sac-state")?;
+        let version = *args
+            .first()
+            .ok_or_else(|| parse_err("sac-state tag needs a version".into()))?;
+        if version != SAC_STATE_VERSION {
+            return Err(CheckpointError::Version {
+                found: version.to_string(),
+                expected: SAC_STATE_VERSION,
+            });
+        }
+        if args.len() != 4 {
+            return Err(parse_err(
+                "sac-state tag needs '<version> <updates> <target_entropy> <log_alpha>'".into(),
+            ));
+        }
+        let updates: usize = args[1]
+            .parse()
+            .map_err(|_| parse_err(format!("bad update count '{}'", args[1])))?;
+        let target_entropy: f32 = args[2]
+            .parse()
+            .map_err(|_| parse_err(format!("bad target entropy '{}'", args[2])))?;
+        let log_alpha: f32 = args[3]
+            .parse()
+            .map_err(|_| parse_err(format!("bad log alpha '{}'", args[3])))?;
+        let actor = checkpoint::decode_policy_from(r)?;
+        let q1 = checkpoint::decode_mlp_from(r)?;
+        let q2 = checkpoint::decode_mlp_from(r)?;
+        let q1_target = checkpoint::decode_mlp_from(r)?;
+        let q2_target = checkpoint::decode_mlp_from(r)?;
+        let opt_actor = checkpoint::decode_adam_from(r)?;
+        let opt_q1 = checkpoint::decode_adam_from(r)?;
+        let opt_q2 = checkpoint::decode_adam_from(r)?;
+        let opt_alpha = checkpoint::decode_adam_from(r)?;
+        let obs_dim = actor.obs_dim();
+        let action_dim = actor.action_dim();
+        if q1.in_dim() != obs_dim + action_dim {
+            return Err(parse_err(format!(
+                "critic input {} does not match obs {obs_dim} + action {action_dim}",
+                q1.in_dim()
+            )));
+        }
+        Ok(Sac {
+            actor,
+            q1,
+            q2,
+            q1_target,
+            q2_target,
+            opt_actor,
+            opt_q1,
+            opt_q2,
+            opt_alpha,
+            log_alpha: vec![log_alpha],
+            target_entropy,
+            config,
+            obs_dim,
+            action_dim,
+            updates,
+            batch_scratch: Batch::default(),
+            update_scratch: UpdateScratch::default(),
+        })
     }
 }
 
@@ -638,6 +740,69 @@ mod tests {
         assert_eq!(sac.updates(), 10);
         sac.update(&rb, &mut rng);
         assert_ne!(before.mean_action(&obs), sac.actor.mean_action(&obs));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_training_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sac = Sac::new(
+            1,
+            1,
+            &[16],
+            SacConfig {
+                batch_size: 16,
+                ..SacConfig::default()
+            },
+            &mut rng,
+        );
+        let mut rb = ReplayBuffer::new(200, 1, 1);
+        for i in 0..60 {
+            let x = (i as f32 / 30.0) - 1.0;
+            rb.push(Transition {
+                obs: vec![x],
+                action: vec![-x],
+                reward: -x * x,
+                next_obs: vec![x * 0.9],
+                terminal: i % 7 == 0,
+            });
+        }
+        for _ in 0..20 {
+            sac.update(&rb, &mut rng);
+        }
+        let mut buf = String::new();
+        sac.encode_state_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let mut back = Sac::decode_state_from(&mut r, *sac.config()).expect("round trip");
+        assert_eq!(back.updates(), sac.updates());
+        assert_eq!(back.alpha(), sac.alpha());
+        // Same RNG stream from here on: both learners must stay identical.
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let la = sac.update(&rb, &mut r1);
+            let lb = back.update(&rb, &mut r2);
+            assert_eq!(la, lb, "losses diverged after resume");
+        }
+        let mut d1 = StdRng::seed_from_u64(0);
+        let mut d2 = StdRng::seed_from_u64(0);
+        assert_eq!(
+            sac.act(&[0.4], &mut d1, true),
+            back.act(&[0.4], &mut d2, true)
+        );
+    }
+
+    #[test]
+    fn state_version_mismatch_is_typed() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sac = Sac::new(1, 1, &[8], SacConfig::default(), &mut rng);
+        let mut buf = String::new();
+        sac.encode_state_into(&mut buf);
+        let tampered = buf.replacen("sac-state v1", "sac-state v9", 1);
+        let mut r = Reader::new(&tampered);
+        match Sac::decode_state_from(&mut r, SacConfig::default()) {
+            Err(CheckpointError::Version { found, .. }) => assert_eq!(found, "v9"),
+            other => panic!("expected Version error, got {other:?}"),
+        }
     }
 
     use rand::Rng;

@@ -1,0 +1,390 @@
+//! Crash-recovery snapshots for SAC training loops.
+//!
+//! A [`TrainSnapshot`] captures everything a training run needs to continue
+//! bit-exactly after a kill: the learner (networks + optimizers), the loss
+//! watchdog's last healthy copy, the replay buffer, the streaming
+//! statistics, and — crucially — the *position* of the RNG stream
+//! ([`StreamPos`]), not just its seed. Snapshots are only taken at episode
+//! boundaries, so the environment itself never needs serializing: resuming
+//! replays `env.reset(episode_seed)` and lands in the exact state the
+//! original run was in.
+//!
+//! The on-disk format reuses the drive-nn checkpoint grammar (tagged text
+//! sections, trailing FNV checksum, atomic durable writes), so a torn or
+//! tampered snapshot surfaces as a typed error and the loop falls back to
+//! training from scratch instead of resuming from garbage.
+
+use crate::replay::ReplayBuffer;
+use crate::sac::{Sac, SacConfig, SacLosses};
+use crate::stats::RunningStats;
+use crate::train::TrainStats;
+use drive_nn::checkpoint::{self, CheckpointError, Reader};
+use drive_seed::StreamPos;
+use std::path::{Path, PathBuf};
+
+/// Version tag of the training-snapshot file format.
+const SNAPSHOT_VERSION: &str = "v1";
+
+/// Where and how often a training loop snapshots itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotConfig {
+    /// Snapshot file path (parent directories are created as needed).
+    pub path: PathBuf,
+    /// Minimum environment steps between snapshots. Snapshots are taken at
+    /// the first episode boundary at least this many steps after the last
+    /// one, so larger values trade recovery granularity for I/O.
+    pub every_steps: usize,
+}
+
+/// A complete mid-training state, restorable to a bit-identical run.
+#[derive(Debug, Clone)]
+pub struct TrainSnapshot {
+    /// Environment steps already executed (the resume loop starts here).
+    pub step: usize,
+    /// Seed of the episode the resumed loop must `reset` into.
+    pub episode_seed: u64,
+    /// Hash of the training configuration and environment shapes; a resume
+    /// with a different configuration must ignore the snapshot.
+    pub config_hash: u64,
+    /// Exact RNG stream position at the snapshot point.
+    pub rng: StreamPos,
+    /// Healthy updates seen by the loss watchdog.
+    pub healthy_updates: usize,
+    /// Accumulated training statistics.
+    pub stats: TrainStats,
+    /// The learner.
+    pub sac: Sac,
+    /// The loss watchdog's last healthy learner copy, if one exists.
+    pub last_good: Option<Sac>,
+    /// The replay buffer, including its eviction cursor.
+    pub buffer: ReplayBuffer,
+}
+
+fn write_usizes(buf: &mut String, values: &[usize]) {
+    for chunk in values.chunks(16) {
+        let mut first = true;
+        for v in chunk {
+            if !first {
+                buf.push(' ');
+            }
+            buf.push_str(&v.to_string());
+            first = false;
+        }
+        buf.push('\n');
+    }
+    if values.is_empty() {
+        buf.push('\n');
+    }
+}
+
+impl TrainSnapshot {
+    /// Serializes the snapshot to checkpoint text.
+    pub fn encode(&self) -> String {
+        let mut buf = String::new();
+        buf.push_str(&format!("train-snapshot {SNAPSHOT_VERSION}\n"));
+        buf.push_str(&format!(
+            "meta {} {} {:016x} {}\n",
+            self.step, self.episode_seed, self.config_hash, self.healthy_updates
+        ));
+        buf.push_str(&format!("rng {}\n", self.rng.to_hex()));
+        buf.push_str(&format!(
+            "stats {} {}\n",
+            self.stats.steps, self.stats.rollbacks
+        ));
+        let (n, mean, m2, min, max) = self.stats.return_stats.raw_parts();
+        buf.push_str(&format!("running {n} {mean} {m2} {min} {max}\n"));
+        let l = self.stats.last_losses;
+        buf.push_str(&format!(
+            "losses {} {} {} {} {}\n",
+            l.q1_loss, l.q2_loss, l.actor_loss, l.alpha, l.entropy
+        ));
+        buf.push_str(&format!("returns {}\n", self.stats.episode_returns.len()));
+        checkpoint::encode_floats(&mut buf, &self.stats.episode_returns);
+        buf.push_str(&format!("lengths {}\n", self.stats.episode_lengths.len()));
+        write_usizes(&mut buf, &self.stats.episode_lengths);
+        self.sac.encode_state_into(&mut buf);
+        match &self.last_good {
+            Some(snapshot) => {
+                buf.push_str("last_good 1\n");
+                snapshot.encode_state_into(&mut buf);
+            }
+            None => buf.push_str("last_good 0\n"),
+        }
+        self.buffer.encode_into(&mut buf);
+        buf
+    }
+
+    /// Parses a snapshot. The SAC hyper-parameters are supplied by the
+    /// caller (they are part of the code/config, not the state) and checked
+    /// indirectly through [`TrainSnapshot::config_hash`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Version`] for files written by a
+    /// different format revision, [`CheckpointError::Parse`] on any
+    /// structural mismatch.
+    pub fn decode(text: &str, sac_config: SacConfig) -> Result<Self, CheckpointError> {
+        let parse_err = CheckpointError::Parse;
+        let mut r = Reader::new(text);
+        let args = r.expect_tag("train-snapshot")?;
+        let version = *args
+            .first()
+            .ok_or_else(|| parse_err("train-snapshot tag needs a version".into()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CheckpointError::Version {
+                found: version.to_string(),
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let meta = r.expect_tag("meta")?;
+        if meta.len() != 4 {
+            return Err(parse_err(
+                "meta needs '<step> <episode_seed> <config_hash> <healthy_updates>'".into(),
+            ));
+        }
+        let step: usize = meta[0]
+            .parse()
+            .map_err(|_| parse_err(format!("bad step '{}'", meta[0])))?;
+        let episode_seed: u64 = meta[1]
+            .parse()
+            .map_err(|_| parse_err(format!("bad episode seed '{}'", meta[1])))?;
+        let config_hash = u64::from_str_radix(meta[2], 16)
+            .map_err(|_| parse_err(format!("bad config hash '{}'", meta[2])))?;
+        let healthy_updates: usize = meta[3]
+            .parse()
+            .map_err(|_| parse_err(format!("bad healthy-update count '{}'", meta[3])))?;
+        let rng_args = r.expect_tag("rng")?;
+        let rng = StreamPos::from_hex(
+            rng_args
+                .first()
+                .ok_or_else(|| parse_err("rng tag needs a position".into()))?,
+        )
+        .map_err(CheckpointError::Parse)?;
+        let stats_args = r.expect_tag("stats")?;
+        if stats_args.len() != 2 {
+            return Err(parse_err("stats needs '<steps> <rollbacks>'".into()));
+        }
+        let steps: usize = stats_args[0]
+            .parse()
+            .map_err(|_| parse_err(format!("bad step count '{}'", stats_args[0])))?;
+        let rollbacks: usize = stats_args[1]
+            .parse()
+            .map_err(|_| parse_err(format!("bad rollback count '{}'", stats_args[1])))?;
+        let run_args = r.expect_tag("running")?;
+        if run_args.len() != 5 {
+            return Err(parse_err(
+                "running needs '<n> <mean> <m2> <min> <max>'".into(),
+            ));
+        }
+        let n: u64 = run_args[0]
+            .parse()
+            .map_err(|_| parse_err(format!("bad sample count '{}'", run_args[0])))?;
+        let mut f64s = [0.0f64; 4];
+        for (dst, tok) in f64s.iter_mut().zip(&run_args[1..5]) {
+            *dst = tok
+                .parse()
+                .map_err(|_| parse_err(format!("bad running statistic '{tok}'")))?;
+        }
+        let return_stats = RunningStats::from_raw_parts(n, f64s[0], f64s[1], f64s[2], f64s[3]);
+        let loss_args = r.expect_tag("losses")?;
+        if loss_args.len() != 5 {
+            return Err(parse_err("losses needs 5 values".into()));
+        }
+        let mut f32s = [0.0f32; 5];
+        for (dst, tok) in f32s.iter_mut().zip(&loss_args) {
+            *dst = tok
+                .parse()
+                .map_err(|_| parse_err(format!("bad loss '{tok}'")))?;
+        }
+        let last_losses = SacLosses {
+            q1_loss: f32s[0],
+            q2_loss: f32s[1],
+            actor_loss: f32s[2],
+            alpha: f32s[3],
+            entropy: f32s[4],
+        };
+        let ret_args = r.expect_tag("returns")?;
+        let nret: usize = ret_args
+            .first()
+            .ok_or_else(|| parse_err("returns tag needs a count".into()))?
+            .parse()
+            .map_err(|_| parse_err("bad return count".into()))?;
+        let episode_returns = r.floats(nret)?;
+        let len_args = r.expect_tag("lengths")?;
+        let nlen: usize = len_args
+            .first()
+            .ok_or_else(|| parse_err("lengths tag needs a count".into()))?
+            .parse()
+            .map_err(|_| parse_err("bad length count".into()))?;
+        let episode_lengths = r.usizes(nlen)?;
+        let sac = Sac::decode_state_from(&mut r, sac_config)?;
+        let lg_args = r.expect_tag("last_good")?;
+        let last_good = match lg_args.first() {
+            Some(&"1") => Some(Sac::decode_state_from(&mut r, sac_config)?),
+            Some(&"0") => None,
+            other => {
+                return Err(parse_err(format!(
+                    "last_good must be 0 or 1, found {other:?}"
+                )))
+            }
+        };
+        let buffer = ReplayBuffer::decode_from(&mut r)?;
+        Ok(TrainSnapshot {
+            step,
+            episode_seed,
+            config_hash,
+            rng,
+            healthy_updates,
+            stats: TrainStats {
+                episode_returns,
+                episode_lengths,
+                last_losses,
+                steps,
+                return_stats,
+                rollbacks,
+            },
+            sac,
+            last_good,
+            buffer,
+        })
+    }
+
+    /// Writes the snapshot atomically and durably (temp file + fsync +
+    /// rename + parent-directory fsync, trailing checksum line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        checkpoint::save_to_file(path, &self.encode())
+    }
+
+    /// Loads and verifies a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns [`CheckpointError::Corrupt`] on a
+    /// checksum mismatch and the decode errors described on
+    /// [`TrainSnapshot::decode`].
+    pub fn load(path: impl AsRef<Path>, sac_config: SacConfig) -> Result<Self, CheckpointError> {
+        Self::decode(&checkpoint::load_from_file(path)?, sac_config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_snapshot() -> (TrainSnapshot, SacConfig) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = SacConfig {
+            batch_size: 8,
+            ..SacConfig::default()
+        };
+        let sac = Sac::new(2, 1, &[8], config, &mut rng);
+        let mut buffer = ReplayBuffer::new(32, 2, 1);
+        for i in 0..10 {
+            let x = i as f32 * 0.1;
+            buffer.push(crate::replay::Transition {
+                obs: vec![x, -x],
+                action: vec![x],
+                reward: -x,
+                next_obs: vec![x + 0.1, -x],
+                terminal: i % 4 == 0,
+            });
+        }
+        let mut return_stats = RunningStats::new();
+        return_stats.push(-3.5);
+        return_stats.push(1.25);
+        let snap = TrainSnapshot {
+            step: 123,
+            episode_seed: 9,
+            config_hash: 0xdead_beef_cafe_f00d,
+            rng: StreamPos::capture(&StdRng::seed_from_u64(5)),
+            healthy_updates: 7,
+            stats: TrainStats {
+                episode_returns: vec![-3.5, 1.25],
+                episode_lengths: vec![40, 83],
+                last_losses: SacLosses {
+                    q1_loss: 0.5,
+                    q2_loss: 0.25,
+                    actor_loss: -1.5,
+                    alpha: 0.1,
+                    entropy: 0.9,
+                },
+                steps: 123,
+                return_stats,
+                rollbacks: 1,
+            },
+            sac: sac.clone(),
+            last_good: Some(sac),
+            buffer,
+        };
+        (snap, config)
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_field() {
+        let (snap, config) = sample_snapshot();
+        let text = snap.encode();
+        let back = TrainSnapshot::decode(&text, config).expect("round trip");
+        assert_eq!(back.step, snap.step);
+        assert_eq!(back.episode_seed, snap.episode_seed);
+        assert_eq!(back.config_hash, snap.config_hash);
+        assert_eq!(back.rng, snap.rng);
+        assert_eq!(back.healthy_updates, snap.healthy_updates);
+        assert_eq!(back.stats.episode_returns, snap.stats.episode_returns);
+        assert_eq!(back.stats.episode_lengths, snap.stats.episode_lengths);
+        assert_eq!(back.stats.last_losses, snap.stats.last_losses);
+        assert_eq!(back.stats.steps, snap.stats.steps);
+        assert_eq!(back.stats.rollbacks, snap.stats.rollbacks);
+        assert_eq!(
+            back.stats.return_stats.raw_parts(),
+            snap.stats.return_stats.raw_parts()
+        );
+        assert!(back.last_good.is_some());
+        assert_eq!(back.buffer.len(), snap.buffer.len());
+        // Empty-stats extremes (min = inf, max = -inf) survive the text
+        // round trip too.
+        let mut empty = snap.clone();
+        empty.stats.return_stats = RunningStats::new();
+        let back = TrainSnapshot::decode(&empty.encode(), config).expect("inf round trip");
+        assert_eq!(
+            back.stats.return_stats.raw_parts(),
+            empty.stats.return_stats.raw_parts()
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips_with_checksum() {
+        let (snap, config) = sample_snapshot();
+        let dir = std::env::temp_dir().join("drive-rl-snapshot-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("train.snap");
+        snap.save(&path).expect("save");
+        let back = TrainSnapshot::load(&path, config).expect("load");
+        assert_eq!(back.step, snap.step);
+        // Corrupting a byte turns the load into a typed Corrupt error.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, raw.replacen("meta", "mata", 1)).unwrap();
+        assert!(matches!(
+            TrainSnapshot::load(&path, config),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let (snap, config) = sample_snapshot();
+        let text = snap
+            .encode()
+            .replacen("train-snapshot v1", "train-snapshot v0", 1);
+        match TrainSnapshot::decode(&text, config) {
+            Err(CheckpointError::Version { found, .. }) => assert_eq!(found, "v0"),
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+}

@@ -3,8 +3,9 @@
 use crate::env::{rollout, Env};
 use crate::replay::{ReplayBuffer, Transition};
 use crate::sac::{Sac, SacLosses};
+use crate::snapshot::{SnapshotConfig, TrainSnapshot};
 use crate::stats::RunningStats;
-use drive_seed::SeedTree;
+use drive_seed::{fnv1a_64, SeedTree, StreamPos};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -100,17 +101,94 @@ fn losses_healthy(l: &SacLosses, threshold: f32) -> bool {
 /// restores the snapshot instead of continuing from the poisoned state.
 /// Rollbacks are counted in [`TrainStats::rollbacks`].
 pub fn train_sac<E: Env + ?Sized>(env: &mut E, sac: &mut Sac, config: TrainConfig) -> TrainStats {
+    train_sac_resumable(env, sac, config, None)
+}
+
+/// Hash pinning a snapshot to its training setup: the full [`TrainConfig`],
+/// the SAC hyper-parameters, and the environment shapes. A snapshot taken
+/// under any other setup is ignored on resume.
+fn train_config_hash<E: Env + ?Sized>(env: &E, sac: &Sac, config: &TrainConfig) -> u64 {
+    fnv1a_64(
+        format!(
+            "{config:?}|{:?}|{}|{}",
+            sac.config(),
+            env.obs_dim(),
+            env.action_dim()
+        )
+        .as_bytes(),
+    )
+}
+
+/// [`train_sac`] with optional crash-recovery snapshots.
+///
+/// When `snapshot` is set, the loop periodically (at episode boundaries, at
+/// least [`SnapshotConfig::every_steps`] apart) writes a durable
+/// [`TrainSnapshot`] capturing the learner, replay buffer, statistics, and
+/// the exact RNG stream position. On the next call with the same
+/// configuration, a valid snapshot at that path is restored and training
+/// re-enters the loop at the saved step — the completed run is bit-identical
+/// to an uninterrupted one, because every source of randomness resumes
+/// mid-stream and the environment is re-entered at an episode boundary via
+/// its seed. A snapshot from a different configuration, a torn file, or a
+/// stale format version is ignored (with a note on stderr) and training
+/// starts from scratch. The snapshot file is removed once training
+/// completes.
+pub fn train_sac_resumable<E: Env + ?Sized>(
+    env: &mut E,
+    sac: &mut Sac,
+    config: TrainConfig,
+    snapshot: Option<&SnapshotConfig>,
+) -> TrainStats {
     let mut rng = StdRng::seed_from_u64(SeedTree::root(config.seed).child("sac-train").seed());
     let mut buffer = ReplayBuffer::new(config.replay_capacity, env.obs_dim(), env.action_dim());
     let mut stats = TrainStats::default();
     let mut episode_seed = config.seed;
-    let mut obs = env.reset(episode_seed);
     let mut ep_return = 0.0f32;
     let mut ep_len = 0usize;
     let mut last_good: Option<Sac> = None;
     let mut healthy_updates = 0usize;
+    let mut start_step = 0usize;
+    let mut last_snapshot_step = 0usize;
+    let config_hash = train_config_hash(env, sac, &config);
 
-    for step in 0..config.total_steps {
+    if let Some(sc) = snapshot {
+        if sc.path.exists() {
+            match TrainSnapshot::load(&sc.path, *sac.config()) {
+                Ok(snap) if snap.config_hash == config_hash && snap.step <= config.total_steps => {
+                    rng = snap.rng.restore();
+                    buffer = snap.buffer;
+                    stats = snap.stats;
+                    episode_seed = snap.episode_seed;
+                    *sac = snap.sac;
+                    last_good = snap.last_good;
+                    healthy_updates = snap.healthy_updates;
+                    start_step = snap.step;
+                    last_snapshot_step = snap.step;
+                }
+                Ok(snap) => {
+                    eprintln!(
+                        "[train] ignoring snapshot {}: config hash {:016x} != {config_hash:016x} \
+                         or step {} beyond total {}",
+                        sc.path.display(),
+                        snap.config_hash,
+                        snap.step,
+                        config.total_steps
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[train] ignoring unreadable snapshot {}: {e}",
+                        sc.path.display()
+                    );
+                }
+            }
+        }
+    }
+    // Fresh start, or re-entry at the episode boundary the snapshot pinned:
+    // either way the environment state derives from the episode seed alone.
+    let mut obs = env.reset(episode_seed);
+
+    for step in start_step..config.total_steps {
         let action: Vec<f32> = if step < config.start_steps {
             (0..env.action_dim())
                 .map(|_| rng.gen_range(-1.0f32..1.0))
@@ -160,6 +238,40 @@ pub fn train_sac<E: Env + ?Sized>(env: &mut E, sac: &mut Sac, config: TrainConfi
             }
         }
         stats.steps = step + 1;
+        // Snapshot only at an episode boundary (the environment state is
+        // then fully determined by `episode_seed`), after this step's
+        // update has consumed its RNG draws, and never on the final step
+        // (the run is about to finish anyway).
+        if finished {
+            if let Some(sc) = snapshot {
+                let done = step + 1;
+                if done < config.total_steps && done - last_snapshot_step >= sc.every_steps.max(1) {
+                    let snap = TrainSnapshot {
+                        step: done,
+                        episode_seed,
+                        config_hash,
+                        rng: StreamPos::capture(&rng),
+                        healthy_updates,
+                        stats: stats.clone(),
+                        sac: sac.clone(),
+                        last_good: last_good.clone(),
+                        buffer: buffer.clone(),
+                    };
+                    match snap.save(&sc.path) {
+                        Ok(()) => last_snapshot_step = done,
+                        Err(e) => eprintln!(
+                            "[train] snapshot write to {} failed: {e}",
+                            sc.path.display()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    if let Some(sc) = snapshot {
+        // The run completed; a leftover snapshot would only confuse the
+        // next (fresh) run with the same path.
+        let _ = std::fs::remove_file(&sc.path);
     }
     stats
 }
@@ -327,6 +439,162 @@ mod tests {
             out.iter().all(|v| v.is_finite()),
             "rolled-back learner acts finitely"
         );
+    }
+
+    /// Wrapper that aborts training after a fixed number of env steps —
+    /// the in-process stand-in for a SIGKILL (the bench integration test
+    /// kills real subprocesses; this unit test pins the library-level
+    /// contract).
+    struct KillAfter {
+        inner: PointEnv,
+        remaining: usize,
+    }
+
+    impl Env for KillAfter {
+        fn obs_dim(&self) -> usize {
+            self.inner.obs_dim()
+        }
+        fn action_dim(&self) -> usize {
+            self.inner.action_dim()
+        }
+        fn reset(&mut self, seed: u64) -> Vec<f32> {
+            self.inner.reset(seed)
+        }
+        fn step(&mut self, action: &[f32]) -> crate::env::EnvStep {
+            assert!(self.remaining > 0, "simulated kill");
+            self.remaining -= 1;
+            self.inner.step(action)
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        // Three runs with the same configuration: (a) straight through,
+        // (b) snapshotting but never killed, (c) killed mid-run and
+        // resumed from the snapshot. Final policies and statistics must be
+        // bit-identical across all three.
+        let dir = std::env::temp_dir().join("drive-rl-resume-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = TrainConfig {
+            total_steps: 900,
+            start_steps: 100,
+            update_after: 100,
+            snapshot_every: 50,
+            ..TrainConfig::default()
+        };
+        let sac_cfg = SacConfig {
+            batch_size: 16,
+            ..SacConfig::default()
+        };
+        let fresh_sac = || {
+            let mut rng = StdRng::seed_from_u64(2);
+            Sac::new(1, 1, &[16], sac_cfg, &mut rng)
+        };
+        let act_fingerprint = |sac: &Sac| {
+            let mut d = StdRng::seed_from_u64(0);
+            sac.act(&[0.4], &mut d, true)
+        };
+
+        let mut env = PointEnv::new();
+        let mut plain = fresh_sac();
+        let plain_stats = train_sac(&mut env, &mut plain, cfg);
+
+        let snap_cfg = SnapshotConfig {
+            path: dir.join("train.snap"),
+            every_steps: 150,
+        };
+        let mut env = PointEnv::new();
+        let mut unkilled = fresh_sac();
+        let unkilled_stats = train_sac_resumable(&mut env, &mut unkilled, cfg, Some(&snap_cfg));
+        assert!(
+            !snap_cfg.path.exists(),
+            "completed run must remove its snapshot"
+        );
+        assert_eq!(plain_stats.episode_returns, unkilled_stats.episode_returns);
+        assert_eq!(plain_stats.steps, unkilled_stats.steps);
+        assert_eq!(act_fingerprint(&plain), act_fingerprint(&unkilled));
+
+        // Kill the run after 500 env steps; at least one snapshot (first
+        // boundary past step 150) is on disk by then.
+        let mut kenv = KillAfter {
+            inner: PointEnv::new(),
+            remaining: 500,
+        };
+        let mut killed = fresh_sac();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            train_sac_resumable(&mut kenv, &mut killed, cfg, Some(&snap_cfg))
+        }));
+        assert!(outcome.is_err(), "the kill must interrupt training");
+        assert!(snap_cfg.path.exists(), "kill must leave a snapshot behind");
+
+        let mut env = PointEnv::new();
+        let mut resumed = fresh_sac();
+        let resumed_stats = train_sac_resumable(&mut env, &mut resumed, cfg, Some(&snap_cfg));
+        assert!(!snap_cfg.path.exists());
+        assert_eq!(plain_stats.episode_returns, resumed_stats.episode_returns);
+        assert_eq!(plain_stats.episode_lengths, resumed_stats.episode_lengths);
+        assert_eq!(plain_stats.last_losses, resumed_stats.last_losses);
+        assert_eq!(plain_stats.steps, resumed_stats.steps);
+        assert_eq!(
+            plain_stats.return_stats.raw_parts(),
+            resumed_stats.return_stats.raw_parts()
+        );
+        assert_eq!(
+            act_fingerprint(&plain),
+            act_fingerprint(&resumed),
+            "resumed policy diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_config_snapshot_is_ignored() {
+        // A snapshot from a different TrainConfig must not be restored.
+        let dir = std::env::temp_dir().join("drive-rl-stale-snap-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap_cfg = SnapshotConfig {
+            path: dir.join("train.snap"),
+            every_steps: 100,
+        };
+        let sac_cfg = SacConfig {
+            batch_size: 16,
+            ..SacConfig::default()
+        };
+        let fresh_sac = || {
+            let mut rng = StdRng::seed_from_u64(4);
+            Sac::new(1, 1, &[16], sac_cfg, &mut rng)
+        };
+        let base = TrainConfig {
+            total_steps: 600,
+            start_steps: 100,
+            update_after: 100,
+            ..TrainConfig::default()
+        };
+        // Kill a run under `base` so its snapshot survives on disk.
+        let mut kenv = KillAfter {
+            inner: PointEnv::new(),
+            remaining: 400,
+        };
+        let mut killed = fresh_sac();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            train_sac_resumable(&mut kenv, &mut killed, base, Some(&snap_cfg))
+        }));
+        assert!(snap_cfg.path.exists());
+        // Resume under a *different* config: the stale snapshot must be
+        // ignored and the run must equal a fresh one.
+        let other = TrainConfig {
+            total_steps: 500,
+            ..base
+        };
+        let mut env = PointEnv::new();
+        let mut a = fresh_sac();
+        let a_stats = train_sac_resumable(&mut env, &mut a, other, Some(&snap_cfg));
+        let mut env = PointEnv::new();
+        let mut b = fresh_sac();
+        let b_stats = train_sac(&mut env, &mut b, other);
+        assert_eq!(a_stats.episode_returns, b_stats.episode_returns);
+        assert_eq!(a_stats.steps, b_stats.steps);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

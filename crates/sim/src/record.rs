@@ -118,6 +118,278 @@ impl EpisodeRecord {
     }
 }
 
+/// Version tag of the [`encode_records`] text format.
+const RECORDS_VERSION: &str = "v1";
+
+fn kind_name(k: CollisionKind) -> &'static str {
+    match k {
+        CollisionKind::Side => "side",
+        CollisionKind::RearEnd => "rear",
+        CollisionKind::Other => "other",
+        CollisionKind::Barrier => "barrier",
+    }
+}
+
+fn kind_from(s: &str) -> Result<CollisionKind, String> {
+    match s {
+        "side" => Ok(CollisionKind::Side),
+        "rear" => Ok(CollisionKind::RearEnd),
+        "other" => Ok(CollisionKind::Other),
+        "barrier" => Ok(CollisionKind::Barrier),
+        other => Err(format!("unknown collision kind '{other}'")),
+    }
+}
+
+fn push_collision(buf: &mut String, c: &CollisionEvent) {
+    let npc = match c.npc_index {
+        Some(i) => i.to_string(),
+        None => "-".to_string(),
+    };
+    buf.push_str(&format!("{} {npc} {}", kind_name(c.kind), c.step));
+}
+
+fn parse_collision(args: &[&str]) -> Result<CollisionEvent, String> {
+    if args.len() != 3 {
+        return Err(format!(
+            "collision needs '<kind> <npc|-> <step>', got {args:?}"
+        ));
+    }
+    let kind = kind_from(args[0])?;
+    let npc_index = if args[1] == "-" {
+        None
+    } else {
+        Some(
+            args[1]
+                .parse()
+                .map_err(|_| format!("bad npc index '{}'", args[1]))?,
+        )
+    };
+    let step = args[2]
+        .parse()
+        .map_err(|_| format!("bad collision step '{}'", args[2]))?;
+    Ok(CollisionEvent {
+        kind,
+        npc_index,
+        step,
+    })
+}
+
+fn write_f64s(buf: &mut String, values: &[f64]) {
+    // `{}` formatting produces the shortest round-trip representation, so
+    // the parsed values are bit-identical to the originals.
+    for chunk in values.chunks(8) {
+        let mut first = true;
+        for v in chunk {
+            if !first {
+                buf.push(' ');
+            }
+            buf.push_str(&format!("{v}"));
+            first = false;
+        }
+        buf.push('\n');
+    }
+}
+
+/// Line cursor over the record text (drive-sim keeps its codec
+/// self-contained instead of depending on the network crate's reader).
+struct Cursor<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            lines: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        loop {
+            self.line_no += 1;
+            match self.lines.next() {
+                Some(l) if l.trim().is_empty() => continue,
+                Some(l) => return Ok(l.trim()),
+                None => return Err("unexpected end of record text".to_string()),
+            }
+        }
+    }
+
+    fn tag(&mut self, want: &str) -> Result<Vec<&'a str>, String> {
+        let line = self.next()?;
+        let mut parts = line.split_whitespace();
+        let head = parts.next().ok_or("empty line")?;
+        if head != want {
+            return Err(format!(
+                "line {}: expected tag '{want}', found '{head}'",
+                self.line_no
+            ));
+        }
+        Ok(parts.collect())
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let line = self.next()?;
+            for tok in line.split_whitespace() {
+                let v: f64 = tok
+                    .parse()
+                    .map_err(|_| format!("line {}: bad float '{tok}'", self.line_no))?;
+                out.push(v);
+            }
+        }
+        if out.len() != n {
+            return Err(format!("expected {n} floats, found {}", out.len()));
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes a slice of records to a versioned plain-text block that
+/// [`decode_records`] parses back bit-identically — the payload format of
+/// the bench journal's per-cell sidecar files, so a resumed run replays
+/// exactly the records the killed run computed.
+pub fn encode_records(records: &[EpisodeRecord]) -> String {
+    let mut buf = String::new();
+    buf.push_str(&format!("records {RECORDS_VERSION} {}\n", records.len()));
+    for r in records {
+        buf.push_str(&format!(
+            "rec {} {} {} {} {} {}\n",
+            r.steps, r.dt, r.passed, r.nominal_return, r.adv_return, r.nonfinite_actions
+        ));
+        match &r.termination {
+            None => buf.push_str("term none\n"),
+            Some(Termination::TimeLimit) => buf.push_str("term time\n"),
+            Some(Termination::RoadEnd) => buf.push_str("term road\n"),
+            Some(Termination::Collision(c)) => {
+                buf.push_str("term coll ");
+                push_collision(&mut buf, c);
+                buf.push('\n');
+            }
+        }
+        match &r.collision {
+            None => buf.push_str("coll none\n"),
+            Some(c) => {
+                buf.push_str("coll ");
+                push_collision(&mut buf, c);
+                buf.push('\n');
+            }
+        }
+        match r.attack_start {
+            None => buf.push_str("astart none\n"),
+            Some(s) => buf.push_str(&format!("astart {s}\n")),
+        }
+        buf.push_str(&format!("dev {}\n", r.deviation.len()));
+        write_f64s(&mut buf, &r.deviation);
+        buf.push_str(&format!("pert {}\n", r.perturbation.len()));
+        write_f64s(&mut buf, &r.perturbation);
+    }
+    buf
+}
+
+/// Parses text produced by [`encode_records`].
+///
+/// # Errors
+///
+/// Returns a message on a version mismatch or any structural defect; the
+/// caller (the bench journal) treats any error as "recompute this cell".
+pub fn decode_records(text: &str) -> Result<Vec<EpisodeRecord>, String> {
+    let mut c = Cursor::new(text);
+    let args = c.tag("records")?;
+    if args.len() != 2 {
+        return Err("records tag needs '<version> <count>'".to_string());
+    }
+    if args[0] != RECORDS_VERSION {
+        return Err(format!(
+            "unsupported record format version '{}' (this build reads '{RECORDS_VERSION}')",
+            args[0]
+        ));
+    }
+    let count: usize = args[1]
+        .parse()
+        .map_err(|_| format!("bad record count '{}'", args[1]))?;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let rec_args = c.tag("rec")?;
+        if rec_args.len() != 6 {
+            return Err(format!(
+                "rec needs '<steps> <dt> <passed> <nominal> <adv> <nonfinite>', got {rec_args:?}"
+            ));
+        }
+        let steps: usize = rec_args[0]
+            .parse()
+            .map_err(|_| format!("bad steps '{}'", rec_args[0]))?;
+        let dt: f64 = rec_args[1]
+            .parse()
+            .map_err(|_| format!("bad dt '{}'", rec_args[1]))?;
+        let passed: usize = rec_args[2]
+            .parse()
+            .map_err(|_| format!("bad passed '{}'", rec_args[2]))?;
+        let nominal_return: f64 = rec_args[3]
+            .parse()
+            .map_err(|_| format!("bad nominal return '{}'", rec_args[3]))?;
+        let adv_return: f64 = rec_args[4]
+            .parse()
+            .map_err(|_| format!("bad adversarial return '{}'", rec_args[4]))?;
+        let nonfinite_actions: usize = rec_args[5]
+            .parse()
+            .map_err(|_| format!("bad non-finite count '{}'", rec_args[5]))?;
+        let term_args = c.tag("term")?;
+        let termination = match term_args.first() {
+            Some(&"none") => None,
+            Some(&"time") => Some(Termination::TimeLimit),
+            Some(&"road") => Some(Termination::RoadEnd),
+            Some(&"coll") => Some(Termination::Collision(parse_collision(&term_args[1..])?)),
+            other => return Err(format!("bad termination {other:?}")),
+        };
+        let coll_args = c.tag("coll")?;
+        let collision = match coll_args.first() {
+            Some(&"none") => None,
+            Some(_) => Some(parse_collision(&coll_args)?),
+            None => return Err("coll tag needs a value".to_string()),
+        };
+        let astart_args = c.tag("astart")?;
+        let attack_start = match astart_args.first() {
+            Some(&"none") => None,
+            Some(tok) => Some(
+                tok.parse()
+                    .map_err(|_| format!("bad attack start '{tok}'"))?,
+            ),
+            None => return Err("astart tag needs a value".to_string()),
+        };
+        let dev_args = c.tag("dev")?;
+        let ndev: usize = dev_args
+            .first()
+            .ok_or("dev tag needs a count")?
+            .parse()
+            .map_err(|_| "bad deviation count".to_string())?;
+        let deviation = c.f64s(ndev)?;
+        let pert_args = c.tag("pert")?;
+        let npert: usize = pert_args
+            .first()
+            .ok_or("pert tag needs a count")?
+            .parse()
+            .map_err(|_| "bad perturbation count".to_string())?;
+        let perturbation = c.f64s(npert)?;
+        out.push(EpisodeRecord {
+            steps,
+            dt,
+            termination,
+            collision,
+            passed,
+            nominal_return,
+            adv_return,
+            deviation,
+            perturbation,
+            attack_start,
+            nonfinite_actions,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +412,70 @@ mod tests {
             adv_return: 0.0,
             nonfinite_actions: 0,
         }
+    }
+
+    #[test]
+    fn codec_round_trips_every_variant_bit_exactly() {
+        let records = vec![
+            rec(),
+            EpisodeRecord::default(),
+            EpisodeRecord {
+                steps: 250,
+                dt: 0.05,
+                termination: Some(Termination::TimeLimit),
+                collision: None,
+                passed: 3,
+                nominal_return: -1.25e-3,
+                adv_return: std::f64::consts::PI,
+                deviation: (0..20).map(|i| (i as f64).sin()).collect(),
+                perturbation: vec![],
+                attack_start: None,
+                nonfinite_actions: 2,
+            },
+            EpisodeRecord {
+                termination: Some(Termination::RoadEnd),
+                collision: Some(CollisionEvent {
+                    kind: CollisionKind::Barrier,
+                    npc_index: None,
+                    step: 17,
+                }),
+                ..rec()
+            },
+            EpisodeRecord {
+                termination: Some(Termination::Collision(CollisionEvent {
+                    kind: CollisionKind::RearEnd,
+                    npc_index: Some(4),
+                    step: 99,
+                })),
+                collision: Some(CollisionEvent {
+                    kind: CollisionKind::Other,
+                    npc_index: Some(4),
+                    step: 99,
+                }),
+                ..rec()
+            },
+        ];
+        let text = encode_records(&records);
+        let back = decode_records(&text).expect("decode");
+        assert_eq!(back, records);
+        // Digest stability: re-encoding the decoded records is byte-identical.
+        assert_eq!(encode_records(&back), text);
+        // Empty set round trips too.
+        assert_eq!(decode_records(&encode_records(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn codec_rejects_malformed_input_without_panicking() {
+        assert!(decode_records("").is_err());
+        assert!(decode_records("records v0 1").is_err(), "version mismatch");
+        assert!(decode_records("records v1 not-a-number").is_err());
+        // Truncated mid-record.
+        let text = encode_records(&[rec(), rec()]);
+        let cut = &text[..text.len() / 2];
+        assert!(decode_records(cut).is_err());
+        // Corrupted collision kind.
+        let bad = text.replacen("side", "frontal", 1);
+        assert!(decode_records(&bad).is_err());
     }
 
     #[test]
