@@ -95,6 +95,10 @@ pub enum CliError {
     /// `--resume` could not re-open the run's journal (incompatible
     /// parameters, corruption beyond tail repair, or I/O failure).
     Resume(String),
+    /// SIGTERM/Ctrl-C latched mid-run: the run drained at a cell boundary
+    /// (carrying the journaled run directory when one was active, for the
+    /// `--resume` hint).
+    Interrupted(Option<PathBuf>),
     /// Output-sink failure.
     Io(std::io::Error),
 }
@@ -120,6 +124,23 @@ impl std::fmt::Display for CliError {
             CliError::ManifestInvalid(msg) => write!(f, "manifest invalid:\n{msg}"),
             CliError::BenchRegression(msg) => write!(f, "{msg}"),
             CliError::Resume(msg) => write!(f, "cannot resume: {msg}"),
+            CliError::Interrupted(run_dir) => {
+                write!(
+                    f,
+                    "interrupted (SIGTERM/Ctrl-C); stopped at a cell boundary"
+                )?;
+                match run_dir {
+                    Some(dir) => write!(
+                        f,
+                        "\ncompleted work is journaled — continue with: --resume {}",
+                        dir.display()
+                    ),
+                    None => write!(
+                        f,
+                        "\nno journal was active (no --csv/--svg dir); progress was discarded"
+                    ),
+                }
+            }
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -144,6 +165,8 @@ pub fn exit_code(err: &CliError) -> i32 {
         | CliError::BenchRegression(_)
         | CliError::Resume(_)
         | CliError::Io(_) => 1,
+        // 128 + SIGINT, the conventional "terminated by signal" code.
+        CliError::Interrupted(_) => 130,
     }
 }
 
@@ -400,8 +423,28 @@ pub fn run(args: &CliArgs) -> Result<(), CliError> {
     ctx.csv_dir = csv_dir;
     ctx.svg_dir = args.svg.clone();
     ctx.journal = journal;
+    // The run directory a graceful interruption can be resumed from (only
+    // meaningful while a journal is recording).
+    let resume_hint = if ctx.journal.is_some() {
+        ctx.csv_dir.clone().or_else(|| args.svg.clone())
+    } else {
+        None
+    };
     for exp in experiments {
-        let outcome = engine::execute(exp, &ctx)?;
+        // The harness unwinds with the `ShutdownRequested` sentinel at the
+        // next cell boundary after SIGTERM/Ctrl-C; catch it here and turn
+        // it into a clean, resumable exit. Real panics keep propagating.
+        let executed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine::execute(exp, &ctx)));
+        let outcome = match executed {
+            Ok(result) => result?,
+            Err(payload) => {
+                if payload.is::<drive_core::shutdown::ShutdownRequested>() {
+                    return Err(CliError::Interrupted(resume_hint));
+                }
+                std::panic::resume_unwind(payload);
+            }
+        };
         println!("{}", outcome.report);
         for path in &outcome.written {
             eprintln!("[out] wrote {}", path.display());
@@ -421,6 +464,7 @@ pub fn run(args: &CliArgs) -> Result<(), CliError> {
 /// to `default_name` when nothing is selected, run, and map errors to exit
 /// codes.
 pub fn main_for(default_name: &str) -> i32 {
+    drive_core::shutdown::install();
     match CliArgs::from_env() {
         Ok(mut args) => {
             if !args.selects_anything() {
@@ -437,13 +481,24 @@ pub fn main_for(default_name: &str) -> i32 {
 }
 
 /// Entry point for the `repro_bench` multiplexer binary: with no selection
-/// at all, print usage plus the registry and exit 2.
+/// at all, print usage plus the registry and exit 2. The `serve` and
+/// `loadgen` subcommands (the policy-serving layer) have their own flag
+/// surface and dispatch to [`crate::servecli`] before experiment parsing.
 pub fn main_from_env() -> i32 {
+    drive_core::shutdown::install();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("serve") => return crate::servecli::main(crate::servecli::ServeMode::Sim, &raw[1..]),
+        Some("loadgen") => {
+            return crate::servecli::main(crate::servecli::ServeMode::Loadgen, &raw[1..])
+        }
+        _ => {}
+    }
     match CliArgs::from_env() {
         Ok(args) => {
             if !args.selects_anything() {
                 eprintln!(
-                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>|bench-compare <current.json>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--resume <dir>] [--no-journal]\n       [--artifacts <dir>] [--perf-json <path>] [--baseline <path>] [--tolerance <ratio>]\n"
+                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>|bench-compare <current.json>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--resume <dir>] [--no-journal]\n       [--artifacts <dir>] [--perf-json <path>] [--baseline <path>] [--tolerance <ratio>]\n   or: repro_bench serve|loadgen [--requests <n>] [--qps <n>] [--seed <n>] [--workers <n>]\n       [--kills <n>] [--stalls <n>] [--corrupt-rate <f>] [--attack-at-us <n>] [--attack-delta <f>]\n       [--expect-no-sheds] [--expect-degraded] [--latency-json <path>] [--slo-p99-us <n>] [--qps-grid <a,b,...>]\n"
                 );
                 eprint!("{}", Registry::list(Registry::all()));
                 return 2;
@@ -540,6 +595,17 @@ mod tests {
         let args = parse(&[]);
         assert!(args.select().unwrap().is_empty());
         assert!(!args.selects_anything());
+    }
+
+    #[test]
+    fn interrupted_exit_is_130_with_a_resume_hint() {
+        let err = CliError::Interrupted(Some(PathBuf::from("/tmp/run")));
+        assert_eq!(exit_code(&err), 130);
+        let text = err.to_string();
+        assert!(text.contains("--resume /tmp/run"), "{text}");
+        let bare = CliError::Interrupted(None);
+        assert_eq!(exit_code(&bare), 130);
+        assert!(bare.to_string().contains("no journal"), "{bare}");
     }
 
     #[test]

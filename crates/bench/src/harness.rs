@@ -154,6 +154,13 @@ pub fn attacked_records(
             return records;
         }
     }
+    // Graceful-shutdown safe point: between cells every completed cell is
+    // already journaled, so unwinding out here leaves a run the CLI can
+    // `--resume` to a byte-identical finish. The sentinel payload is
+    // caught by the top-level driver, never by the episode retry layer.
+    if drive_core::shutdown::requested() {
+        std::panic::panic_any(drive_core::shutdown::ShutdownRequested);
+    }
     let artifacts = ctx.artifacts;
     let config = ctx.config;
     let adv = AdvReward::default();

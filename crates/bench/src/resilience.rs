@@ -11,6 +11,7 @@
 //! [`CellOutcome::to_csv`] can export with a per-episode status column so a
 //! partial run is still analyzable.
 
+use drive_core::retry::{self, Attempt, Exhausted, RetryPolicy};
 use drive_metrics::export::Csv;
 use drive_sim::record::EpisodeRecord;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -209,34 +210,38 @@ pub fn run_cell(
             }
         }
         outcome.attempted += 1;
-        let mut last_reason = String::new();
-        let mut last_seed = 0;
-        let mut done = false;
-        for attempt in 0..config.max_attempts.max(1) {
+        // The shared retry engine drives the attempts; the per-attempt
+        // seed offset (`base + episode`, then `+ attempt * RESEED_STRIDE`)
+        // is identical to the historical hand-rolled loop, so healthy runs
+        // and recorded retry seeds reproduce bit-for-bit.
+        let policy = RetryPolicy::attempts(config.max_attempts);
+        let result = retry::run(&policy, base_seed, |attempt| {
             let seed = (base_seed + episode as u64)
                 .wrapping_add((attempt as u64).wrapping_mul(RESEED_STRIDE));
-            last_seed = seed;
             match catch_unwind(AssertUnwindSafe(|| run_one(seed))) {
-                Ok(record) => {
-                    outcome.runs.push(EpisodeRun {
-                        episode,
-                        seed,
-                        attempts: attempt + 1,
-                        record,
-                    });
-                    done = true;
-                    break;
-                }
-                Err(payload) => last_reason = panic_reason(payload),
+                Ok(record) => Ok((seed, record)),
+                Err(payload) => Err((seed, panic_reason(payload))),
             }
-        }
-        if !done {
-            outcome.failures.push(EpisodeFailure {
+        });
+        match result {
+            Ok(Attempt {
+                value: (seed, record),
+                attempts,
+            }) => outcome.runs.push(EpisodeRun {
                 episode,
-                seed: last_seed,
-                attempts: config.max_attempts.max(1),
-                reason: last_reason,
-            });
+                seed,
+                attempts,
+                record,
+            }),
+            Err(Exhausted {
+                attempts,
+                last: (seed, reason),
+            }) => outcome.failures.push(EpisodeFailure {
+                episode,
+                seed,
+                attempts,
+                reason,
+            }),
         }
     }
     outcome.elapsed = start.elapsed();

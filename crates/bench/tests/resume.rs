@@ -158,6 +158,66 @@ fn killed_and_resumed_run_matches_golden_byte_for_byte() {
     );
 }
 
+/// Sends a real SIGTERM (std's `Child::kill` is SIGKILL on unix).
+#[cfg(unix)]
+fn sigterm(child: &std::process::Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    let rc = unsafe { kill(child.id() as i32, 15) };
+    assert_eq!(rc, 0, "kill(pid, SIGTERM) failed");
+}
+
+/// A polite SIGTERM mid-run must exit 130 with a `--resume` hint after
+/// draining at a cell boundary, and the resumed run must finish
+/// byte-identical to an uninterrupted golden run.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_gracefully_and_resume_completes_byte_identical() {
+    setup();
+    let golden = out_dir("term-golden");
+    let status = run_cmd(&golden, false)
+        .arg("--no-journal")
+        .status()
+        .expect("spawn golden run");
+    assert!(status.success(), "golden run failed: {status}");
+
+    let interrupted = out_dir("term-interrupted");
+    let mut landed = false;
+    let mut attempts = 0;
+    while !landed {
+        attempts += 1;
+        assert!(attempts <= 8, "could not land a mid-run SIGTERM in 8 tries");
+        let mut cmd = run_cmd(&interrupted, attempts > 1);
+        cmd.stderr(Stdio::piped());
+        let mut child = cmd.spawn().expect("spawn");
+        std::thread::sleep(Duration::from_millis(250));
+        match child.try_wait().expect("try_wait") {
+            None => {
+                sigterm(&child);
+                let output = child.wait_with_output().expect("reap");
+                assert_eq!(
+                    output.status.code(),
+                    Some(130),
+                    "graceful interruption exits 130 (status: {})",
+                    output.status
+                );
+                let stderr = String::from_utf8_lossy(&output.stderr);
+                assert!(
+                    stderr.contains("--resume"),
+                    "stderr hints at resumption:\n{stderr}"
+                );
+                landed = true;
+            }
+            Some(status) => assert!(status.success(), "early completion failed: {status}"),
+        }
+    }
+
+    let output = run_cmd(&interrupted, true).output().expect("final resume");
+    assert!(output.status.success(), "final resume failed");
+    assert_outputs_match(&golden, &interrupted);
+}
+
 #[test]
 fn engine_skips_verified_experiments_and_replays_cells_on_resume() {
     let (artifacts, config) = setup();

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # drive-core — shared runtime-robustness primitives
+//!
+//! Small, dependency-light building blocks used by both the experiment
+//! harness (`repro-bench`) and the policy-serving subsystem
+//! (`drive-serve`):
+//!
+//! * [`retry`] — bounded retry with deterministic, seeded jittered
+//!   backoff and a typed exhaustion error. The harness uses it for
+//!   reseeded per-episode retries; load-generator clients use it for
+//!   timeout/backpressure retries.
+//! * [`shutdown`] — process-wide SIGTERM/SIGINT latching so long runs
+//!   can drain in-flight work and flush journals instead of dying with
+//!   half-written state.
+
+pub mod retry;
+pub mod shutdown;
+
+pub use retry::{Attempt, Exhausted, RetryPolicy};
+pub use shutdown::ShutdownRequested;

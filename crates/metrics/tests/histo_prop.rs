@@ -1,0 +1,94 @@
+//! Property tests of the latency histogram: for ANY sample set, the
+//! histogram's quantile estimate must land inside the bucket of the exact
+//! nearest-rank quantile (i.e. "within one bucket of exact"), and merging
+//! split histograms must be indistinguishable from recording everything
+//! into one.
+
+use drive_metrics::histo::{bucket_bounds, LatencyHistogram};
+use proptest::prelude::*;
+
+const QUANTILES: [f64; 8] = [0.0, 0.001, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+/// Exact nearest-rank quantile of an unsorted sample set.
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Widens raw byte-sized draws across latency magnitudes: mixes exact
+/// small values, microsecond/millisecond scales, and huge outliers.
+fn stretch(raw: &[i64]) -> Vec<u64> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let v = v as u64;
+            match i % 4 {
+                0 => v % 64,                  // exact buckets
+                1 => v % 1_000_000,           // sub-millisecond
+                2 => (v % 1_000) * 1_000_000, // millisecond scale
+                _ => v,                       // full u64 range
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Histogram quantiles are never more than one bucket from exact:
+    /// every estimate falls within the bucket bounds of the exact
+    /// nearest-rank sample.
+    #[test]
+    fn quantile_estimates_land_in_the_exact_value_bucket(
+        raw in proptest::collection::vec(any::<i64>(), 1..200)
+    ) {
+        let samples = stretch(&raw);
+        let mut h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        for &q in &QUANTILES {
+            let exact = exact_quantile(&samples, q);
+            let est = h.quantile(q);
+            let (lo, hi) = bucket_bounds(exact);
+            prop_assert!(
+                lo <= est && est <= hi,
+                "q={} exact={} (bucket [{}, {}]) but estimate={}",
+                q, exact, lo, hi, est
+            );
+            // Estimates never undershoot the true quantile.
+            prop_assert!(est >= exact, "q={} estimate {} < exact {}", q, est, exact);
+        }
+        // The tracked extremes are exact, not bucketed.
+        prop_assert_eq!(h.quantile(0.0), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.quantile(1.0), *samples.iter().max().unwrap());
+    }
+
+    /// Splitting a sample set at any point and merging the two histograms
+    /// matches recording the whole set into one histogram, for every
+    /// tracked statistic.
+    #[test]
+    fn merge_is_equivalent_to_single_recording(
+        raw in proptest::collection::vec(any::<i64>(), 1..120),
+        split_raw in any::<u16>()
+    ) {
+        let samples = stretch(&raw);
+        let split = (split_raw as usize) % (samples.len() + 1);
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i < split { left.record(v) } else { right.record(v) }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+        prop_assert_eq!(left.mean(), whole.mean());
+        for &q in &QUANTILES {
+            prop_assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+        prop_assert_eq!(left.to_string(), whole.to_string());
+    }
+}

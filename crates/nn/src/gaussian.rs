@@ -11,7 +11,7 @@
 use crate::activation::Activation;
 use crate::mat::Mat;
 use crate::mlp::{Mlp, MlpCache};
-use crate::scratch::{ActScratch, SampleBackScratch};
+use crate::scratch::{ActScratch, BatchActScratch, SampleBackScratch};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -405,6 +405,48 @@ impl GaussianPolicy {
         }
         action
     }
+
+    /// Micro-batched deterministic inference: stacks `obs` into one
+    /// `(batch, obs_dim)` matrix, runs a single trunk forward, and returns
+    /// a `(batch, action_dim)` matrix of `tanh(mean)` actions.
+    ///
+    /// Row `b` of the result is **bit-identical** to
+    /// `act_with(obs[b], .., deterministic = true, ..)`: the GEMM kernels
+    /// compute every output element as one ascending-`k` accumulation
+    /// regardless of how many rows share the call, so batching changes
+    /// throughput but never numerics. The serving layer relies on this —
+    /// micro-batching under a deadline window must not make answers depend
+    /// on which requests happened to share a batch. Allocation-free once
+    /// the scratch has warmed to the largest batch seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any observation slice is not `obs_dim` long.
+    pub fn act_batch_with<'s>(&self, obs: &[&[f32]], s: &'s mut BatchActScratch) -> &'s Mat {
+        let BatchActScratch {
+            obs: obs_m,
+            trunk,
+            actions,
+        } = s;
+        let batch = obs.len();
+        obs_m.resize(batch, self.obs_dim());
+        for (b, o) in obs.iter().enumerate() {
+            obs_m.row_mut(b).copy_from_slice(o);
+        }
+        let raw = self.trunk.forward_with(obs_m, trunk);
+        actions.resize(batch, self.action_dim);
+        for b in 0..batch {
+            let raw_row = raw.row(b);
+            for (a, m) in actions
+                .row_mut(b)
+                .iter_mut()
+                .zip(&raw_row[..self.action_dim])
+            {
+                *a = m.tanh();
+            }
+        }
+        actions
+    }
 }
 
 #[cfg(test)]
@@ -595,6 +637,44 @@ mod tests {
         p1.backward_sample(&cache, &grad_action, &grad_logp);
         p2.backward_sample_with(&cache, &grad_action, &grad_logp, &mut s);
         assert_eq!(p1, p2);
+    }
+
+    /// Micro-batched inference must equal serial single-observation
+    /// inference BIT-FOR-BIT, for batch sizes on both sides of the GEMM
+    /// row-tile boundary, with one scratch reused across growing and
+    /// shrinking batches.
+    #[test]
+    fn act_batch_with_is_bit_identical_to_serial_act() {
+        let p = policy();
+        let mut batch_s = BatchActScratch::default();
+        let mut single_s = ActScratch::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for &batch in &[1usize, 3, 4, 5, 9, 2] {
+            let obs: Vec<Vec<f32>> = (0..batch)
+                .map(|_| (0..4).map(|_| randn_f32(&mut rng) * 2.0).collect())
+                .collect();
+            let refs: Vec<&[f32]> = obs.iter().map(Vec::as_slice).collect();
+            let acted = p.act_batch_with(&refs, &mut batch_s);
+            assert_eq!((acted.rows(), acted.cols()), (batch, 2));
+            for (b, o) in obs.iter().enumerate() {
+                let serial = p.act_with(o, &mut rng, true, &mut single_s);
+                for (i, (&got, &want)) in acted.row(b).iter().zip(serial).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "batch {batch} row {b} dim {i}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn act_batch_with_handles_empty_batch() {
+        let p = policy();
+        let mut s = BatchActScratch::default();
+        let acted = p.act_batch_with(&[], &mut s);
+        assert_eq!(acted.rows(), 0);
     }
 
     #[test]

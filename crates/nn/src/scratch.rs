@@ -31,6 +31,18 @@ pub struct ActScratch {
     pub(crate) action: Vec<f32>,
 }
 
+/// Workspace for a micro-batched deterministic `act` call: the
+/// `(batch, obs_dim)` stacked observation matrix, the trunk's ping-pong
+/// buffers, and the `(batch, action_dim)` action output (see
+/// `GaussianPolicy::act_batch_with`). Reused across batches of varying
+/// size without reallocation once warmed to the largest batch seen.
+#[derive(Debug, Clone, Default)]
+pub struct BatchActScratch {
+    pub(crate) obs: Mat,
+    pub(crate) trunk: Scratch,
+    pub(crate) actions: Mat,
+}
+
 /// Workspace for a policy backward pass through a sampled head: the
 /// `(batch, 2 * action_dim)` raw-head gradient and the trunk's ping-pong
 /// buffers (see `GaussianPolicy::backward_sample_with`).

@@ -1,0 +1,108 @@
+//! Serving configuration.
+
+use crate::ladder::LadderConfig;
+use attack_core::detector::DetectorConfig;
+use drive_agents::fallback::SafetyConfig;
+
+/// Everything the serving layer needs to know besides the policy itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads (the simulator models the same number of virtual
+    /// workers).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Most requests a single inference batch may hold.
+    pub max_batch: usize,
+    /// How long a worker holds an incomplete batch open waiting for more
+    /// requests, µs. The micro-batching deadline window: latency floor
+    /// for lone requests, throughput lever under load.
+    pub batch_window_us: u64,
+    /// Default per-request deadline, µs.
+    pub deadline_us: u64,
+    /// Degradation ladder thresholds.
+    pub ladder: LadderConfig,
+    /// Perturbation detector settings (the [`crate::ladder::Rung::Full`]
+    /// rung).
+    pub detector: DetectorConfig,
+    /// Fallback safety-controller gains (the bottom rung).
+    pub safety: SafetyConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_window_us: 2_000,
+            deadline_us: 50_000,
+            ladder: LadderConfig::default(),
+            detector: DetectorConfig::default(),
+            safety: SafetyConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for zero workers, zero capacity, a zero batch
+    /// size, or a batch window longer than the request deadline (every
+    /// lone request would expire while its batch waited).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("serve config: workers must be >= 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("serve config: queue_capacity must be >= 1".into());
+        }
+        if self.max_batch == 0 {
+            return Err("serve config: max_batch must be >= 1".into());
+        }
+        if self.batch_window_us >= self.deadline_us {
+            return Err(format!(
+                "serve config: batch window {}us must be shorter than the deadline {}us",
+                self.batch_window_us, self.deadline_us
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ServeConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        for broken in [
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                batch_window_us: 60_000,
+                deadline_us: 50_000,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "{broken:?}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Bounded MPMC queue with deadline-window batch pops.
+//!
+//! The admission point of the threaded server: capacity is enforced at
+//! `push` (excess load is *shed*, typed and counted by the caller — never
+//! silently dropped), and workers pop micro-batches: block for the first
+//! item, then hold the batch open for the configured window (or until it
+//! fills) so concurrent requests share one GEMM pass.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity: shed for backpressure.
+    Full,
+    /// Closed for draining: no new admissions.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded, closable MPMC queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A worker panicking while holding this lock is handled by the
+        // supervisor (requeue + respawn); the queue data itself is always
+        // consistent, so poisoning is ignorable.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Admits `item`, or returns it with the typed refusal.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] once [`BoundedQueue::close`] was called,
+    /// [`PushError::Full`] at capacity. The item always comes back to the
+    /// caller for outcome accounting.
+    pub fn push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err((item, PushError::Closed));
+        }
+        if g.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Returns previously-popped items to the FRONT of the queue (used by
+    /// the supervisor to rescue a dead worker's in-flight batch). Ignores
+    /// capacity — the items were already admitted once — and works on a
+    /// closed queue so drains can still rescue.
+    pub fn requeue_front(&self, items: Vec<T>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut g = self.lock();
+        for item in items.into_iter().rev() {
+            g.items.push_front(item);
+        }
+        drop(g);
+        self.not_empty.notify_all();
+    }
+
+    /// Pops a micro-batch: blocks up to `first_wait` for the first item,
+    /// then keeps the batch open until `window` elapses or `max` items
+    /// are in hand. Returns an empty vec on timeout with nothing queued;
+    /// returns `None` when the queue is closed **and** empty (the drain
+    /// is complete — the worker should exit).
+    pub fn pop_batch(&self, max: usize, first_wait: Duration, window: Duration) -> Option<Vec<T>> {
+        let deadline = Instant::now() + first_wait;
+        let mut g = self.lock();
+        while g.items.is_empty() {
+            if g.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(Vec::new());
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+        // First item in hand: hold the batch open for the window.
+        let close_at = Instant::now() + window;
+        loop {
+            if g.items.len() >= max {
+                break;
+            }
+            let now = Instant::now();
+            if now >= close_at || g.closed {
+                break;
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(g, close_at - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+        let take = g.items.len().min(max);
+        Some(g.items.drain(..take).collect())
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// and blocked poppers drain what remains, then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_typed_at_capacity_and_when_closed() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let (item, err) = q.push(3).unwrap_err();
+        assert_eq!((item, err), (3, PushError::Full));
+        q.close();
+        let (item, err) = q.push(4).unwrap_err();
+        assert_eq!((item, err), (4, PushError::Closed));
+        // Drain still proceeds after close.
+        assert_eq!(
+            q.pop_batch(10, Duration::from_millis(1), Duration::ZERO),
+            Some(vec![1, 2])
+        );
+        assert_eq!(
+            q.pop_batch(10, Duration::from_millis(1), Duration::ZERO),
+            None
+        );
+    }
+
+    #[test]
+    fn batch_respects_max() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let batch = q
+            .pop_batch(4, Duration::from_millis(1), Duration::ZERO)
+            .unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn empty_timeout_returns_empty_batch() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let batch = q
+            .pop_batch(4, Duration::from_millis(5), Duration::ZERO)
+            .unwrap();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn requeue_front_preserves_order_and_ignores_capacity() {
+        let q = BoundedQueue::new(2);
+        q.push(3).unwrap();
+        q.requeue_front(vec![1, 2]);
+        assert_eq!(q.len(), 3, "capacity bypassed for rescue");
+        let batch = q
+            .pop_batch(8, Duration::from_millis(1), Duration::ZERO)
+            .unwrap();
+        assert_eq!(batch, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn window_waits_for_stragglers() {
+        let q = Arc::new(BoundedQueue::new(16));
+        q.push(0).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.push(1).unwrap();
+        });
+        // Window long enough to catch the straggler.
+        let batch = q
+            .pop_batch(4, Duration::from_millis(100), Duration::from_millis(300))
+            .unwrap();
+        t.join().unwrap();
+        assert_eq!(batch, vec![0, 1], "straggler joined the batch");
+    }
+
+    #[test]
+    fn full_batch_closes_the_window_early() {
+        let q = BoundedQueue::new(16);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        let start = Instant::now();
+        let batch = q
+            .pop_batch(4, Duration::from_millis(100), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(batch.len(), 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "no window wait when full"
+        );
+    }
+
+    #[test]
+    fn close_wakes_blocked_popper() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t =
+            std::thread::spawn(move || q2.pop_batch(4, Duration::from_secs(30), Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(t.join().unwrap(), None, "popper saw the drain end");
+    }
+}

@@ -1,0 +1,621 @@
+//! The real multi-threaded inference server.
+//!
+//! Worker threads pop micro-batches from one [`BoundedQueue`], run the
+//! shared [`Pipeline`] core, and resolve each request's [`ResponseSlot`]
+//! exactly once. A supervisor thread watches for dead workers (injected
+//! kills, or any panic caught in the batch path) and respawns them after
+//! rescuing the in-flight batch back onto the queue front — no request is
+//! ever silently lost to a crash. Clients block on their slot with a
+//! deadline and claim `TimedOut` themselves when the service is too slow,
+//! so every submission resolves even if the server wedges.
+//!
+//! The slot is the exactly-once point: whichever side resolves first
+//! (worker answer, client timeout, admission shed) records the outcome
+//! into the shared counters; the loser's resolution is a no-op. At
+//! [`Server::shutdown`] the queue closes, workers drain what remains, and
+//! the merged [`ServeReport`] is returned.
+
+use crate::config::ServeConfig;
+use crate::faults::{FaultCursor, FaultPlan, WorkerFault};
+use crate::ladder::{Ladder, Pressure, Rung};
+use crate::pipeline::{DetectorStream, Pipeline, PipelineStats};
+use crate::queue::{BoundedQueue, PushError};
+use crate::report::ServeReport;
+use crate::request::{Counters, Outcome, Request, ShedReason};
+use drive_metrics::histo::LatencyHistogram;
+use drive_nn::gaussian::GaussianPolicy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where a request's one outcome lands. Resolution is first-wins: the
+/// worker's answer, the client's timeout claim, and the admission shed
+/// path all race safely.
+pub struct ResponseSlot {
+    state: Mutex<Option<Outcome>>,
+    done: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Outcome>> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Installs `outcome` if the slot is still open. Returns whether this
+    /// call won the race (and therefore owns the counting).
+    fn resolve(&self, outcome: Outcome) -> bool {
+        let mut g = self.lock();
+        if g.is_some() {
+            return false;
+        }
+        *g = Some(outcome);
+        drop(g);
+        self.done.notify_all();
+        true
+    }
+
+    /// Blocks up to `timeout` for a resolution.
+    fn wait(&self, timeout: Duration) -> Option<Outcome> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.lock();
+        while g.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .done
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+        g.clone()
+    }
+}
+
+struct QueuedRequest {
+    req: Request,
+    slot: Arc<ResponseSlot>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    policy: Arc<GaussianPolicy>,
+    plan: FaultPlan,
+    queue: BoundedQueue<QueuedRequest>,
+    epoch: Instant,
+    next_id: AtomicU64,
+    counters: Mutex<Counters>,
+    latency: Mutex<LatencyHistogram>,
+    ladder: Mutex<Ladder>,
+    rung: AtomicU8,
+    detector: Mutex<DetectorStream>,
+    cursors: Mutex<Vec<FaultCursor>>,
+    stalls: AtomicU32,
+    closing: AtomicBool,
+}
+
+fn rung_to_u8(r: Rung) -> u8 {
+    match r {
+        Rung::Full => 0,
+        Rung::NoDetector => 1,
+        Rung::Fallback => 2,
+    }
+}
+
+fn rung_from_u8(v: u8) -> Rung {
+    match v {
+        0 => Rung::Full,
+        1 => Rung::NoDetector,
+        _ => Rung::Fallback,
+    }
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn rung(&self) -> Rung {
+        rung_from_u8(self.rung.load(Ordering::Acquire))
+    }
+
+    fn guarded<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// The exactly-once counting point: whoever wins the slot records the
+    /// outcome; losers change nothing.
+    fn resolve_counted(&self, slot: &ResponseSlot, outcome: Outcome) -> bool {
+        if !slot.resolve(outcome.clone()) {
+            return false;
+        }
+        if let Some(l) = outcome.latency_us() {
+            Self::guarded(&self.latency).record(l);
+        }
+        Self::guarded(&self.counters).record(&outcome);
+        true
+    }
+}
+
+enum WorkerExit {
+    Drained,
+    Killed,
+}
+
+struct WorkerOut {
+    exit: WorkerExit,
+    stats: PipelineStats,
+    corrupted: u64,
+}
+
+fn worker_main(shared: Arc<Shared>, slot_idx: usize, generation: u32) -> WorkerOut {
+    let stream_id = slot_idx as u64 * 1_000 + u64::from(generation);
+    let mut pipeline = Pipeline::new(
+        Arc::clone(&shared.policy),
+        &shared.config,
+        Some(shared.plan.corruption_injector(stream_id)),
+    );
+    let mut my_rung = shared.rung();
+    let out = |exit: WorkerExit, p: &Pipeline| WorkerOut {
+        exit,
+        stats: *p.stats(),
+        corrupted: p.corrupted_values(),
+    };
+    loop {
+        let Some(batch) = shared.queue.pop_batch(
+            shared.config.max_batch,
+            Duration::from_millis(20),
+            Duration::from_micros(shared.config.batch_window_us),
+        ) else {
+            return out(WorkerExit::Drained, &pipeline); // drain complete
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        let now = shared.now_us();
+        let fault = Shared::guarded(&shared.cursors)[slot_idx].due(now);
+        match fault {
+            Some(WorkerFault::Kill { .. }) => {
+                // Die "mid-service": the supervisor rescues the batch via
+                // the queue front and respawns this slot.
+                shared.queue.requeue_front(batch);
+                return out(WorkerExit::Killed, &pipeline);
+            }
+            Some(WorkerFault::Stall { dur_us, .. }) => {
+                shared.stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(dur_us));
+            }
+            None => {}
+        }
+
+        let rung = shared.rung();
+        if rung != my_rung {
+            pipeline.on_rung_change(rung);
+            my_rung = rung;
+        }
+
+        // Expire what aged out while queued.
+        let now = shared.now_us();
+        let mut misses = 0u32;
+        let mut live = Vec::with_capacity(batch.len());
+        for q in batch {
+            if q.req.expires_at_us() < now {
+                if shared.resolve_counted(
+                    &q.slot,
+                    Outcome::TimedOut {
+                        waited_us: now.saturating_sub(q.req.enqueued_at_us),
+                    },
+                ) {
+                    misses += 1;
+                }
+            } else {
+                live.push(q);
+            }
+        }
+        if live.is_empty() {
+            let next = Shared::guarded(&shared.ladder).observe(
+                now,
+                Pressure {
+                    queue_depth: shared.queue.len(),
+                    queue_capacity: shared.config.queue_capacity,
+                    deadline_misses: misses,
+                    alarm: false,
+                },
+            );
+            shared.rung.store(rung_to_u8(next), Ordering::Release);
+            continue;
+        }
+
+        let mut obs: Vec<Vec<f32>> = live.iter().map(|q| q.req.obs.clone()).collect();
+        let processed = catch_unwind(AssertUnwindSafe(|| {
+            if rung == Rung::Full {
+                let mut stream = Shared::guarded(&shared.detector);
+                pipeline.process(rung, &mut obs, Some(&mut stream))
+            } else {
+                pipeline.process(rung, &mut obs, None)
+            }
+        }));
+        let result = match processed {
+            Ok(r) => r,
+            Err(_) => {
+                // A genuine panic in the batch path: rescue the batch and
+                // let the supervisor replace this worker (the pipeline
+                // state is suspect after unwinding through it).
+                shared.queue.requeue_front(live);
+                return out(WorkerExit::Killed, &pipeline);
+            }
+        };
+
+        let finish = shared.now_us();
+        for (q, action) in live.iter().zip(&result.actions) {
+            let latency_us = finish.saturating_sub(q.req.enqueued_at_us);
+            let outcome = if rung == Rung::Full {
+                Outcome::Served {
+                    action: *action,
+                    latency_us,
+                }
+            } else {
+                Outcome::Degraded {
+                    rung,
+                    action: *action,
+                    latency_us,
+                }
+            };
+            shared.resolve_counted(&q.slot, outcome);
+        }
+        let next = Shared::guarded(&shared.ladder).observe(
+            finish,
+            Pressure {
+                queue_depth: shared.queue.len(),
+                queue_capacity: shared.config.queue_capacity,
+                deadline_misses: misses,
+                alarm: result.alarm,
+            },
+        );
+        shared.rung.store(rung_to_u8(next), Ordering::Release);
+        if next != my_rung {
+            pipeline.on_rung_change(next);
+            my_rung = next;
+        }
+    }
+}
+
+struct SupervisorOut {
+    respawns: u32,
+    stats: PipelineStats,
+    corrupted: u64,
+}
+
+fn supervisor_main(
+    shared: Arc<Shared>,
+    mut slots: Vec<Option<JoinHandle<WorkerOut>>>,
+    mut generations: Vec<u32>,
+) -> SupervisorOut {
+    let mut respawns = 0u32;
+    let mut stats = PipelineStats::default();
+    let mut corrupted = 0u64;
+    loop {
+        let closing = shared.closing.load(Ordering::Acquire);
+        for i in 0..slots.len() {
+            let finished = slots[i].as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            let handle = slots[i].take().expect("checked above");
+            let exit = match handle.join() {
+                Ok(o) => {
+                    stats.absorb(&o.stats);
+                    corrupted += o.corrupted;
+                    o.exit
+                }
+                // A panic that escaped the worker's own catch (should not
+                // happen): treat as a kill; its stats are lost but its
+                // batch was either resolved or still queued.
+                Err(_) => WorkerExit::Killed,
+            };
+            let respawn = match exit {
+                WorkerExit::Drained => false,
+                // Respawn unless the drain is effectively over; a killed
+                // worker's rescued batch still needs someone to run it.
+                WorkerExit::Killed => !(closing && shared.queue.is_empty()),
+            };
+            if respawn {
+                respawns += 1;
+                generations[i] += 1;
+                let shared2 = Arc::clone(&shared);
+                let generation = generations[i];
+                slots[i] = Some(std::thread::spawn(move || {
+                    worker_main(shared2, i, generation)
+                }));
+            }
+        }
+        if closing && slots.iter().all(Option::is_none) {
+            return SupervisorOut {
+                respawns,
+                stats,
+                corrupted,
+            };
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// A cloneable client handle: submit observations, get typed outcomes.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Submits one observation frame and blocks for its outcome. Exactly
+    /// one [`Outcome`] is returned per call, always — shed at admission,
+    /// answered by a worker, or claimed as timed out by this client when
+    /// the deadline (plus a grace period for in-flight batches) passes.
+    pub fn request(&self, obs: Vec<f32>) -> Outcome {
+        let shared = &self.shared;
+        let enqueued_at_us = shared.now_us();
+        Shared::guarded(&shared.counters).submitted += 1;
+        let slot = Arc::new(ResponseSlot::new());
+        let queued = QueuedRequest {
+            req: Request {
+                id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+                obs,
+                enqueued_at_us,
+                deadline_us: shared.config.deadline_us,
+            },
+            slot: Arc::clone(&slot),
+        };
+        if let Err((q, err)) = shared.queue.push(queued) {
+            let reason = match err {
+                PushError::Full => ShedReason::QueueFull,
+                PushError::Closed => ShedReason::Closing,
+            };
+            let outcome = Outcome::Shed { reason };
+            shared.resolve_counted(&q.slot, outcome.clone());
+            return outcome;
+        }
+        // Wait past the deadline by a grace window so a batch dispatched
+        // just-in-time can still land its answer.
+        let grace_us = 4 * shared.config.batch_window_us + 20_000;
+        let wait = Duration::from_micros(shared.config.deadline_us + grace_us);
+        if let Some(outcome) = slot.wait(wait) {
+            return outcome;
+        }
+        let waited_us = shared.now_us().saturating_sub(enqueued_at_us);
+        let claim = Outcome::TimedOut { waited_us };
+        if shared.resolve_counted(&slot, claim.clone()) {
+            claim
+        } else {
+            slot.wait(Duration::ZERO)
+                .expect("slot lost the race, so it is resolved")
+        }
+    }
+
+    /// Current queue depth (for load generators spawning on backpressure).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The rung currently serving.
+    pub fn rung(&self) -> Rung {
+        self.shared.rung()
+    }
+}
+
+/// The running service: worker threads, a supervisor, and the shared
+/// state. Create with [`Server::start`], stop with [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<SupervisorOut>>,
+}
+
+impl Server {
+    /// Validates the config, spawns the workers and the supervisor, and
+    /// returns the running server.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`ServeConfig`] or a policy without the
+    /// steering-readback observation feature.
+    pub fn start(policy: Arc<GaussianPolicy>, config: ServeConfig, plan: FaultPlan) -> Server {
+        config.validate().expect("serve config");
+        assert!(
+            policy.obs_dim() > crate::pipeline::STEER_FEATURE,
+            "serving at the full rung needs the steer-readback feature"
+        );
+        let workers = config.workers;
+        let cursors = (0..workers).map(|w| plan.cursor(w)).collect();
+        let shared = Arc::new(Shared {
+            detector: Mutex::new(DetectorStream::new(&config)),
+            ladder: Mutex::new(Ladder::new(config.ladder)),
+            queue: BoundedQueue::new(config.queue_capacity),
+            rung: AtomicU8::new(rung_to_u8(Rung::Full)),
+            counters: Mutex::new(Counters::default()),
+            latency: Mutex::new(LatencyHistogram::new()),
+            cursors: Mutex::new(cursors),
+            stalls: AtomicU32::new(0),
+            closing: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            epoch: Instant::now(),
+            config,
+            policy,
+            plan,
+        });
+        let slots = (0..workers)
+            .map(|i| {
+                let shared2 = Arc::clone(&shared);
+                Some(std::thread::spawn(move || worker_main(shared2, i, 0)))
+            })
+            .collect();
+        let generations = vec![0u32; workers];
+        let sup_shared = Arc::clone(&shared);
+        let supervisor =
+            std::thread::spawn(move || supervisor_main(sup_shared, slots, generations));
+        Server {
+            shared,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Graceful drain: stop admitting, let the workers finish everything
+    /// queued, join them all, and return the merged report. Outstanding
+    /// [`ServerHandle::request`] calls finish with `Shed(Closing)` or
+    /// their worker's answer; once they have all returned, the report's
+    /// counters reconcile.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shared.closing.store(true, Ordering::Release);
+        self.shared.queue.close();
+        let sup = self
+            .supervisor
+            .take()
+            .expect("shutdown consumes the server")
+            .join()
+            .expect("supervisor never panics");
+        let shared = &self.shared;
+        let transitions = Shared::guarded(&shared.ladder).transitions().to_vec();
+        ServeReport {
+            counters: *Shared::guarded(&shared.counters),
+            latency: Shared::guarded(&shared.latency).clone(),
+            transitions,
+            respawns: sup.respawns,
+            stalls: shared.stalls.load(Ordering::Relaxed),
+            corrupted_values: sup.corrupted,
+            nonfinite_frames: sup.stats.nonfinite_frames,
+            batches: sup.stats.batches,
+            max_batch: sup.stats.max_batch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::OutcomeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn policy() -> Arc<GaussianPolicy> {
+        let mut rng = StdRng::seed_from_u64(11);
+        Arc::new(GaussianPolicy::new(6, &[16], 2, &mut rng))
+    }
+
+    fn obs(i: u64) -> Vec<f32> {
+        (0..6)
+            .map(|j| {
+                let x = drive_seed::splitmix64(i * 6 + j);
+                ((x >> 11) as f64 / (1u64 << 53) as f64 * 0.4 - 0.2) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_requests_and_reconciles_on_shutdown() {
+        let server = Server::start(policy(), ServeConfig::default(), FaultPlan::none(2));
+        let handle = server.handle();
+        let mut served = 0u64;
+        for i in 0..20 {
+            let out = handle.request(obs(i));
+            if let Outcome::Served { action, .. } = out {
+                assert!(action.steer.is_finite() && action.thrust.is_finite());
+                served += 1;
+            }
+        }
+        let report = server.shutdown();
+        report.counters.reconcile().expect("books balance");
+        assert_eq!(report.counters.submitted, 20);
+        assert_eq!(report.counters.served, served);
+        assert!(served > 0, "{}", report.render());
+        assert!(report.batches > 0);
+    }
+
+    #[test]
+    fn concurrent_clients_tally_matches_server_counters() {
+        let server = Server::start(policy(), ServeConfig::default(), FaultPlan::none(2));
+        let mut clients = Vec::new();
+        for c in 0..4u64 {
+            let handle = server.handle();
+            clients.push(std::thread::spawn(move || {
+                let mut tally = Counters::default();
+                for i in 0..25u64 {
+                    tally.submitted += 1;
+                    tally.record(&handle.request(obs(c * 1_000 + i)));
+                }
+                tally
+            }));
+        }
+        let mut client_side = Counters::default();
+        for c in clients {
+            client_side.merge(&c.join().expect("client thread"));
+        }
+        let report = server.shutdown();
+        assert_eq!(
+            report.counters, client_side,
+            "server books must equal the sum of client tallies"
+        );
+        report.counters.reconcile().expect("balanced");
+    }
+
+    #[test]
+    fn injected_kill_is_respawned_and_nothing_is_lost() {
+        let plan = FaultPlan {
+            per_worker: vec![vec![WorkerFault::Kill { at_us: 0 }], Vec::new()],
+            corruption: drive_sim::faults::FaultSchedule::none(),
+        };
+        let server = Server::start(policy(), ServeConfig::default(), plan);
+        let handle = server.handle();
+        let mut kinds = Vec::new();
+        for i in 0..30 {
+            kinds.push(handle.request(obs(i)).kind());
+        }
+        let report = server.shutdown();
+        report.counters.reconcile().expect("books balance");
+        assert_eq!(report.counters.submitted, 30);
+        assert!(report.respawns >= 1, "{}", report.render());
+        // Every request resolved with a real outcome kind.
+        assert!(kinds.iter().all(|k| matches!(
+            k,
+            OutcomeKind::Served | OutcomeKind::Degraded | OutcomeKind::TimedOut
+        )));
+    }
+
+    #[test]
+    fn shutdown_sheds_new_requests_as_closing() {
+        let server = Server::start(policy(), ServeConfig::default(), FaultPlan::none(2));
+        let handle = server.handle();
+        let _ = handle.request(obs(0));
+        let report = server.shutdown();
+        let out = handle.request(obs(1));
+        assert_eq!(
+            out,
+            Outcome::Shed {
+                reason: ShedReason::Closing
+            }
+        );
+        // The post-shutdown shed still resolved exactly once client-side;
+        // the drained report covers everything submitted before it.
+        report.counters.reconcile().expect("balanced");
+    }
+}

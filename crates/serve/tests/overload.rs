@@ -1,0 +1,133 @@
+//! Overload integration test (threaded server): under saturating load and
+//! injected faults, every request resolves with exactly one typed outcome,
+//! the degradation ladder engages strictly in order, and the server's
+//! counters reconcile with the sum of per-client tallies.
+
+use drive_serve::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use drive_nn::gaussian::GaussianPolicy;
+use drive_serve::config::ServeConfig;
+use drive_serve::faults::FaultPlanConfig;
+use drive_serve::ladder::TransitionReason;
+
+fn policy() -> Arc<GaussianPolicy> {
+    let mut rng = StdRng::seed_from_u64(23);
+    Arc::new(GaussianPolicy::new(6, &[16], 2, &mut rng))
+}
+
+fn obs(i: u64) -> Vec<f32> {
+    (0..6)
+        .map(|j| {
+            let x = drive_seed::splitmix64(i * 6 + j);
+            ((x >> 11) as f64 / (1u64 << 53) as f64 * 0.4 - 0.2) as f32
+        })
+        .collect()
+}
+
+/// Each transition must move exactly one rung — except a detector alarm,
+/// which may jump straight to the fallback.
+fn ladder_engages_in_order(transitions: &[Transition]) {
+    let mut current = Rung::Full;
+    for t in transitions {
+        assert_eq!(t.from, current, "transition log must chain: {t}");
+        match t.reason {
+            TransitionReason::DetectorAlarm => assert_eq!(t.to, Rung::Fallback, "{t}"),
+            TransitionReason::Recovered => assert_eq!(t.to, t.from.ascend(), "{t}"),
+            _ => assert_eq!(t.to, t.from.descend(), "one rung at a time: {t}"),
+        }
+        current = t.to;
+    }
+}
+
+#[test]
+fn saturating_load_with_faults_keeps_the_books_and_the_order() {
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        max_batch: 4,
+        batch_window_us: 1_000,
+        deadline_us: 30_000,
+        ..ServeConfig::default()
+    };
+    // A fault plan over the test's rough wall-clock horizon: kills and
+    // stalls land mid-run, and corruption pressure alarms the detector.
+    let plan = FaultPlan::seeded(
+        7,
+        config.workers,
+        400_000,
+        &FaultPlanConfig {
+            kills: 2,
+            stalls: 2,
+            stall_us: 20_000,
+            corrupt_rate: 0.2,
+        },
+    );
+    let server = Server::start(policy(), config, plan);
+
+    let clients = 8u64;
+    let per_client = 100u64;
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let handle = server.handle();
+        handles.push(std::thread::spawn(move || {
+            let mut tally = Counters::default();
+            for i in 0..per_client {
+                tally.submitted += 1;
+                // Exactly one typed outcome per request, by construction of
+                // the API: `request` always returns an Outcome.
+                let outcome = handle.request(obs(c * 10_000 + i));
+                tally.record(&outcome);
+            }
+            tally
+        }));
+    }
+    let mut client_side = Counters::default();
+    for h in handles {
+        client_side.merge(&h.join().expect("client thread"));
+    }
+
+    let report = server.shutdown();
+    report
+        .counters
+        .reconcile()
+        .expect("no silent request loss under overload + faults");
+    assert_eq!(
+        report.counters,
+        client_side,
+        "server counters must reconcile with the summed client tallies\n{}",
+        report.render()
+    );
+    assert_eq!(report.counters.submitted, clients * per_client);
+    assert!(
+        report.counters.served + report.counters.degraded > 0,
+        "the service must keep answering through the fault schedule\n{}",
+        report.render()
+    );
+    ladder_engages_in_order(&report.transitions);
+}
+
+#[test]
+fn clean_light_load_stays_at_the_full_rung() {
+    let server = Server::start(policy(), ServeConfig::default(), FaultPlan::none(2));
+    let handle = server.handle();
+    let mut tally = Counters::default();
+    for i in 0..40 {
+        tally.submitted += 1;
+        tally.record(&handle.request(obs(i)));
+        // Light load: spaced-out lone requests.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let report = server.shutdown();
+    report.counters.reconcile().expect("balanced");
+    assert_eq!(report.counters, tally);
+    assert_eq!(report.counters.shed(), 0, "{}", report.render());
+    assert!(
+        report.counters.served > 0,
+        "light load is answered at the full rung\n{}",
+        report.render()
+    );
+    ladder_engages_in_order(&report.transitions);
+}
