@@ -11,9 +11,13 @@
 //! quantiles and the sustainable-rate search from a fixed-seed simulator
 //! run, byte-stable and therefore gateable at a tight tolerance.
 
+use attack_core::adv_reward::AdvReward;
+use attack_core::budget::AttackBudget;
+use attack_core::fleet::{FleetEval, FleetPlan};
 use criterion::{black_box, BenchResult, Criterion};
 use drive_agents::modular::{ModularAgent, ModularConfig};
 use drive_agents::Agent;
+use drive_nn::batch::BatchPolicy;
 use drive_nn::prelude::{randn_mat, ActScratch, Activation, GaussianPolicy, Mat, Mlp, Scratch};
 use drive_nn::scratch::BatchActScratch;
 use drive_rl::replay::{Batch, ReplayBuffer, Transition};
@@ -23,6 +27,7 @@ use drive_serve::faults::FaultPlanConfig;
 use drive_serve::ladder::Rung;
 use drive_serve::pipeline::{DetectorStream, Pipeline};
 use drive_serve::sim::{self, SimConfig};
+use drive_sim::batch::{Precision, WorldBatch};
 use drive_sim::geometry::{Obb, Vec2};
 use drive_sim::scenario::Scenario;
 use drive_sim::sensors::{FeatureConfig, FeatureExtractor, Imu, ImuConfig, SemanticCamera};
@@ -227,6 +232,119 @@ fn bench_serve_micro_batch(c: &mut Criterion) {
     });
 }
 
+/// The batched evaluation engine's two hot paths at batch 128: one
+/// lockstep `WorldBatch` step across 128 live episodes (with compaction
+/// and refill, as the fleet driver runs it) and one wide inference pass
+/// through the shared `BatchPolicy` head.
+fn bench_fleet(c: &mut Criterion) {
+    c.bench_function("fleet_step_batch128", |b| {
+        let scenarios = (0..128u64).map(|i| {
+            let mut rng = StdRng::seed_from_u64(1000 + i);
+            Scenario::default().jittered(&mut rng)
+        });
+        let mut batch = WorldBatch::from_scenarios(scenarios, Precision::Golden);
+        let actions = vec![Actuation::new(0.0, 0.1); 128];
+        let mut outcomes = Vec::new();
+        let mut refill_seed = 0u64;
+        b.iter(|| {
+            batch.step(&actions, &mut outcomes);
+            let before = batch.len();
+            batch.compact(|_, _| {});
+            for _ in batch.len()..before {
+                refill_seed += 1;
+                let mut rng = StdRng::seed_from_u64(refill_seed);
+                batch.push(World::new(Scenario::default().jittered(&mut rng)));
+            }
+            black_box(outcomes.len())
+        });
+    });
+    c.bench_function("policy_inference_batch128_60d", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dim = FeatureConfig::default().observation_dim();
+        let policy = Arc::new(GaussianPolicy::new(dim, &[128, 128], 2, &mut rng));
+        let head = BatchPolicy::new(policy);
+        let frames: Vec<Vec<f32>> = (0..128)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * dim + j) % 23) as f32 * 0.01)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = frames.iter().map(Vec::as_slice).collect();
+        let mut scratch = BatchActScratch::default();
+        b.iter(|| black_box(head.act_batch(&refs, &mut scratch).get(0, 0)));
+    });
+}
+
+/// Fleet throughput pseudo-rows: the same fig4-style nominal-driving
+/// evaluation run twice through `FleetEval` — once at batch 128, once at
+/// batch 1 (the serial comparator: identical episode loop, no inference
+/// amortization) — reported as amortized wall nanoseconds per finished
+/// episode. Inverse of episodes/sec so the regression gate's "bigger
+/// means worse" direction holds; the episodes/sec figures and the
+/// batched-vs-serial speedup are printed for humans.
+fn fleet_rows() -> Vec<BenchResult> {
+    let mut rng = StdRng::seed_from_u64(9);
+    let dim = FeatureConfig::default().observation_dim();
+    let victim = GaussianPolicy::new(dim, &[128, 128], 2, &mut rng);
+    let eval = FleetEval {
+        victim: &victim,
+        features: FeatureConfig::default(),
+        attack: None,
+        imu: ImuConfig::default(),
+        budget: AttackBudget::ZERO,
+        adv: AdvReward::default(),
+        scenario: Scenario::default(),
+    };
+    let episodes = 192;
+    let timed = |plan: FleetPlan| {
+        let t0 = std::time::Instant::now();
+        let records = eval.run(episodes, 0, plan);
+        (
+            t0.elapsed().as_nanos() as f64 / records.len() as f64,
+            records.len() as u64,
+        )
+    };
+    let fast = |batch| FleetPlan {
+        batch,
+        precision: Precision::Fast,
+    };
+    // Warm-up pass so neither comparator pays first-touch costs.
+    let _ = timed(FleetPlan::golden(128));
+    let (serial_ns, _) = timed(FleetPlan::golden(1));
+    let (golden_ns, n) = timed(FleetPlan::golden(128));
+    let (fast_ns, _) = timed(fast(128));
+    for (name, ns) in [
+        ("fleet_episodes_per_sec", 1e9 / fast_ns),
+        ("fleet_golden_episodes_per_sec", 1e9 / golden_ns),
+        ("fleet_serial_episodes_per_sec", 1e9 / serial_ns),
+        ("fleet_speedup_vs_batch1", serial_ns / fast_ns),
+        ("fleet_golden_speedup_vs_batch1", serial_ns / golden_ns),
+    ] {
+        println!("{name:<40} value {ns:>14.1}  ({n} n)");
+    }
+    vec![
+        BenchResult {
+            name: "fleet_ns_per_episode".to_string(),
+            median_ns: fast_ns,
+            mean_ns: fast_ns,
+            iters: n,
+        },
+        BenchResult {
+            name: "fleet_golden_ns_per_episode".to_string(),
+            median_ns: golden_ns,
+            mean_ns: golden_ns,
+            iters: n,
+        },
+        BenchResult {
+            name: "fleet_serial_ns_per_episode".to_string(),
+            median_ns: serial_ns,
+            mean_ns: serial_ns,
+            iters: n,
+        },
+    ]
+}
+
 /// End-to-end virtual-time serving: one fixed-seed simulator run per
 /// iteration (arrival synthesis, batching, fault schedule, ladder).
 fn bench_serve_sim(c: &mut Criterion) {
@@ -331,8 +449,10 @@ fn main() {
     bench_replay_sample(&mut c);
     bench_sac_update(&mut c);
     bench_serve_micro_batch(&mut c);
+    bench_fleet(&mut c);
     bench_serve_sim(&mut c);
-    let serve_rows = serve_slo_rows();
+    let mut serve_rows = serve_slo_rows();
+    serve_rows.extend(fleet_rows());
     for r in &serve_rows {
         println!(
             "{:<40} value {:>14.1}  ({} n)",

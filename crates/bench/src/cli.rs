@@ -19,6 +19,13 @@
 //! * `--no-journal` — disable the journal (it is on whenever a CSV or SVG
 //!   directory is set)
 //! * `--artifacts <dir>` — checkpoint directory (default `artifacts/`)
+//! * `--fleet <n>` — route fleet-capable evaluation cells through the
+//!   batched [`WorldBatch`](drive_sim::batch::WorldBatch) engine with `n`
+//!   episodes in lockstep (the f64 golden path is byte-identical to the
+//!   serial engine)
+//! * `--precision golden|f32` — integrator precision for fleet cells;
+//!   `f32` is the inference-only fast path and journals under its own
+//!   cell keys
 //! * `--perf-json <path>` — write per-phase throughput as JSON
 //! * `validate-manifest <path>` — re-check a manifest's file checksums
 //! * `bench-compare <current.json>` — diff a fresh `PERF_JSON` export from
@@ -63,6 +70,10 @@ pub struct CliArgs {
     pub artifacts: Option<PathBuf>,
     /// Perf-report JSON path.
     pub perf_json: Option<PathBuf>,
+    /// Fleet batch size (`None` = serial evaluation).
+    pub fleet: Option<usize>,
+    /// Integrator precision for fleet-routed cells.
+    pub precision: drive_sim::batch::Precision,
     /// Manifest to validate instead of running experiments.
     pub validate_manifest: Option<PathBuf>,
     /// Fresh bench export to compare against the baseline.
@@ -208,6 +219,26 @@ impl CliArgs {
                 "--no-journal" => out.no_journal = true,
                 "--artifacts" => out.artifacts = Some(value(&mut it, "--artifacts")?),
                 "--perf-json" => out.perf_json = Some(value(&mut it, "--perf-json")?),
+                "--fleet" => {
+                    let raw = it
+                        .next()
+                        .ok_or_else(|| CliError::MissingValue("--fleet".to_string()))?;
+                    let batch: usize = raw
+                        .parse()
+                        .map_err(|_| CliError::InvalidValue("--fleet".to_string(), raw.clone()))?;
+                    if batch == 0 {
+                        return Err(CliError::InvalidValue("--fleet".to_string(), raw.clone()));
+                    }
+                    out.fleet = Some(batch);
+                }
+                "--precision" => {
+                    let raw = it
+                        .next()
+                        .ok_or_else(|| CliError::MissingValue("--precision".to_string()))?;
+                    out.precision = drive_sim::batch::Precision::parse(raw).ok_or_else(|| {
+                        CliError::InvalidValue("--precision".to_string(), raw.clone())
+                    })?;
+                }
                 "validate-manifest" => {
                     out.validate_manifest = Some(value(&mut it, "validate-manifest")?)
                 }
@@ -423,6 +454,15 @@ pub fn run(args: &CliArgs) -> Result<(), CliError> {
     ctx.csv_dir = csv_dir;
     ctx.svg_dir = args.svg.clone();
     ctx.journal = journal;
+    ctx.fleet = args.fleet;
+    ctx.precision = args.precision;
+    if let Some(batch) = args.fleet {
+        eprintln!(
+            "[fleet] batched evaluation: {} episodes in lockstep, {} precision",
+            batch,
+            args.precision.label()
+        );
+    }
     // The run directory a graceful interruption can be resumed from (only
     // meaningful while a journal is recording).
     let resume_hint = if ctx.journal.is_some() {
@@ -498,7 +538,7 @@ pub fn main_from_env() -> i32 {
         Ok(args) => {
             if !args.selects_anything() {
                 eprintln!(
-                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>|bench-compare <current.json>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--resume <dir>] [--no-journal]\n       [--artifacts <dir>] [--perf-json <path>] [--baseline <path>] [--tolerance <ratio>]\n   or: repro_bench serve|loadgen [--requests <n>] [--qps <n>] [--seed <n>] [--workers <n>]\n       [--kills <n>] [--stalls <n>] [--corrupt-rate <f>] [--attack-at-us <n>] [--attack-delta <f>]\n       [--expect-no-sheds] [--expect-degraded] [--latency-json <path>] [--slo-p99-us <n>] [--qps-grid <a,b,...>]\n"
+                    "usage: repro_bench [<experiment>...|--all|--filter <substr>|--list|validate-manifest <path>|bench-compare <current.json>]\n       [--smoke] [--quick] [--csv <dir>] [--svg <dir>] [--resume <dir>] [--no-journal]\n       [--artifacts <dir>] [--perf-json <path>] [--baseline <path>] [--tolerance <ratio>]\n       [--fleet <batch>] [--precision golden|f32]\n   or: repro_bench serve|loadgen [--requests <n>] [--qps <n>] [--seed <n>] [--workers <n>]\n       [--kills <n>] [--stalls <n>] [--corrupt-rate <f>] [--attack-at-us <n>] [--attack-delta <f>]\n       [--expect-no-sheds] [--expect-degraded] [--latency-json <path>] [--slo-p99-us <n>] [--qps-grid <a,b,...>]\n"
                 );
                 eprint!("{}", Registry::list(Registry::all()));
                 return 2;
@@ -661,6 +701,35 @@ mod tests {
             assert!(matches!(err, CliError::InvalidValue(..)), "{bad}: {err:?}");
             assert_eq!(exit_code(&err), 2);
         }
+    }
+
+    #[test]
+    fn parses_fleet_and_precision() {
+        use drive_sim::batch::Precision;
+        let args = parse(&["--all", "--fleet", "64", "--precision", "f32"]);
+        assert_eq!(args.fleet, Some(64));
+        assert_eq!(args.precision, Precision::Fast);
+        let args = parse(&["--all", "--precision", "golden"]);
+        assert!(args.fleet.is_none());
+        assert_eq!(args.precision, Precision::Golden);
+        // Default precision is the bit-exact golden path.
+        assert_eq!(parse(&["--all"]).precision, Precision::Golden);
+
+        for bad in [
+            &["--fleet", "0"][..],
+            &["--fleet", "x"],
+            &["--precision", "f16"],
+        ] {
+            let argv: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let err = CliArgs::parse(&argv).expect_err(&argv.join(" "));
+            assert!(matches!(err, CliError::InvalidValue(..)), "{err:?}");
+            assert_eq!(exit_code(&err), 2);
+        }
+        let dangling: Vec<String> = vec!["--fleet".into()];
+        assert!(matches!(
+            CliArgs::parse(&dangling),
+            Err(CliError::MissingValue(_))
+        ));
     }
 
     #[test]

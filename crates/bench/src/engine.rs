@@ -35,6 +35,7 @@ use attack_core::pipeline::{Artifacts, PipelineConfig};
 use drive_metrics::export::Csv;
 use drive_metrics::report::Table;
 use drive_seed::{fnv1a_64, SeedTree};
+use drive_sim::batch::Precision;
 use std::any::Any;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -101,6 +102,15 @@ pub struct RunContext<'a> {
     /// already-completed experiments (with verified manifests) are
     /// skipped. `None` (the default) runs without crash safety.
     pub journal: Option<Arc<crate::journal::JournalHandle>>,
+    /// Lockstep fleet batch size for
+    /// [`attacked_records`](crate::harness::attacked_records) cells whose
+    /// victim/attacker pairing is fleet-steppable. `None` (the default)
+    /// keeps every cell on the serial path.
+    pub fleet: Option<usize>,
+    /// Numeric policy of fleet-stepped cells. [`Precision::Fast`] cells
+    /// are journaled under a distinct key so `f32` results can never
+    /// masquerade as golden ones.
+    pub precision: Precision,
     cache: Mutex<HashMap<&'static str, Arc<dyn Any + Send + Sync>>>,
 }
 
@@ -119,6 +129,8 @@ impl<'a> RunContext<'a> {
             csv_dir: None,
             svg_dir: None,
             journal: None,
+            fleet: None,
+            precision: Precision::Golden,
             cache: Mutex::new(HashMap::new()),
         }
     }

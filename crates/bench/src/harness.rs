@@ -13,6 +13,7 @@ use drive_agents::e2e::E2eAgent;
 use drive_agents::modular::{ModularAgent, ModularConfig};
 use drive_agents::Agent;
 use drive_nn::gaussian::GaussianPolicy;
+use drive_sim::batch::Precision;
 use drive_sim::record::EpisodeRecord;
 
 /// The driving agents evaluated across the figures.
@@ -104,6 +105,19 @@ pub fn build_agent(
     }
 }
 
+/// The victim policy for fleet stepping, when `kind` is a plain
+/// `GaussianPolicy` driver. Simplex/PNN and modular agents carry per-step
+/// branching state that does not batch — they return `None` and stay on
+/// the serial path.
+fn fleet_victim(kind: AgentKind, artifacts: &Artifacts) -> Option<&GaussianPolicy> {
+    match kind {
+        AgentKind::E2e => Some(&artifacts.victim),
+        AgentKind::AdvRhoSmall => Some(&artifacts.adv_rho_small),
+        AgentKind::AdvRhoHalf => Some(&artifacts.adv_rho_half),
+        AgentKind::Modular | AgentKind::PnnSigma02 | AgentKind::PnnSigma04 => None,
+    }
+}
+
 /// Collects attacked episode records for one `(agent, attack policy,
 /// budget)` cell.
 ///
@@ -129,23 +143,35 @@ pub fn attacked_records(
         Some((_, SensorKind::Camera)) => "camera",
         Some((_, SensorKind::Imu)) => "imu",
     };
+    // Fleet-stepped Golden cells share the serial key (they are
+    // byte-identical — see `attack_core::fleet`); Fast (`f32`) cells get a
+    // distinct key so reduced-precision records can never be replayed into
+    // a golden run, or vice versa.
+    let fleet_routable = ctx.fleet.is_some() && fleet_victim(kind, ctx.artifacts).is_some();
+    let precision_tag = if fleet_routable && ctx.precision == Precision::Fast {
+        "|f32"
+    } else {
+        ""
+    };
     let cell_label = format!(
-        "{}|{}|{}|eps={}|{}ep",
+        "{}|{}|{}|eps={}|{}ep{}",
         seeds.path(),
         kind.label(),
         sensor_name,
         budget.epsilon(),
-        episodes
+        episodes,
+        precision_tag
     );
     let cell_key = drive_seed::fnv1a_64(
         format!(
-            "cell|{}|{:016x}|{:?}|{}|{:016x}|{}",
+            "cell|{}|{:016x}|{:?}|{}|{:016x}|{}{}",
             seeds.path(),
             ctx.scale.seed,
             kind,
             sensor_name,
             budget.epsilon().to_bits(),
-            episodes
+            episodes,
+            precision_tag
         )
         .as_bytes(),
     );
@@ -164,6 +190,51 @@ pub fn attacked_records(
     let artifacts = ctx.artifacts;
     let config = ctx.config;
     let adv = AdvReward::default();
+    // Fleet fast path: plain-GaussianPolicy victims batch across episodes
+    // (one GEMM per layer per lockstep step). Golden precision is
+    // byte-identical to the serial loop below; a panicking fleet cell
+    // falls back to the serial path, whose per-episode retry machinery
+    // can isolate the bad episode.
+    if fleet_routable {
+        let (batch, victim) = (
+            ctx.fleet.expect("fleet_routable checked"),
+            fleet_victim(kind, artifacts).expect("fleet_routable checked"),
+        );
+        let eval = attack_core::fleet::FleetEval {
+            victim,
+            features: config.features.clone(),
+            attack,
+            imu: config.imu.clone(),
+            budget,
+            adv: AdvReward::default(),
+            scenario: config.scenario.clone(),
+        };
+        let plan = attack_core::fleet::FleetPlan {
+            batch,
+            precision: ctx.precision,
+        };
+        let base_seed = seeds.child("episodes").seed();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eval.run(episodes, base_seed, plan)
+        })) {
+            Ok(records) => {
+                if let Some(journal) = &ctx.journal {
+                    if let Err(e) = journal.store_cell(cell_key, &cell_label, episodes, &records) {
+                        eprintln!("warning: could not journal cell {cell_label}: {e}");
+                    }
+                }
+                return records;
+            }
+            Err(payload) => {
+                // The graceful-shutdown sentinel must reach the top-level
+                // driver, not the serial fallback.
+                if payload.is::<drive_core::shutdown::ShutdownRequested>() {
+                    std::panic::resume_unwind(payload);
+                }
+                eprintln!("warning: fleet cell {cell_label} panicked; retrying on the serial path");
+            }
+        }
+    }
     let mut agent = build_agent(kind, artifacts, config, budget, seeds.child("agent").seed());
     // Episodes run through the hardened cell executor: one panicking
     // episode is retried with a fresh seed instead of aborting the whole
@@ -335,6 +406,94 @@ mod tests {
             &seeds,
         );
         assert_eq!(nominal, again);
+    }
+
+    /// A fleet-routed context must produce the same records as the serial
+    /// path — byte-for-byte for Golden precision — for every routable
+    /// agent kind, and non-routable kinds must keep working (silently
+    /// staying serial).
+    #[test]
+    fn fleet_context_matches_serial_records() {
+        let (artifacts, config) = quick_setup();
+        let serial_ctx = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+        let mut fleet_ctx = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+        fleet_ctx.fleet = Some(3);
+        let seeds = serial_ctx.seeds.child("fleet-test");
+        for kind in [AgentKind::E2e, AgentKind::AdvRhoHalf, AgentKind::Modular] {
+            let attack = Some((&artifacts.camera_attacker, SensorKind::Camera));
+            let serial =
+                attacked_records(kind, attack, AttackBudget::new(1.0), &serial_ctx, 4, &seeds);
+            let fleet =
+                attacked_records(kind, attack, AttackBudget::new(1.0), &fleet_ctx, 4, &seeds);
+            assert_eq!(fleet, serial, "{kind:?}");
+        }
+        // IMU pairing too (per-episode noise reseeding is the tricky bit).
+        let attack = Some((&artifacts.imu_attacker, SensorKind::Imu));
+        let serial = attacked_records(
+            AgentKind::E2e,
+            attack,
+            AttackBudget::new(0.5),
+            &serial_ctx,
+            4,
+            &seeds,
+        );
+        let fleet = attacked_records(
+            AgentKind::E2e,
+            attack,
+            AttackBudget::new(0.5),
+            &fleet_ctx,
+            4,
+            &seeds,
+        );
+        assert_eq!(fleet, serial);
+    }
+
+    /// Fast precision must journal under a different cell key than Golden
+    /// so `f32` records can never replay into a golden run.
+    #[test]
+    fn fast_precision_gets_distinct_cell_key() {
+        let (artifacts, config) = quick_setup();
+        let dir = std::env::temp_dir().join("repro-bench-fleet-key-test");
+        let base = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+        let journal = std::sync::Arc::new(
+            crate::journal::JournalHandle::create(&dir, base.run_header()).unwrap(),
+        );
+        let mk = |precision| {
+            let mut ctx = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+            ctx.fleet = Some(2);
+            ctx.precision = precision;
+            ctx.journal = Some(journal.clone());
+            ctx
+        };
+        let golden_ctx = mk(drive_sim::batch::Precision::Golden);
+        let seeds = golden_ctx.seeds.child("key-test");
+        let golden = attacked_records(
+            AgentKind::E2e,
+            None,
+            AttackBudget::ZERO,
+            &golden_ctx,
+            2,
+            &seeds,
+        );
+        assert_eq!(journal.cell_count(), 1);
+        // A Fast run against the same journal must NOT replay the golden
+        // cell: a distinct key forces a recompute, which journals a second
+        // cell. A key collision would short-circuit and leave the count at 1.
+        let fast_ctx = mk(drive_sim::batch::Precision::Fast);
+        let fast = attacked_records(
+            AgentKind::E2e,
+            None,
+            AttackBudget::ZERO,
+            &fast_ctx,
+            2,
+            &seeds,
+        );
+        assert_eq!(
+            journal.cell_count(),
+            2,
+            "Fast must journal under its own cell key"
+        );
+        assert_eq!(golden.len(), fast.len());
     }
 
     #[test]

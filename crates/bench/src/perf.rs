@@ -7,12 +7,13 @@
 //! them to JSON (written by `--perf-json <path>`; the criterion bench
 //! target writes the same schema to `BENCH_perf.json`).
 
+use drive_sim::perf::FleetCounters;
 use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
 /// Throughput of one measured phase.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PerfSample {
     /// Phase label (e.g. `"fig4"`).
     pub label: String,
@@ -22,6 +23,9 @@ pub struct PerfSample {
     pub steps: u64,
     /// Gradient updates performed during the phase.
     pub updates: u64,
+    /// Batched-fleet counter deltas for the phase (all zero when the
+    /// phase ran serially).
+    pub fleet: FleetCounters,
 }
 
 impl PerfSample {
@@ -53,6 +57,7 @@ pub struct ThroughputProbe {
     t0: Instant,
     steps0: u64,
     updates0: u64,
+    fleet0: FleetCounters,
 }
 
 impl ThroughputProbe {
@@ -62,6 +67,7 @@ impl ThroughputProbe {
             t0: Instant::now(),
             steps0: drive_sim::perf::steps(),
             updates0: drive_rl::perf::updates(),
+            fleet0: drive_sim::perf::fleet(),
         }
     }
 
@@ -72,6 +78,7 @@ impl ThroughputProbe {
             wall_secs: self.t0.elapsed().as_secs_f64(),
             steps: drive_sim::perf::steps().saturating_sub(self.steps0),
             updates: drive_rl::perf::updates().saturating_sub(self.updates0),
+            fleet: drive_sim::perf::fleet().since(&self.fleet0),
         }
     }
 }
@@ -107,14 +114,31 @@ impl PerfReport {
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str("  \"phases\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
+            // Fleet counters only appear for phases that actually used the
+            // batched engine, keeping serial-run exports unchanged.
+            let fleet = if s.fleet.batches > 0 {
+                format!(
+                    ", \"fleet\": {{\"batches\": {}, \"episode_steps\": {}, \"episodes_in_flight\": {:.1}, \"occupancy\": {:.3}, \"infer_calls\": {}, \"infer_rows\": {}, \"infer_ns_per_row\": {:.1}}}",
+                    s.fleet.batches,
+                    s.fleet.slot_steps,
+                    s.fleet.episodes_in_flight(),
+                    s.fleet.occupancy(),
+                    s.fleet.infer_calls,
+                    s.fleet.infer_rows,
+                    s.fleet.infer_ns_per_row(),
+                )
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "    {{\"label\": {}, \"wall_secs\": {:.3}, \"steps\": {}, \"updates\": {}, \"steps_per_sec\": {:.1}, \"updates_per_sec\": {:.1}}}{}\n",
+                "    {{\"label\": {}, \"wall_secs\": {:.3}, \"steps\": {}, \"updates\": {}, \"steps_per_sec\": {:.1}, \"updates_per_sec\": {:.1}{}}}{}\n",
                 json_string(&s.label),
                 s.wall_secs,
                 s.steps,
                 s.updates,
                 s.steps_per_sec(),
                 s.updates_per_sec(),
+                fleet,
                 if i + 1 < self.samples.len() { "," } else { "" }
             ));
         }
@@ -144,6 +168,15 @@ impl PerfReport {
                 s.steps_per_sec(),
                 s.updates_per_sec()
             ));
+            if s.fleet.batches > 0 {
+                out.push_str(&format!(
+                    "[perf] {:<12} fleet: {:.1} episodes in flight, {:.0}% occupancy, {:.0} ns/inference\n",
+                    "", // continuation line, aligned under the phase label
+                    s.fleet.episodes_in_flight(),
+                    s.fleet.occupancy() * 100.0,
+                    s.fleet.infer_ns_per_row()
+                ));
+            }
         }
         out
     }
@@ -190,6 +223,7 @@ mod tests {
             wall_secs: 0.0,
             steps: 10,
             updates: 10,
+            ..PerfSample::default()
         };
         assert_eq!(s.steps_per_sec(), 0.0);
         assert_eq!(s.updates_per_sec(), 0.0);
@@ -203,12 +237,14 @@ mod tests {
             wall_secs: 2.0,
             steps: 1000,
             updates: 50,
+            ..PerfSample::default()
         });
         r.push(PerfSample {
             label: "total \"quoted\"".into(),
             wall_secs: 4.0,
             steps: 2000,
             updates: 100,
+            ..PerfSample::default()
         });
         let json = r.to_json();
         assert!(json.contains("\"schema\": \"repro-bench/perf-v1\""));
@@ -231,9 +267,71 @@ mod tests {
             wall_secs: 1.0,
             steps: 100,
             updates: 0,
+            ..PerfSample::default()
         });
         let text = r.summary();
         assert!(text.contains("baseline"));
         assert!(text.contains("steps/s"));
+        // Serial phases get no fleet continuation line.
+        assert!(!text.contains("fleet:"));
+    }
+
+    fn fleet_sample(label: &str) -> PerfSample {
+        PerfSample {
+            label: label.into(),
+            wall_secs: 2.0,
+            steps: 4000,
+            updates: 0,
+            fleet: FleetCounters {
+                batches: 50,
+                slot_steps: 4000,
+                capacity: 6400,
+                infer_ns: 2_000_000,
+                infer_rows: 4000,
+                infer_calls: 50,
+            },
+        }
+    }
+
+    #[test]
+    fn fleet_counters_appear_in_json_only_for_fleet_phases() {
+        let mut r = PerfReport::new();
+        r.push(fleet_sample("fig4"));
+        r.push(PerfSample {
+            label: "serial".into(),
+            wall_secs: 1.0,
+            steps: 10,
+            updates: 0,
+            ..PerfSample::default()
+        });
+        let json = r.to_json();
+        assert_eq!(json.matches("\"fleet\":").count(), 1);
+        assert!(json.contains("\"episodes_in_flight\": 80.0"), "{json}");
+        assert!(json.contains("\"occupancy\": 0.625"), "{json}");
+        assert!(json.contains("\"infer_ns_per_row\": 500.0"), "{json}");
+        assert!(json.contains("\"episode_steps\": 4000"), "{json}");
+    }
+
+    #[test]
+    fn fleet_summary_line_reports_derived_metrics() {
+        let mut r = PerfReport::new();
+        r.push(fleet_sample("fig4"));
+        let text = r.summary();
+        assert!(text.contains("fleet: 80.0 episodes in flight"), "{text}");
+        assert!(text.contains("62% occupancy"), "{text}");
+        assert!(text.contains("500 ns/inference"), "{text}");
+    }
+
+    #[test]
+    fn probe_captures_fleet_deltas() {
+        let probe = ThroughputProbe::start();
+        drive_sim::perf::record_fleet_batch(16);
+        drive_sim::perf::record_fleet_capacity(32);
+        drive_sim::perf::record_fleet_infer(8_000, 16);
+        let s = probe.sample("unit");
+        assert!(s.fleet.batches >= 1);
+        assert!(s.fleet.slot_steps >= 16);
+        assert!(s.fleet.capacity >= 32);
+        assert!(s.fleet.infer_rows >= 16);
     }
 }

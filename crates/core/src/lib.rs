@@ -15,6 +15,7 @@ pub mod budget;
 pub mod defense;
 pub mod detector;
 pub mod eval;
+pub mod fleet;
 pub mod learned;
 pub mod oracle;
 pub mod pipeline;
@@ -35,6 +36,7 @@ pub mod prelude {
         detection_agreement, DetectorConfig, DetectorSimplexAgent, PerturbationDetector,
     };
     pub use crate::eval::{run_attacked_episode, run_attacked_episodes};
+    pub use crate::fleet::{FleetEval, FleetPlan};
     pub use crate::learned::LearnedAttacker;
     pub use crate::oracle::OracleAttacker;
     pub use crate::pipeline::{prepare, Artifacts, PipelineConfig};

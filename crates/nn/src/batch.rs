@@ -1,0 +1,173 @@
+//! Wide batched deterministic inference over a frozen policy.
+//!
+//! [`BatchPolicy`] is the one batched-inference entry point shared by the
+//! serving layer (`drive-serve` micro-batching) and the fleet simulation
+//! driver: it pre-packs the trunk's transposed weights once, so each
+//! forward pass is a single bias-fused GEMM per layer with no per-call
+//! transpose. Outputs are bit-identical to
+//! [`GaussianPolicy::act_batch_with`] and therefore to serial
+//! `act_with(.., deterministic = true, ..)` — batching changes throughput,
+//! never numerics.
+//!
+//! Two call styles cover both consumers:
+//! - [`BatchPolicy::act_batch`]: gather from observation slices (the
+//!   serving layer's shape — requests arrive as independent vectors).
+//! - [`BatchPolicy::stage`] + [`BatchPolicy::infer_staged`]: write rows
+//!   directly into the staging matrix (the fleet driver's shape — the
+//!   feature extractor writes each live episode's observation in place,
+//!   no intermediate copy).
+
+use crate::gaussian::{squash_mean_rows, stage_obs_rows, GaussianPolicy};
+use crate::mat::Mat;
+use crate::scratch::BatchActScratch;
+use std::sync::Arc;
+
+/// A frozen [`GaussianPolicy`] with pre-packed weights for wide batched
+/// deterministic inference.
+///
+/// The packs are a pure layout cache over the shared policy: the `Arc`
+/// guarantees the weights cannot mutate while this wrapper is alive, so
+/// the packs never go stale.
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    policy: Arc<GaussianPolicy>,
+    packs: Vec<Mat>,
+}
+
+impl BatchPolicy {
+    /// Packs the policy's transposed weights once.
+    pub fn new(policy: Arc<GaussianPolicy>) -> Self {
+        let packs = policy.trunk().pack_weights();
+        BatchPolicy { policy, packs }
+    }
+
+    /// The wrapped policy.
+    pub fn policy(&self) -> &Arc<GaussianPolicy> {
+        &self.policy
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        self.policy.obs_dim()
+    }
+
+    /// Action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        self.policy.action_dim()
+    }
+
+    /// Resizes the scratch's staging matrix to `(batch, obs_dim)` and
+    /// returns it for the caller to fill row by row (contents are
+    /// unspecified until every row is written). Follow with
+    /// [`BatchPolicy::infer_staged`].
+    pub fn stage<'s>(&self, batch: usize, s: &'s mut BatchActScratch) -> &'s mut Mat {
+        s.obs.resize(batch, self.obs_dim());
+        &mut s.obs
+    }
+
+    /// Runs one forward pass over the staged observation rows, returning
+    /// the `(batch, action_dim)` matrix of `tanh(mean)` actions. Row `b`
+    /// is bit-identical to serial `act_with(row_b, .., true, ..)`.
+    pub fn infer_staged<'s>(&self, s: &'s mut BatchActScratch) -> &'s Mat {
+        let BatchActScratch {
+            obs: obs_m,
+            trunk,
+            actions,
+        } = s;
+        debug_assert_eq!(obs_m.cols(), self.obs_dim(), "stage() before infer");
+        let raw = self
+            .policy
+            .trunk()
+            .forward_prepacked_with(&self.packs, obs_m, trunk);
+        squash_mean_rows(raw, self.action_dim(), actions);
+        actions
+    }
+
+    /// Gather-style batched inference: stacks `obs` into the staging
+    /// matrix and runs [`BatchPolicy::infer_staged`]. Bit-identical to
+    /// [`GaussianPolicy::act_batch_with`] while skipping its per-call
+    /// weight packs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any observation slice is not `obs_dim` long.
+    pub fn act_batch<'s>(&self, obs: &[&[f32]], s: &'s mut BatchActScratch) -> &'s Mat {
+        stage_obs_rows(obs, self.obs_dim(), &mut s.obs);
+        self.infer_staged(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::randn_f32;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn policy() -> Arc<GaussianPolicy> {
+        let mut rng = StdRng::seed_from_u64(5);
+        Arc::new(GaussianPolicy::new(4, &[16], 2, &mut rng))
+    }
+
+    /// The pre-packed batch path must match the unpacked
+    /// `act_batch_with` BIT-FOR-BIT across batch sizes on both sides of
+    /// the GEMM row-tile boundary, sharing one scratch across growing and
+    /// shrinking batches.
+    #[test]
+    fn batch_policy_bit_identical_to_act_batch_with() {
+        let p = policy();
+        let bp = BatchPolicy::new(p.clone());
+        let mut packed_s = BatchActScratch::default();
+        let mut plain_s = BatchActScratch::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for &batch in &[1usize, 3, 4, 5, 9, 64, 2] {
+            let obs: Vec<Vec<f32>> = (0..batch)
+                .map(|_| (0..4).map(|_| randn_f32(&mut rng) * 2.0).collect())
+                .collect();
+            let refs: Vec<&[f32]> = obs.iter().map(Vec::as_slice).collect();
+            let packed = bp.act_batch(&refs, &mut packed_s);
+            let plain = p.act_batch_with(&refs, &mut plain_s);
+            assert_eq!((packed.rows(), packed.cols()), (batch, 2));
+            for b in 0..batch {
+                for (i, (&got, &want)) in packed.row(b).iter().zip(plain.row(b)).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "batch {batch} row {b} dim {i}: packed {got} vs plain {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Writing rows into the staging matrix directly must equal the
+    /// gather-style entry — the fleet driver fills rows in place.
+    #[test]
+    fn staged_entry_matches_gather_entry() {
+        let p = policy();
+        let bp = BatchPolicy::new(p);
+        let mut s1 = BatchActScratch::default();
+        let mut s2 = BatchActScratch::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for &batch in &[6usize, 1, 17] {
+            let obs: Vec<Vec<f32>> = (0..batch)
+                .map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+                .collect();
+            let stage = bp.stage(batch, &mut s1);
+            for (b, o) in obs.iter().enumerate() {
+                stage.row_mut(b).copy_from_slice(o);
+            }
+            let staged = bp.infer_staged(&mut s1).clone();
+            let refs: Vec<&[f32]> = obs.iter().map(Vec::as_slice).collect();
+            let gathered = bp.act_batch(&refs, &mut s2);
+            assert_eq!(&staged, gathered);
+        }
+    }
+
+    #[test]
+    fn handles_empty_batch() {
+        let bp = BatchPolicy::new(policy());
+        let mut s = BatchActScratch::default();
+        assert_eq!(bp.act_batch(&[], &mut s).rows(), 0);
+    }
+}

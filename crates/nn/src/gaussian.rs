@@ -428,24 +428,39 @@ impl GaussianPolicy {
             trunk,
             actions,
         } = s;
-        let batch = obs.len();
-        obs_m.resize(batch, self.obs_dim());
-        for (b, o) in obs.iter().enumerate() {
-            obs_m.row_mut(b).copy_from_slice(o);
-        }
+        stage_obs_rows(obs, self.obs_dim(), obs_m);
         let raw = self.trunk.forward_with(obs_m, trunk);
-        actions.resize(batch, self.action_dim);
-        for b in 0..batch {
-            let raw_row = raw.row(b);
-            for (a, m) in actions
-                .row_mut(b)
-                .iter_mut()
-                .zip(&raw_row[..self.action_dim])
-            {
-                *a = m.tanh();
-            }
-        }
+        squash_mean_rows(raw, self.action_dim, actions);
         actions
+    }
+}
+
+/// Gathers observation slices into the `(batch, obs_dim)` staging matrix —
+/// the one gather implementation behind [`GaussianPolicy::act_batch_with`]
+/// and [`crate::batch::BatchPolicy`] (the serving layer and the fleet
+/// driver must not grow separate copies of this plumbing).
+///
+/// # Panics
+///
+/// Panics if any observation slice is not `obs_dim` long.
+pub(crate) fn stage_obs_rows(obs: &[&[f32]], obs_dim: usize, obs_m: &mut Mat) {
+    obs_m.resize(obs.len(), obs_dim);
+    for (b, o) in obs.iter().enumerate() {
+        obs_m.row_mut(b).copy_from_slice(o);
+    }
+}
+
+/// Extracts the deterministic action `tanh(mean)` from every row of a raw
+/// trunk output `(batch, 2 * action_dim)` — the shared scatter half of the
+/// batched-inference entry points.
+pub(crate) fn squash_mean_rows(raw: &Mat, action_dim: usize, actions: &mut Mat) {
+    let batch = raw.rows();
+    actions.resize(batch, action_dim);
+    for b in 0..batch {
+        let raw_row = raw.row(b);
+        for (a, m) in actions.row_mut(b).iter_mut().zip(&raw_row[..action_dim]) {
+            *a = m.tanh();
+        }
     }
 }
 

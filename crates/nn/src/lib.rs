@@ -30,6 +30,7 @@
 
 pub mod activation;
 pub mod adam;
+pub mod batch;
 pub mod checkpoint;
 pub mod gaussian;
 pub mod linear;
@@ -42,10 +43,11 @@ pub mod scratch;
 pub mod prelude {
     pub use crate::activation::Activation;
     pub use crate::adam::{Adam, AdamConfig};
+    pub use crate::batch::BatchPolicy;
     pub use crate::gaussian::{fill_randn, randn_f32, randn_mat, GaussianPolicy, SampleCache};
     pub use crate::linear::Linear;
     pub use crate::mat::Mat;
     pub use crate::mlp::{Mlp, MlpCache};
     pub use crate::pnn::{PnnInit, PnnPolicy, PnnSampleCache};
-    pub use crate::scratch::{ActScratch, SampleBackScratch, Scratch};
+    pub use crate::scratch::{ActScratch, BatchActScratch, SampleBackScratch, Scratch};
 }

@@ -70,6 +70,19 @@ impl Linear {
         y.add_row_broadcast(&self.b);
     }
 
+    /// Forward pass against a caller-supplied pre-packed transpose of the
+    /// weights (`wt` must be `self.w` transposed — see
+    /// [`crate::mlp::Mlp::pack_weights`]). Bit-identical to
+    /// [`Linear::forward_into`] while skipping the per-call transpose pack
+    /// — the wide-batch inference fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()` or `wt` is not `w` transposed.
+    pub fn forward_prepacked_into(&self, x: &Mat, wt: &Mat, y: &mut Mat) {
+        x.matmul_nt_prepacked_bias_into(&self.w, wt, &self.b, y);
+    }
+
     /// Backward pass. `x` must be the input that produced `grad_out`'s
     /// forward pass. Accumulates parameter gradients and returns the
     /// gradient with respect to the input.

@@ -146,11 +146,11 @@ impl Mat {
     /// `self @ other` written into `out` (resized and overwritten) —
     /// allocation-free when `out`'s buffer is already large enough.
     ///
-    /// Backed by the 4x4 register-tiled kernel ([`gemm_acc`]): sixteen
-    /// independent accumulators per output tile break the FP-add latency
-    /// chain while every output element still sums its products in
-    /// ascending-`k` order, so results stay bit-identical to the naive
-    /// triple loop and repeated calls are exactly deterministic. Note
+    /// Backed by the register-tiled kernel ([`gemm_acc`]): independent
+    /// accumulators per output tile break the FP latency chain while every
+    /// output element still folds its products in ascending-`k` order with
+    /// one fused multiply-add per product, so results are independent of
+    /// tiling and repeated calls are exactly deterministic. Note
     /// non-finite inputs propagate: `0.0 * NaN` is `NaN` here (use
     /// [`Mat::sanitize_nonfinite`] to guard entry points).
     ///
@@ -304,12 +304,103 @@ impl Mat {
 
     /// Writes `self^T` into `out` (resized; reuses `out`'s buffer). This is
     /// the pack step that lets the transposed products share the plain
-    /// row-major kernel.
+    /// row-major kernel. Walked in 32x32 blocks so the strided side stays
+    /// cache-resident — the naive row sweep thrashed one cache line per
+    /// element once the matrix outgrew L1 and cost more than the GEMM it
+    /// fed at inference shapes.
     pub fn transpose_into(&self, out: &mut Mat) {
         out.resize(self.cols, self.rows);
-        for r in 0..self.rows {
-            for (c, &v) in self.row(r).iter().enumerate() {
-                out.data[c * self.rows + r] = v;
+        const BT: usize = 32;
+        let mut rb = 0;
+        while rb < self.rows {
+            let rend = (rb + BT).min(self.rows);
+            let mut cb = 0;
+            while cb < self.cols {
+                let cend = (cb + BT).min(self.cols);
+                for r in rb..rend {
+                    let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                    for (c, &v) in row.iter().enumerate().take(cend).skip(cb) {
+                        out.data[c * self.rows + r] = v;
+                    }
+                }
+                cb = cend;
+            }
+            rb = rend;
+        }
+    }
+
+    /// `self @ other^T + bias` (row broadcast) with a caller-supplied
+    /// pre-packed transpose of `other` — the inference fast path behind
+    /// [`crate::batch::BatchPolicy`]. `other_t` must be `other^T` (pack it
+    /// once with [`Mat::transpose_into`] while the weights are frozen);
+    /// skipping the per-call pack is what makes wide batched inference
+    /// amortize.
+    ///
+    /// Bit-identical to `matmul_nt_into` followed by `add_row_broadcast`:
+    /// inside the tiled interior the bias seeds the output and the tile
+    /// fold lands on top (`bias + acc` vs `acc + bias` — IEEE addition
+    /// commutes bitwise), while remainder rows/columns and the small-batch
+    /// `nt_dot` path accumulate from zero and add the bias afterwards,
+    /// exactly as the unpacked pipeline does.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch between `self`, `other`, `other_t`, or
+    /// `bias`.
+    pub fn matmul_nt_prepacked_bias_into(
+        &self,
+        other: &Mat,
+        other_t: &Mat,
+        bias: &[f32],
+        out: &mut Mat,
+    ) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt dims: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (other_t.rows, other_t.cols),
+            (other.cols, other.rows),
+            "other_t is not other transposed"
+        );
+        assert_eq!(bias.len(), other.rows, "bias length");
+        out.resize(self.rows, other.rows);
+        if self.rows < TILE {
+            nt_dot(self, other, out);
+            out.add_row_broadcast(bias);
+            return;
+        }
+        let (m, n) = (self.rows, other.rows);
+        // Tiled interior: seed with the bias so the tile fold adds on top.
+        // Remainder rows/columns start at zero (the row-tail kernel folds
+        // products straight into the output, so a bias seed there would
+        // sit under the accumulation chain instead of on top of it) and
+        // get the bias in a second pass below. `j_main` is the column
+        // extent the wide + narrow tile tiers cover (see [`gemm_acc`]).
+        let i_main = m - m % TILE;
+        let j_wide = n - n % NTILE;
+        let j_main = j_wide + (n - j_wide) / NTILE_NARROW * NTILE_NARROW;
+        for r in 0..m {
+            let dst = &mut out.data[r * n..(r + 1) * n];
+            if r < i_main {
+                dst[..j_main].copy_from_slice(&bias[..j_main]);
+                dst[j_main..].iter_mut().for_each(|v| *v = 0.0);
+            } else {
+                dst.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+        gemm_acc(m, self.cols, n, &self.data, &other_t.data, &mut out.data);
+        for r in 0..m {
+            let dst = &mut out.data[r * n..(r + 1) * n];
+            if r < i_main {
+                for (o, &b) in dst[j_main..].iter_mut().zip(&bias[j_main..]) {
+                    *o += b;
+                }
+            } else {
+                for (o, &b) in dst.iter_mut().zip(bias) {
+                    *o += b;
+                }
             }
         }
     }
@@ -439,22 +530,35 @@ thread_local! {
     };
 }
 
-/// Column width of the GEMM micro-kernel (two 4-lane vectors per row).
-const NTILE: usize = 8;
+/// Column width of the GEMM micro-kernel (two 16-lane vectors per row).
+const NTILE: usize = 32;
+
+/// Column width of the narrow middle tier of [`gemm_acc`], covering
+/// outputs (and column remainders) too narrow for a full [`NTILE`] strip —
+/// e.g. the `(batch, 2*action_dim)` policy head. Without it those columns
+/// fall to the row-tail sweep, whose per-`k` store/reload of the output
+/// row serializes on store-forwarding latency (~6 cycles per step) and
+/// made the 4-wide head layer cost as much as the 128-wide hidden layer.
+const NTILE_NARROW: usize = 4;
 
 /// `out += a @ b` for row-major `m x k` / `k x n` / `m x n` slices — the
 /// one hot GEMM kernel every matmul variant funnels into.
 ///
-/// The output is walked in 4x8 tiles ([`TILE`] rows by [`NTILE`]
-/// columns); each tile keeps 32 independent register accumulators, so the
-/// per-element FP-add latency chain never serializes across tile lanes,
-/// and the inner loop is written as a zip over `b`'s rows with fixed-size
+/// The output is walked in 4x32 tiles ([`TILE`] rows by [`NTILE`]
+/// columns); each tile keeps 128 independent register accumulators (eight
+/// 16-lane AVX-512 vectors when the target has them), so the per-element
+/// FP latency chain never serializes across tile lanes, and the inner
+/// loop is written as a zip over `b`'s rows with fixed-size
 /// `[f32; NTILE]` loads so the compiler can keep it branch- and
-/// bounds-check-free. Each element's products are still summed in
-/// ascending-`k` order into its own accumulator (then one add folds the
-/// tile into `out`), which keeps the result independent of tiling and
-/// bit-identical run to run. Shape checks are `debug_assert!` only — the
-/// public `Mat` methods have already validated dimensions.
+/// bounds-check-free. Each element's products are folded in ascending-`k`
+/// order into its own accumulator with an explicit `f32::mul_add` — one
+/// rounding per product, the same on every ISA (hardware FMA where
+/// available, exact software fallback otherwise) — then one add folds the
+/// tile into `out`. Every kernel in this module uses the same fused
+/// ascending-`k` fold, which keeps results independent of tiling and
+/// batch width and bit-identical run to run. Shape checks are
+/// `debug_assert!` only — the public `Mat` methods have already validated
+/// dimensions.
 fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k, "gemm_acc: a is not m x k");
     debug_assert_eq!(b.len(), k * n, "gemm_acc: b is not k x n");
@@ -481,10 +585,10 @@ fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
             {
                 let bp: &[f32; NTILE] = brow[j..j + NTILE].try_into().expect("NTILE-wide strip");
                 for t in 0..NTILE {
-                    c0[t] += x0 * bp[t];
-                    c1[t] += x1 * bp[t];
-                    c2[t] += x2 * bp[t];
-                    c3[t] += x3 * bp[t];
+                    c0[t] = x0.mul_add(bp[t], c0[t]);
+                    c1[t] = x1.mul_add(bp[t], c1[t]);
+                    c2[t] = x2.mul_add(bp[t], c2[t]);
+                    c3[t] = x3.mul_add(bp[t], c3[t]);
                 }
             }
             for (r, acc) in [c0, c1, c2, c3].iter().enumerate() {
@@ -494,6 +598,31 @@ fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
                 }
             }
             j += NTILE;
+        }
+        while j + NTILE_NARROW <= n {
+            let mut c0 = [0.0f32; NTILE_NARROW];
+            let mut c1 = [0.0f32; NTILE_NARROW];
+            let mut c2 = [0.0f32; NTILE_NARROW];
+            let mut c3 = [0.0f32; NTILE_NARROW];
+            for ((((brow, &x0), &x1), &x2), &x3) in
+                b.chunks_exact(n).zip(a0).zip(a1).zip(a2).zip(a3)
+            {
+                let bp: &[f32; NTILE_NARROW] =
+                    brow[j..j + NTILE_NARROW].try_into().expect("narrow strip");
+                for t in 0..NTILE_NARROW {
+                    c0[t] = x0.mul_add(bp[t], c0[t]);
+                    c1[t] = x1.mul_add(bp[t], c1[t]);
+                    c2[t] = x2.mul_add(bp[t], c2[t]);
+                    c3[t] = x3.mul_add(bp[t], c3[t]);
+                }
+            }
+            for (r, acc) in [c0, c1, c2, c3].iter().enumerate() {
+                let dst = &mut out[(i + r) * n + j..(i + r) * n + j + NTILE_NARROW];
+                for t in 0..NTILE_NARROW {
+                    dst[t] += acc[t];
+                }
+            }
+            j += NTILE_NARROW;
         }
         if j < n {
             for (r, a_row) in [a0, a1, a2, a3].iter().enumerate() {
@@ -516,35 +645,37 @@ fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32])
 }
 
 /// Remainder path of [`gemm_acc`]: one output row, columns `j0..n`, as a
-/// plain i-k-j sweep with the same ascending-`k` accumulation order.
+/// plain i-k-j sweep with the same fused ascending-`k` accumulation order.
 fn gemm_acc_row_tail(k: usize, n: usize, a_row: &[f32], b: &[f32], out_row: &mut [f32], j0: usize) {
     for (p, &av) in a_row.iter().enumerate().take(k) {
         let b_row = &b[p * n + j0..(p + 1) * n];
         for (o, &bv) in out_row[j0..].iter_mut().zip(b_row) {
-            *o += av * bv;
+            *o = av.mul_add(bv, *o);
         }
     }
 }
 
 /// Small-batch `self @ other^T`: direct dot products, single accumulator
-/// per element in ascending order. Used when there are too few rows for
-/// the pack-and-tile path to pay for the transpose.
+/// per element with the same fused ascending-order fold as [`gemm_acc`] —
+/// this is what keeps 1-row serial inference bit-identical to the wide
+/// batched path. Used when there are too few rows for the pack-and-tile
+/// path to pay for the transpose.
 fn nt_dot(a: &Mat, other: &Mat, out: &mut Mat) {
     for i in 0..a.rows {
         let a_row = a.row(i);
         for j in 0..other.rows {
             let mut acc = 0.0f32;
             for (x, y) in a_row.iter().zip(other.row(j)) {
-                acc += x * y;
+                acc = x.mul_add(*y, acc);
             }
             out.data[i * other.rows + j] = acc;
         }
     }
 }
 
-/// Narrow-output `acc += self^T @ other`: ascending batch-row broadcast,
-/// used when the transposed output has fewer than [`TILE`] rows (e.g. the
-/// `(batch, 1)` critic-head gradients).
+/// Narrow-output `acc += self^T @ other`: fused ascending batch-row
+/// broadcast, used when the transposed output has fewer than [`TILE`]
+/// rows (e.g. the `(batch, 1)` critic-head gradients).
 fn tn_broadcast(a: &Mat, other: &Mat, acc: &mut Mat) {
     for b in 0..a.rows {
         let a_row = a.row(b);
@@ -552,7 +683,7 @@ fn tn_broadcast(a: &Mat, other: &Mat, acc: &mut Mat) {
         for (i, &av) in a_row.iter().enumerate() {
             let out_row = &mut acc.data[i * other.cols..(i + 1) * other.cols];
             for (o, &g) in out_row.iter_mut().zip(o_row) {
-                *o += av * g;
+                *o = av.mul_add(g, *o);
             }
         }
     }
@@ -840,6 +971,56 @@ mod tests {
         }
     }
 
+    /// The pre-packed bias-fused product must be bit-identical to the
+    /// unpacked pipeline (`matmul_nt_into` + `add_row_broadcast`) across
+    /// the kernel's regimes: small-batch `nt_dot` (m < TILE), the tiled
+    /// interior, and row/column remainders (m % TILE, n % NTILE, n < NTILE).
+    #[test]
+    fn prepacked_bias_matches_unpacked_pipeline_bit_exactly() {
+        for &(m, k, n) in &[
+            (1usize, 13usize, 7usize), // nt_dot path
+            (3, 60, 128),              // nt_dot path, wide
+            (4, 60, 128),              // pure tiled interior
+            (128, 60, 128),            // inference layer shape
+            (128, 128, 4),             // n < NTILE: all row-tail
+            (6, 17, 37),               // row and column remainders
+            (5, 1, 33),                // k = 1, column remainder
+        ] {
+            let a = Mat::from_vec(
+                m,
+                k,
+                (0..m * k)
+                    .map(|i| ((i * 29) % 41) as f32 * 0.173 - 3.0)
+                    .collect(),
+            );
+            let b = Mat::from_vec(
+                n,
+                k,
+                (0..n * k)
+                    .map(|i| ((i * 17) % 31) as f32 * -0.091 + 1.2)
+                    .collect(),
+            );
+            let bias: Vec<f32> = (0..n).map(|i| (i as f32) * 0.37 - 5.0).collect();
+            let mut bt = Mat::default();
+            b.transpose_into(&mut bt);
+
+            let mut want = Mat::default();
+            a.matmul_nt_into(&b, &mut want);
+            want.add_row_broadcast(&bias);
+
+            let mut got = Mat::from_vec(1, 2, vec![9.9, -9.9]); // dirty scratch
+            a.matmul_nt_prepacked_bias_into(&b, &bt, &bias, &mut got);
+            assert_eq!((got.rows(), got.cols()), (m, n));
+            for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "({m}x{k}x{n})[{i}]: prepacked {g} vs unpacked {w}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn sanitize_nonfinite_zeroes_only_bad_entries() {
         let mut m = Mat::from_vec(
@@ -886,10 +1067,12 @@ mod tests {
         }
 
         proptest! {
-            /// The tiled kernel matches the naive triple loop. The kernels
-            /// preserve per-element ascending-k accumulation, so this holds
-            /// bit-exactly — asserted within the issue's 1e-4 relative
-            /// tolerance to stay robust across float contraction settings.
+            /// The tiled kernel matches the naive triple loop. The fast
+            /// kernels fold per element in ascending-k order but with fused
+            /// multiply-adds (one rounding per product), so they agree with
+            /// the unfused naive loops within the 1e-4 relative tolerance
+            /// rather than bit-exactly; bit-identity across the fast paths
+            /// themselves is asserted separately.
             #[test]
             fn tiled_matmul_matches_naive((m, k, n) in dims(), (sa, sb) in values()) {
                 let a = mat(m, k, &sa);

@@ -141,6 +141,62 @@ impl Mlp {
         }
     }
 
+    /// Packs every layer's transposed weights once, for
+    /// [`Mlp::forward_prepacked_with`]. The packs are a pure layout cache:
+    /// they must be rebuilt if the weights change, so hold them only while
+    /// the network is frozen (inference).
+    pub fn pack_weights(&self) -> Vec<Mat> {
+        self.layers
+            .iter()
+            .map(|l| {
+                let mut t = Mat::default();
+                l.w.transpose_into(&mut t);
+                t
+            })
+            .collect()
+    }
+
+    /// [`Mlp::forward_with`] against pre-packed transposed weights from
+    /// [`Mlp::pack_weights`] — skips the per-call weight transpose that
+    /// dominates wide-batch inference. The input is sanitized in place
+    /// (callers own the staged matrix on this path) and outputs are
+    /// bit-identical to [`Mlp::forward_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packs` does not match the layer count.
+    pub fn forward_prepacked_with<'s>(
+        &self,
+        packs: &[Mat],
+        x: &mut Mat,
+        s: &'s mut Scratch,
+    ) -> &'s Mat {
+        assert_eq!(packs.len(), self.layers.len(), "pack count");
+        x.sanitize_nonfinite();
+        let Scratch { a, b } = s;
+        // Layer 0 reads the caller's staged input; later layers ping-pong
+        // between the scratch pair. `out_in_b` tracks where the most
+        // recent output landed.
+        let mut out_in_b = false;
+        for (i, (layer, act)) in self.layers.iter().zip(&self.acts).enumerate() {
+            let (src, dst) = if i == 0 {
+                (&*x, &mut *b)
+            } else if out_in_b {
+                (&*b, &mut *a)
+            } else {
+                (&*a, &mut *b)
+            };
+            layer.forward_prepacked_into(src, &packs[i], dst);
+            act.apply_inplace(dst);
+            out_in_b = i == 0 || !out_in_b;
+        }
+        if out_in_b {
+            b
+        } else {
+            a
+        }
+    }
+
     /// Forward pass that records intermediates for [`Mlp::backward`].
     ///
     /// Applies the same non-finite input guard as [`Mlp::forward`]; the

@@ -3,7 +3,8 @@
 //!
 //! One [`Pipeline`] owns the worker-local pieces needed to turn a batch
 //! of observations into actions at any ladder rung: the micro-batched
-//! policy entry (`GaussianPolicy::act_batch_with`), the PID fallback, and
+//! policy entry ([`BatchPolicy`], the same weight-prepacked batched head
+//! the fleet evaluation engine uses), the PID fallback, and
 //! an optional mid-flight observation corruptor. The perturbation
 //! detector is deliberately *not* worker-local: it watches the vehicle's
 //! single realized-action stream, so the engine owns one
@@ -19,6 +20,7 @@ use crate::config::ServeConfig;
 use crate::ladder::Rung;
 use attack_core::detector::PerturbationDetector;
 use drive_agents::fallback::SafetyController;
+use drive_nn::batch::BatchPolicy;
 use drive_nn::gaussian::GaussianPolicy;
 use drive_nn::scratch::BatchActScratch;
 use drive_sim::faults::FaultInjector;
@@ -124,7 +126,7 @@ impl DetectorStream {
 /// Worker-local inference state. Not `Sync` — each worker owns one.
 #[derive(Debug)]
 pub struct Pipeline {
-    policy: Arc<GaussianPolicy>,
+    head: BatchPolicy,
     scratch: BatchActScratch,
     fallback: SafetyController,
     injector: Option<FaultInjector>,
@@ -151,7 +153,7 @@ impl Pipeline {
             fallback: SafetyController::new(config.safety),
             scratch: BatchActScratch::default(),
             injector,
-            policy,
+            head: BatchPolicy::new(policy),
             stats: PipelineStats::default(),
         }
     }
@@ -233,10 +235,11 @@ impl Pipeline {
     }
 
     /// Micro-batched deterministic policy inference; one GEMM pass for
-    /// the whole batch, bit-identical to serial single-request calls.
+    /// the whole batch through the shared [`BatchPolicy`] head,
+    /// bit-identical to serial single-request calls.
     fn infer(&mut self, obs: &[Vec<f32>]) -> Vec<Actuation> {
         let refs: Vec<&[f32]> = obs.iter().map(Vec::as_slice).collect();
-        let acted = self.policy.act_batch_with(&refs, &mut self.scratch);
+        let acted = self.head.act_batch(&refs, &mut self.scratch);
         (0..acted.rows())
             .map(|b| {
                 let row = acted.row(b);

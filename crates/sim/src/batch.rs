@@ -1,0 +1,687 @@
+//! Lockstep batched episode stepping for fleet evaluation.
+//!
+//! A [`WorldBatch`] advances N independent episodes one control step at a
+//! time so a fleet driver can gather all live observations into one matrix
+//! and amortize policy inference across the whole batch (see
+//! `drive_nn::batch::BatchPolicy`). Episodes retire independently: after
+//! each step the caller drains finished slots with [`WorldBatch::compact`],
+//! which swap-removes them so the dense slot array never carries dead
+//! weight.
+//!
+//! Two precision paths share every decision branch with the serial engine:
+//!
+//! * [`Precision::Golden`] steps each slot through [`World::step`]
+//!   verbatim — bit-identical to a serial run by construction. The batched
+//!   win is inference amortization only.
+//! * [`Precision::Fast`] runs the control phase (NPC policies, Eq. (1)
+//!   smoothing, sanitize accounting) and the outcome phase (collision
+//!   detection, termination) through the same `f64` code as the serial
+//!   engine, but integrates the bicycle-model substeps in `f32` over a
+//!   structure-of-arrays scratch, loop-interchanged so the inner loop runs
+//!   across vehicles. State is written back as `f64` (an exact `f32 → f64`
+//!   widening, so the next control step sees exactly the integrator's
+//!   state). Divergence from Golden therefore comes from integration
+//!   round-off alone and is bounded by test
+//!   (`fast_path_tracks_golden_within_tolerance`).
+//!
+//! The Fast integrator requires uniform [`VehicleParams`] across the batch
+//! (every spawn site uses `VehicleParams::default()`); it asserts this and
+//! hoists the parameter set into scalar constants. NPC inertial histories
+//! are not reproduced by the Fast path (only the ego's feed the IMU
+//! sensor); they are cleared so stale samples can never leak.
+
+use crate::scenario::Scenario;
+use crate::vehicle::{Actuation, InertialSample, VehicleParams};
+use crate::world::{StepOutcome, World};
+
+/// Numeric policy for batched stepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Bit-identical to the serial engine: per-slot `f64` stepping through
+    /// [`World::step`]. The default, and the only path allowed to feed
+    /// golden artifacts.
+    #[default]
+    Golden,
+    /// `f32` structure-of-arrays substep integration; `f64` decision
+    /// logic. Inference-only evaluation sweeps may opt in for speed.
+    Fast,
+}
+
+impl Precision {
+    /// Parses a CLI spelling (`golden` | `f32`).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "golden" | "f64" => Some(Precision::Golden),
+            "fast" | "f32" => Some(Precision::Fast),
+            _ => None,
+        }
+    }
+
+    /// Canonical CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Golden => "golden",
+            Precision::Fast => "f32",
+        }
+    }
+}
+
+/// `f32` structure-of-arrays scratch for the Fast integrator.
+///
+/// Vehicles of all live slots are flattened egos-first: lanes
+/// `[0, live)` hold the egos (in slot order), then each slot's NPCs
+/// follow slot-major. Per-control-step constants (`thrust`, `tan δ`,
+/// `β`, `cos β`) are hoisted out of the substep loop because Eq. (1)
+/// fixes the steering angle for the whole control step.
+#[derive(Debug, Default)]
+struct FastLanes {
+    x: Vec<f32>,
+    y: Vec<f32>,
+    heading: Vec<f32>,
+    speed: Vec<f32>,
+    thrust: Vec<f32>,
+    tan_d: Vec<f32>,
+    beta: Vec<f32>,
+    cos_b: Vec<f32>,
+    /// Ego inertial samples, `[ego * substeps + s]`, three lanes.
+    acc_lon: Vec<f32>,
+    acc_lat: Vec<f32>,
+    yaw: Vec<f32>,
+}
+
+impl FastLanes {
+    fn clear(&mut self) {
+        self.x.clear();
+        self.y.clear();
+        self.heading.clear();
+        self.speed.clear();
+        self.thrust.clear();
+        self.tan_d.clear();
+        self.beta.clear();
+        self.cos_b.clear();
+    }
+
+    fn push_vehicle(&mut self, v: &crate::vehicle::Vehicle, delta: f64) {
+        self.x.push(v.pose.position.x as f32);
+        self.y.push(v.pose.position.y as f32);
+        self.heading.push(v.pose.heading as f32);
+        self.speed.push(v.speed as f32);
+        self.thrust.push(v.actuation.thrust as f32);
+        let tan_d = (delta as f32).tan();
+        self.tan_d.push(tan_d);
+        let p = &v.params;
+        let beta = ((p.lr / p.wheelbase()) as f32 * tan_d).atan();
+        self.beta.push(beta);
+        self.cos_b.push(beta.cos());
+    }
+}
+
+/// Replica of [`crate::geometry::normalize_angle`] in `f32`.
+fn normalize_angle_f32(a: f32) -> f32 {
+    let two_pi = std::f32::consts::TAU;
+    let mut r = a % two_pi;
+    if r >= std::f32::consts::PI {
+        r -= two_pi;
+    } else if r < -std::f32::consts::PI {
+        r += two_pi;
+    }
+    r
+}
+
+/// N episodes stepped in lockstep.
+///
+/// Slots are dense: index `i` of the `actions` slice passed to
+/// [`WorldBatch::step`] addresses `worlds()[i]`. Finished slots stay in
+/// place (re-reporting their terminal outcome, like the serial engine)
+/// until [`WorldBatch::compact`] swap-removes them; callers holding
+/// per-slot side state mirror the same swap-removes through the callback.
+#[derive(Debug)]
+pub struct WorldBatch {
+    worlds: Vec<World>,
+    precision: Precision,
+    lanes: FastLanes,
+    /// Per-step scratch: dense indices of slots that passed `begin_step`.
+    live: Vec<usize>,
+}
+
+impl WorldBatch {
+    /// Creates an empty batch.
+    pub fn new(precision: Precision) -> Self {
+        WorldBatch {
+            worlds: Vec::new(),
+            precision,
+            lanes: FastLanes::default(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Spawns a batch from scenarios (one fresh [`World`] per scenario).
+    pub fn from_scenarios<I: IntoIterator<Item = Scenario>>(
+        scenarios: I,
+        precision: Precision,
+    ) -> Self {
+        let mut b = WorldBatch::new(precision);
+        for s in scenarios {
+            b.push(World::new(s));
+        }
+        b
+    }
+
+    /// Adds an episode; returns its dense slot index.
+    pub fn push(&mut self, world: World) -> usize {
+        self.worlds.push(world);
+        self.worlds.len() - 1
+    }
+
+    /// The numeric policy this batch steps under.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Live slots, dense.
+    pub fn worlds(&self) -> &[World] {
+        &self.worlds
+    }
+
+    /// Number of slots currently in the batch.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Whether the batch has no slots left.
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Advances every slot by one control step. `actions[i]` is the ego
+    /// variation command for `worlds()[i]`; outcomes are written densely
+    /// into `outcomes` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len() != len()`, and on the Fast path if vehicle
+    /// parameters are not uniform across the batch.
+    pub fn step(&mut self, actions: &[Actuation], outcomes: &mut Vec<StepOutcome>) {
+        assert_eq!(actions.len(), self.worlds.len(), "one action per slot");
+        outcomes.clear();
+        match self.precision {
+            Precision::Golden => {
+                for (w, &a) in self.worlds.iter_mut().zip(actions) {
+                    outcomes.push(w.step(a));
+                }
+            }
+            Precision::Fast => self.step_fast(actions, outcomes),
+        }
+        crate::perf::record_fleet_batch(outcomes.len() as u64);
+    }
+
+    /// One Fast control step: shared `f64` control phase, `f32` SoA
+    /// integration, shared `f64` outcome phase.
+    fn step_fast(&mut self, actions: &[Actuation], outcomes: &mut Vec<StepOutcome>) {
+        let n = self.worlds.len();
+        // Phase 1 — control (`f64`, shared with serial): sanitize, NPC
+        // policies, Eq. (1) smoothing. Terminated slots re-report and skip
+        // integration, exactly like `World::step`.
+        self.live.clear();
+        self.lanes.clear();
+        let mut npc_controls: Vec<Vec<Actuation>> = Vec::with_capacity(n);
+        // `outcomes` is filled with placeholders, then finalized in phase 3.
+        let mut dt = 0.0f64;
+        let mut substeps = 0usize;
+        let mut params: Option<VehicleParams> = None;
+        for (i, w) in self.worlds.iter_mut().enumerate() {
+            match w.begin_step(actions[i]) {
+                Ok((ego_cmd, controls)) => {
+                    self.live.push(i);
+                    npc_controls.push(controls);
+                    dt = w.scenario().dt;
+                    substeps = w.scenario().substeps;
+                    let delta = w.ego_mut().apply_variation(ego_cmd);
+                    let ego = w.ego();
+                    match &params {
+                        None => params = Some(ego.params.clone()),
+                        Some(p) => assert_eq!(
+                            *p, ego.params,
+                            "Fast path requires uniform vehicle parameters"
+                        ),
+                    }
+                    self.lanes.push_vehicle(ego, delta);
+                    outcomes.push(StepOutcome {
+                        step: 0,
+                        collision: None,
+                        termination: None,
+                        passed: 0,
+                    });
+                }
+                Err(done) => {
+                    npc_controls.push(Vec::new());
+                    outcomes.push(done);
+                }
+            }
+        }
+        if self.live.is_empty() {
+            return;
+        }
+        // NPC lanes, slot-major after the egos.
+        for &i in &self.live {
+            let w = &mut self.worlds[i];
+            let controls = std::mem::take(&mut npc_controls[i]);
+            for (npc, control) in w.npcs_mut().iter_mut().zip(controls) {
+                let delta = npc.vehicle.apply_variation(control);
+                assert_eq!(
+                    params.as_ref().unwrap(),
+                    &npc.vehicle.params,
+                    "Fast path requires uniform vehicle parameters"
+                );
+                self.lanes.push_vehicle(&npc.vehicle, delta);
+            }
+        }
+
+        // Phase 2 — `f32` SoA substep integration, vehicles innermost.
+        let p = params.expect("at least one live slot");
+        let n_egos = self.live.len();
+        let n_vehicles = self.lanes.x.len();
+        let h = (dt / substeps as f64) as f32;
+        let max_accel = p.max_accel as f32;
+        let max_brake = p.max_brake as f32;
+        let drag = p.drag as f32;
+        let max_speed = p.max_speed as f32;
+        let max_lat_accel = p.max_lat_accel as f32;
+        let wheelbase = p.wheelbase() as f32;
+        self.lanes.acc_lon.resize(n_egos * substeps, 0.0);
+        self.lanes.acc_lat.resize(n_egos * substeps, 0.0);
+        self.lanes.yaw.resize(n_egos * substeps, 0.0);
+        for s in 0..substeps {
+            for v in 0..n_vehicles {
+                let thrust = self.lanes.thrust[v];
+                let drive = if thrust >= 0.0 {
+                    thrust * max_accel
+                } else {
+                    thrust * max_brake
+                };
+                let speed = self.lanes.speed[v];
+                let accel = drive - drag * speed;
+                let new_speed = (speed + accel * h).clamp(0.0, max_speed);
+                let realized_accel = (new_speed - speed) / h;
+                let speed = new_speed;
+                self.lanes.speed[v] = speed;
+
+                let beta = self.lanes.beta[v];
+                let mut yaw_rate = speed * self.lanes.cos_b[v] * self.lanes.tan_d[v] / wheelbase;
+                if speed > 0.1 {
+                    let cap = max_lat_accel / speed;
+                    yaw_rate = yaw_rate.clamp(-cap, cap);
+                }
+                let course = self.lanes.heading[v] + beta;
+                let ds = speed * h;
+                self.lanes.x[v] += course.cos() * ds;
+                self.lanes.y[v] += course.sin() * ds;
+                self.lanes.heading[v] = normalize_angle_f32(self.lanes.heading[v] + yaw_rate * h);
+
+                if v < n_egos {
+                    let k = v * substeps + s;
+                    self.lanes.acc_lon[k] = realized_accel;
+                    self.lanes.acc_lat[k] = speed * yaw_rate;
+                    self.lanes.yaw[k] = yaw_rate;
+                }
+            }
+        }
+
+        // Phase 3 — scatter back (`f32 → f64` is exact) and conclude with
+        // the shared `f64` outcome phase.
+        let mut lane = n_egos;
+        for (e, &i) in self.live.iter().enumerate() {
+            let w = &mut self.worlds[i];
+            {
+                let ego = w.ego_mut();
+                ego.pose.position.x = self.lanes.x[e] as f64;
+                ego.pose.position.y = self.lanes.y[e] as f64;
+                ego.pose.heading = self.lanes.heading[e] as f64;
+                ego.speed = self.lanes.speed[e] as f64;
+                ego.inertial.clear();
+                for s in 0..substeps {
+                    let k = e * substeps + s;
+                    ego.inertial.push(InertialSample {
+                        accel_lon: self.lanes.acc_lon[k] as f64,
+                        accel_lat: self.lanes.acc_lat[k] as f64,
+                        yaw_rate: self.lanes.yaw[k] as f64,
+                    });
+                }
+            }
+            for npc in w.npcs_mut().iter_mut() {
+                let v = &mut npc.vehicle;
+                v.pose.position.x = self.lanes.x[lane] as f64;
+                v.pose.position.y = self.lanes.y[lane] as f64;
+                v.pose.heading = self.lanes.heading[lane] as f64;
+                v.speed = self.lanes.speed[lane] as f64;
+                // Only the ego's inertial history feeds a sensor; drop
+                // NPC samples rather than carry stale ones.
+                v.inertial.clear();
+                lane += 1;
+            }
+            outcomes[i] = w.conclude_step();
+        }
+    }
+
+    /// Swap-removes every finished slot, handing each to `retire` along
+    /// with the dense index it occupied at removal time. Callers with
+    /// per-slot side state must apply the same `swap_remove(index)` to
+    /// their parallel arrays inside the callback to stay aligned.
+    pub fn compact<F: FnMut(usize, World)>(&mut self, mut retire: F) {
+        let mut i = 0;
+        while i < self.worlds.len() {
+            if self.worlds[i].is_done() {
+                let w = self.worlds.swap_remove(i);
+                retire(i, w);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic per-slot action scripts: every slot gets its own
+    /// bounded pseudo-random command sequence, aggressive enough to force
+    /// collisions and barrier hits at different steps.
+    fn action_script(slot: u64, len: usize) -> Vec<Actuation> {
+        let mut rng = StdRng::seed_from_u64(0xA11C_E000 + slot);
+        (0..len)
+            .map(|_| Actuation::new(rng.gen_range(-0.6..0.6), rng.gen_range(-0.2..0.9)))
+            .collect()
+    }
+
+    fn scenario_for(slot: u64) -> Scenario {
+        let mut s = Scenario::default().jittered(&mut StdRng::seed_from_u64(900 + slot));
+        // Stagger the horizons so slots retire mid-flight even when no
+        // collision happens.
+        s.max_steps = 30 + (slot as usize % 7) * 11;
+        s
+    }
+
+    /// Serial reference trace: per-step ego state bits + outcome.
+    fn serial_trace(slot: u64) -> (Vec<[u64; 4]>, usize) {
+        let scenario = scenario_for(slot);
+        let script = action_script(slot, scenario.max_steps);
+        let mut w = World::new(scenario);
+        let mut trace = Vec::new();
+        for a in script {
+            w.step(a);
+            trace.push(ego_bits(&w));
+            if w.is_done() {
+                break;
+            }
+        }
+        (trace, w.step_index())
+    }
+
+    fn ego_bits(w: &World) -> [u64; 4] {
+        let e = w.ego();
+        [
+            e.pose.position.x.to_bits(),
+            e.pose.position.y.to_bits(),
+            e.pose.heading.to_bits(),
+            e.speed.to_bits(),
+        ]
+    }
+
+    /// The Golden batch path must reproduce serial episodes BIT-FOR-BIT at
+    /// every step, across batch sizes and with slots retiring mid-flight.
+    #[test]
+    fn golden_batch_bit_identical_to_serial_with_retirements() {
+        for &batch in &[1usize, 2, 5, 23, 64, 128] {
+            let serial: Vec<(Vec<[u64; 4]>, usize)> = (0..batch as u64).map(serial_trace).collect();
+
+            let mut wb = WorldBatch::new(Precision::Golden);
+            for slot in 0..batch as u64 {
+                wb.push(World::new(scenario_for(slot)));
+            }
+            let scripts: Vec<Vec<Actuation>> = (0..batch as u64)
+                .map(|s| action_script(s, scenario_for(s).max_steps))
+                .collect();
+            // Parallel per-slot state mirrored through compact().
+            let mut ids: Vec<usize> = (0..batch).collect();
+            let mut steps_seen: Vec<usize> = vec![0; batch];
+            let mut outcomes = Vec::new();
+            let mut retired = 0usize;
+            while !wb.is_empty() {
+                let actions: Vec<Actuation> = ids
+                    .iter()
+                    .zip(wb.worlds())
+                    .map(|(&id, w)| scripts[id][w.step_index()])
+                    .collect();
+                wb.step(&actions, &mut outcomes);
+                for (dense, w) in wb.worlds().iter().enumerate() {
+                    let id = ids[dense];
+                    let t = steps_seen[id];
+                    assert_eq!(
+                        serial[id].0[t],
+                        ego_bits(w),
+                        "batch {batch} slot {id} step {t}: batch diverged from serial"
+                    );
+                    steps_seen[id] += 1;
+                }
+                wb.compact(|dense, w| {
+                    let id = ids.swap_remove(dense);
+                    assert_eq!(
+                        w.step_index(),
+                        serial[id].1,
+                        "slot {id} retired at the wrong step"
+                    );
+                    retired += 1;
+                });
+            }
+            assert_eq!(retired, batch);
+            // Mid-flight retirement actually exercised: staggered horizons
+            // guarantee non-uniform lifetimes for batch >= 2.
+            if batch >= 2 {
+                let lifetimes: std::collections::HashSet<usize> =
+                    serial.iter().map(|(_, n)| *n).collect();
+                assert!(lifetimes.len() > 1, "horizons must be staggered");
+            }
+        }
+    }
+
+    /// Fast (`f32`) integration must track the Golden trajectory within a
+    /// tight absolute tolerance over a full episode. The bound below is
+    /// the documented epsilon: single-precision round-off accumulated over
+    /// `<= 180 steps x 5 substeps` of a bounded-curvature trajectory.
+    #[test]
+    fn fast_path_tracks_golden_within_tolerance() {
+        const POS_TOL: f64 = 5e-2; // meters
+        const SPEED_TOL: f64 = 1e-2; // m/s
+        const HEADING_TOL: f64 = 2e-3; // radians
+        let batch = 8usize;
+        let mk = |precision| {
+            let mut wb = WorldBatch::new(precision);
+            for slot in 0..batch as u64 {
+                let mut s = Scenario::default().jittered(&mut StdRng::seed_from_u64(7 + slot));
+                s.max_steps = 120;
+                wb.push(World::new(s));
+            }
+            wb
+        };
+        let mut golden = mk(Precision::Golden);
+        let mut fast = mk(Precision::Fast);
+        let mut out_g = Vec::new();
+        let mut out_f = Vec::new();
+        let mut max_pos = 0.0f64;
+        for t in 0..120 {
+            if golden.is_empty() || fast.is_empty() {
+                break;
+            }
+            // Identical mild scripts on both batches (no compaction so the
+            // slot mapping stays the identity while both sides are live).
+            let actions: Vec<Actuation> = (0..golden.len())
+                .map(|i| {
+                    Actuation::new(
+                        0.25 * (((t + i) % 9) as f64 / 4.0 - 1.0),
+                        0.5 - 0.1 * ((t % 5) as f64),
+                    )
+                })
+                .collect();
+            golden.step(&actions, &mut out_g);
+            fast.step(&actions[..fast.len()], &mut out_f);
+            for (g, f) in golden.worlds().iter().zip(fast.worlds()) {
+                let ge = g.ego();
+                let fe = f.ego();
+                let dp = ((ge.pose.position.x - fe.pose.position.x).powi(2)
+                    + (ge.pose.position.y - fe.pose.position.y).powi(2))
+                .sqrt();
+                max_pos = max_pos.max(dp);
+                assert!(dp < POS_TOL, "step {t}: ego position diverged by {dp}");
+                assert!((ge.speed - fe.speed).abs() < SPEED_TOL);
+                assert!((ge.pose.heading - fe.pose.heading).abs() < HEADING_TOL);
+            }
+            if golden.worlds().iter().any(World::is_done)
+                || fast.worlds().iter().any(World::is_done)
+            {
+                // Once either path terminates a slot the finished side
+                // stops moving while the other may not (termination can
+                // land one step apart across precisions) — the state
+                // comparison is only meaningful while both are live.
+                break;
+            }
+        }
+        assert!(max_pos > 0.0, "paths must actually differ (f32 is lossy)");
+    }
+
+    /// Fast must reuse the serial decision logic: sanitize accounting and
+    /// post-termination re-reporting behave exactly like `World::step`.
+    #[test]
+    fn fast_path_shares_decision_logic() {
+        let mut s = Scenario::default();
+        s.npcs.clear();
+        s.max_steps = 3;
+        let mut wb = WorldBatch::new(Precision::Fast);
+        wb.push(World::new(s));
+        let mut out = Vec::new();
+        wb.step(
+            &[Actuation {
+                steer: f64::NAN,
+                thrust: 0.2,
+            }],
+            &mut out,
+        );
+        assert_eq!(wb.worlds()[0].nonfinite_action_count(), 1);
+        for _ in 0..2 {
+            wb.step(&[Actuation::new(0.0, 0.2)], &mut out);
+        }
+        assert!(wb.worlds()[0].is_done());
+        // Stepping a finished slot re-reports, moves nothing, but still
+        // counts sanitize hits — the serial contract.
+        let x = wb.worlds()[0].ego().pose.position.x;
+        wb.step(
+            &[Actuation {
+                steer: f64::INFINITY,
+                thrust: 0.0,
+            }],
+            &mut out,
+        );
+        assert_eq!(
+            out[0].termination,
+            Some(crate::world::Termination::TimeLimit)
+        );
+        assert_eq!(wb.worlds()[0].ego().pose.position.x, x);
+        assert_eq!(wb.worlds()[0].nonfinite_action_count(), 2);
+    }
+
+    /// Ego inertial histories must be populated by the Fast path (the IMU
+    /// samples them every step).
+    #[test]
+    fn fast_path_records_ego_inertial() {
+        let mut wb = WorldBatch::new(Precision::Fast);
+        wb.push(World::new(Scenario::default()));
+        let substeps = wb.worlds()[0].scenario().substeps;
+        let mut out = Vec::new();
+        wb.step(&[Actuation::new(0.1, 0.5)], &mut out);
+        assert_eq!(wb.worlds()[0].ego().inertial.len(), substeps);
+        assert!(wb.worlds()[0].ego().inertial[0].accel_lon != 0.0);
+    }
+
+    proptest::proptest! {
+        /// Property form of the equivalence above: for ANY batch size in
+        /// `1..=128` and ANY seed base, a Golden batch is a pure
+        /// reordering of the serial runs — same per-step ego state bits,
+        /// same retirement steps, mid-flight retirements included.
+        #[test]
+        fn golden_batch_equals_serial_for_any_batch(
+            batch in 1usize..=128,
+            seed_base in 0u64..1_000_000,
+        ) {
+            let mk_scenario = |slot: u64| {
+                let mut s = Scenario::default()
+                    .jittered(&mut StdRng::seed_from_u64(seed_base ^ slot));
+                s.max_steps = 25 + ((seed_base + slot) as usize % 5) * 9;
+                s
+            };
+            let serial: Vec<(Vec<[u64; 4]>, usize)> = (0..batch as u64)
+                .map(|slot| {
+                    let scenario = mk_scenario(slot);
+                    let script = action_script(seed_base ^ slot, scenario.max_steps);
+                    let mut w = World::new(scenario);
+                    let mut trace = Vec::new();
+                    for a in script {
+                        w.step(a);
+                        trace.push(ego_bits(&w));
+                        if w.is_done() {
+                            break;
+                        }
+                    }
+                    (trace, w.step_index())
+                })
+                .collect();
+
+            let mut wb = WorldBatch::new(Precision::Golden);
+            let mut scripts = Vec::new();
+            for slot in 0..batch as u64 {
+                let scenario = mk_scenario(slot);
+                scripts.push(action_script(seed_base ^ slot, scenario.max_steps));
+                wb.push(World::new(scenario));
+            }
+            let mut ids: Vec<usize> = (0..batch).collect();
+            let mut steps_seen = vec![0usize; batch];
+            let mut outcomes = Vec::new();
+            let mut retired = 0usize;
+            while !wb.is_empty() {
+                let actions: Vec<Actuation> = ids
+                    .iter()
+                    .zip(wb.worlds())
+                    .map(|(&id, w)| scripts[id][w.step_index()])
+                    .collect();
+                wb.step(&actions, &mut outcomes);
+                for (dense, w) in wb.worlds().iter().enumerate() {
+                    let id = ids[dense];
+                    proptest::prop_assert_eq!(serial[id].0[steps_seen[id]], ego_bits(w));
+                    steps_seen[id] += 1;
+                }
+                let mut bad = None;
+                wb.compact(|dense, w| {
+                    let id = ids.swap_remove(dense);
+                    if w.step_index() != serial[id].1 {
+                        bad = Some(id);
+                    }
+                    retired += 1;
+                });
+                proptest::prop_assert_eq!(bad, None);
+            }
+            proptest::prop_assert_eq!(retired, batch);
+        }
+    }
+
+    #[test]
+    fn precision_parse_round_trips() {
+        assert_eq!(Precision::parse("golden"), Some(Precision::Golden));
+        assert_eq!(Precision::parse("f64"), Some(Precision::Golden));
+        assert_eq!(Precision::parse("f32"), Some(Precision::Fast));
+        assert_eq!(Precision::parse("fast"), Some(Precision::Fast));
+        assert_eq!(Precision::parse("f16"), None);
+        assert_eq!(Precision::Fast.label(), "f32");
+        assert_eq!(Precision::default(), Precision::Golden);
+    }
+}

@@ -23,6 +23,7 @@
 //! assert!(out.collision.is_none());
 //! ```
 
+pub mod batch;
 pub mod faults;
 pub mod geometry;
 pub mod npc;
@@ -39,6 +40,7 @@ pub mod world;
 
 /// Commonly used items re-exported in one place.
 pub mod prelude {
+    pub use crate::batch::{Precision, WorldBatch};
     pub use crate::faults::{
         FaultInjector, FaultKind, FaultSchedule, FaultSpec, FaultStats, FaultedCamera,
         FaultedFeatureExtractor, FaultedImu,

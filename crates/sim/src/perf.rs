@@ -1,13 +1,27 @@
-//! Process-wide simulation throughput counter.
+//! Process-wide simulation throughput counters.
 //!
 //! [`crate::world::World::step`] bumps a relaxed atomic on every advanced
 //! control step, so harnesses can compute steps/sec across any number of
 //! worker threads without plumbing counters through every call site. The
 //! single relaxed `fetch_add` is noise next to a physics step.
+//!
+//! The fleet counters instrument batched evaluation: every
+//! [`crate::batch::WorldBatch::step`] records one lockstep batch and how
+//! many episode slots it advanced; the fleet driver additionally records
+//! its configured capacity per lockstep iteration (for batch occupancy)
+//! and the wall time spent inside batched policy inference (for amortized
+//! ns/inference). All are process-wide monotonic totals — probes snapshot
+//! and subtract.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static STEPS: AtomicU64 = AtomicU64::new(0);
+static FLEET_BATCHES: AtomicU64 = AtomicU64::new(0);
+static FLEET_SLOT_STEPS: AtomicU64 = AtomicU64::new(0);
+static FLEET_CAPACITY: AtomicU64 = AtomicU64::new(0);
+static FLEET_INFER_NS: AtomicU64 = AtomicU64::new(0);
+static FLEET_INFER_ROWS: AtomicU64 = AtomicU64::new(0);
+static FLEET_INFER_CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Records `n` executed control steps.
 #[inline]
@@ -18,6 +32,99 @@ pub fn record_steps(n: u64) {
 /// Total control steps executed by this process so far.
 pub fn steps() -> u64 {
     STEPS.load(Ordering::Relaxed)
+}
+
+/// Records one lockstep batch step that advanced `slots` episodes.
+#[inline]
+pub fn record_fleet_batch(slots: u64) {
+    FLEET_BATCHES.fetch_add(1, Ordering::Relaxed);
+    FLEET_SLOT_STEPS.fetch_add(slots, Ordering::Relaxed);
+}
+
+/// Records the configured fleet capacity behind one lockstep iteration
+/// (denominator of batch occupancy).
+#[inline]
+pub fn record_fleet_capacity(slots: u64) {
+    FLEET_CAPACITY.fetch_add(slots, Ordering::Relaxed);
+}
+
+/// Records one batched policy-inference call over `rows` observations
+/// taking `ns` nanoseconds of wall time.
+#[inline]
+pub fn record_fleet_infer(ns: u64, rows: u64) {
+    FLEET_INFER_NS.fetch_add(ns, Ordering::Relaxed);
+    FLEET_INFER_ROWS.fetch_add(rows, Ordering::Relaxed);
+    FLEET_INFER_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the fleet counters (process-wide monotonic totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetCounters {
+    /// Lockstep batch steps executed.
+    pub batches: u64,
+    /// Episode slots advanced across all batch steps.
+    pub slot_steps: u64,
+    /// Sum of configured capacities across lockstep iterations.
+    pub capacity: u64,
+    /// Wall nanoseconds inside batched policy inference.
+    pub infer_ns: u64,
+    /// Observation rows pushed through batched inference.
+    pub infer_rows: u64,
+    /// Batched inference calls.
+    pub infer_calls: u64,
+}
+
+impl FleetCounters {
+    /// Mean live slots per lockstep batch step (episodes in flight).
+    pub fn episodes_in_flight(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.slot_steps as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of configured fleet capacity that held a live episode.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.slot_steps as f64 / self.capacity as f64
+        }
+    }
+
+    /// Amortized nanoseconds per single-episode inference row.
+    pub fn infer_ns_per_row(&self) -> f64 {
+        if self.infer_rows == 0 {
+            0.0
+        } else {
+            self.infer_ns as f64 / self.infer_rows as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` for interval probes.
+    pub fn since(&self, earlier: &FleetCounters) -> FleetCounters {
+        FleetCounters {
+            batches: self.batches - earlier.batches,
+            slot_steps: self.slot_steps - earlier.slot_steps,
+            capacity: self.capacity - earlier.capacity,
+            infer_ns: self.infer_ns - earlier.infer_ns,
+            infer_rows: self.infer_rows - earlier.infer_rows,
+            infer_calls: self.infer_calls - earlier.infer_calls,
+        }
+    }
+}
+
+/// Current fleet counter totals.
+pub fn fleet() -> FleetCounters {
+    FleetCounters {
+        batches: FLEET_BATCHES.load(Ordering::Relaxed),
+        slot_steps: FLEET_SLOT_STEPS.load(Ordering::Relaxed),
+        capacity: FLEET_CAPACITY.load(Ordering::Relaxed),
+        infer_ns: FLEET_INFER_NS.load(Ordering::Relaxed),
+        infer_rows: FLEET_INFER_ROWS.load(Ordering::Relaxed),
+        infer_calls: FLEET_INFER_CALLS.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]
@@ -40,5 +147,45 @@ mod tests {
         world.step(Actuation::new(0.0, 0.0));
         world.step(Actuation::new(0.0, 0.0));
         assert!(steps() >= before + 2);
+    }
+
+    #[test]
+    fn fleet_counters_accumulate() {
+        // Other tests step batches concurrently, so only monotonicity can
+        // be asserted against the process-wide totals.
+        let t0 = fleet();
+        record_fleet_batch(24);
+        record_fleet_capacity(32);
+        record_fleet_infer(1_000, 24);
+        let d = fleet().since(&t0);
+        assert!(d.batches >= 1);
+        assert!(d.slot_steps >= 24);
+        assert!(d.capacity >= 32);
+        assert!(d.infer_ns >= 1_000);
+        assert!(d.infer_rows >= 24);
+        assert!(d.infer_calls >= 1);
+    }
+
+    #[test]
+    fn derived_metrics_from_fixed_counters() {
+        let d = FleetCounters {
+            batches: 2,
+            slot_steps: 32,
+            capacity: 64,
+            infer_ns: 1_600,
+            infer_rows: 32,
+            infer_calls: 2,
+        };
+        assert!((d.episodes_in_flight() - 16.0).abs() < 1e-12);
+        assert!((d.occupancy() - 0.5).abs() < 1e-12);
+        assert!((d.infer_ns_per_row() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_derives_zero() {
+        let d = FleetCounters::default();
+        assert_eq!(d.episodes_in_flight(), 0.0);
+        assert_eq!(d.occupancy(), 0.0);
+        assert_eq!(d.infer_ns_per_row(), 0.0);
     }
 }

@@ -156,6 +156,27 @@ impl Vehicle {
         self.pose.forward() * self.speed
     }
 
+    /// Applies the Eq. (1) first-order actuation retain to a variation
+    /// command and returns the resulting steering angle `delta` (radians).
+    ///
+    /// This is the control half of [`Vehicle::step`], split out so the
+    /// batched integrator in [`crate::batch`] shares the exact smoothing
+    /// arithmetic (clamp order included) with the serial path.
+    pub(crate) fn apply_variation(&mut self, variation: Actuation) -> f64 {
+        let p = self.params.clone();
+        let eps = p.eps_mech;
+        let nu = variation.steer.clamp(-eps, eps);
+        let gamma = variation.thrust.clamp(-eps, eps);
+
+        // Eq. (1): first-order retain of the previous actuation.
+        self.actuation.steer =
+            ((1.0 - p.alpha) * nu + p.alpha * self.actuation.steer).clamp(-1.0, 1.0);
+        self.actuation.thrust =
+            ((1.0 - p.eta) * gamma + p.eta * self.actuation.thrust).clamp(-1.0, 1.0);
+
+        self.actuation.steer * p.max_steer
+    }
+
     /// Applies variation commands through Eq. (1) and integrates the bicycle
     /// model over `dt` seconds using `substeps` Euler substeps.
     ///
@@ -170,18 +191,8 @@ impl Vehicle {
     pub fn step(&mut self, variation: Actuation, dt: f64, substeps: usize) {
         assert!(dt > 0.0, "dt must be positive");
         assert!(substeps > 0, "need at least one substep");
+        let delta = self.apply_variation(variation);
         let p = self.params.clone();
-        let eps = p.eps_mech;
-        let nu = variation.steer.clamp(-eps, eps);
-        let gamma = variation.thrust.clamp(-eps, eps);
-
-        // Eq. (1): first-order retain of the previous actuation.
-        self.actuation.steer =
-            ((1.0 - p.alpha) * nu + p.alpha * self.actuation.steer).clamp(-1.0, 1.0);
-        self.actuation.thrust =
-            ((1.0 - p.eta) * gamma + p.eta * self.actuation.thrust).clamp(-1.0, 1.0);
-
-        let delta = self.actuation.steer * p.max_steer;
         let h = dt / substeps as f64;
         self.inertial.clear();
         for _ in 0..substeps {

@@ -210,9 +210,36 @@ impl World {
     /// Calling after termination is a no-op that re-reports the existing
     /// termination (convenient for runners that overshoot by a step).
     pub fn step(&mut self, ego_variation: Actuation) -> StepOutcome {
+        let (ego_cmd, npc_controls) = match self.begin_step(ego_variation) {
+            Ok(phase) => phase,
+            Err(done) => return done,
+        };
+        let dt = self.scenario.dt;
+        let substeps = self.scenario.substeps;
+        self.ego.step(ego_cmd, dt, substeps);
+        for (npc, control) in self.npcs.iter_mut().zip(npc_controls) {
+            npc.vehicle.step(control, dt, substeps);
+        }
+        self.conclude_step()
+    }
+
+    /// Control phase of [`World::step`]: sanitizes the command, re-reports
+    /// termination (`Err`) for finished episodes, and computes the NPC
+    /// controls against the pre-step state. The caller must then integrate
+    /// the ego with the returned command and each NPC with its control
+    /// (either through [`Vehicle::step`] or the batched replica in
+    /// [`crate::batch`]) and finish with [`World::conclude_step`].
+    ///
+    /// Shared by the serial engine and both `WorldBatch` precision paths so
+    /// every decision branch — sanitize accounting, post-termination
+    /// re-reporting, lead bookkeeping, NPC policy — has exactly one home.
+    pub(crate) fn begin_step(
+        &mut self,
+        ego_variation: Actuation,
+    ) -> Result<(Actuation, Vec<Actuation>), StepOutcome> {
         let ego_variation = self.sanitize_action(ego_variation);
         if let Some(term) = self.terminated {
-            return StepOutcome {
+            return Err(StepOutcome {
                 step: self.step,
                 collision: match term {
                     Termination::Collision(c) => Some(c),
@@ -220,12 +247,10 @@ impl World {
                 },
                 termination: Some(term),
                 passed: self.passed_count(),
-            };
+            });
         }
 
         crate::perf::record_steps(1);
-        let dt = self.scenario.dt;
-        let substeps = self.scenario.substeps;
 
         // NPC controls are computed against the pre-step state so ordering
         // between vehicles does not matter.
@@ -254,11 +279,14 @@ impl World {
                 n.control(&self.scenario.road, &others)
             })
             .collect();
+        Ok((ego_variation, npc_controls))
+    }
 
-        self.ego.step(ego_variation, dt, substeps);
-        for (npc, control) in self.npcs.iter_mut().zip(npc_controls) {
-            npc.vehicle.step(control, dt, substeps);
-        }
+    /// Outcome phase of [`World::step`]: advances the step counter, runs
+    /// collision detection and the termination chain against the freshly
+    /// integrated vehicle state. Only valid directly after a successful
+    /// [`World::begin_step`] followed by integration of every vehicle.
+    pub(crate) fn conclude_step(&mut self) -> StepOutcome {
         let executed_step = self.step;
         self.step += 1;
 
@@ -280,6 +308,16 @@ impl World {
             termination,
             passed: self.passed_count(),
         }
+    }
+
+    /// Mutable ego access for the batched integrator's scatter phase.
+    pub(crate) fn ego_mut(&mut self) -> &mut Vehicle {
+        &mut self.ego
+    }
+
+    /// Mutable NPC access for the batched integrator's scatter phase.
+    pub(crate) fn npcs_mut(&mut self) -> &mut [Npc] {
+        &mut self.npcs
     }
 
     /// Checks ego-vs-barrier and ego-vs-NPC contacts and classifies them.
