@@ -107,7 +107,10 @@ impl BehaviorPlanner {
         world
             .npcs()
             .iter()
-            .filter(|n| road.lane_of(n.vehicle.pose.position.y) == lane)
+            .filter(|n| {
+                let p = n.vehicle.pose.position;
+                road.lane_index_at(p.x, p.y) == lane
+            })
             .map(|n| n.vehicle.pose.position.x - x)
             .filter(|d| *d > 0.0)
             .min_by(|a, b| a.total_cmp(b))
@@ -118,7 +121,7 @@ impl BehaviorPlanner {
         let road = &world.scenario().road;
         !world.npcs().iter().any(|n| {
             let p = n.vehicle.pose.position;
-            road.lane_of(p.y) == lane
+            road.lane_index_at(p.x, p.y) == lane
                 && p.x > x - self.config.gap_behind
                 && p.x < x + self.config.gap_ahead
         })
@@ -144,7 +147,7 @@ impl BehaviorPlanner {
                 let crossed = (pos.y - road.lane_center_y(from_lane)).abs() > road.lane_width / 2.0;
                 let occupied = world.npcs().iter().any(|n| {
                     let p = n.vehicle.pose.position;
-                    road.lane_of(p.y) == self.target_lane
+                    road.lane_index_at(p.x, p.y) == self.target_lane
                         && p.x > pos.x - c.gap_behind
                         && p.x < pos.x + 10.0
                 });
@@ -188,9 +191,41 @@ impl BehaviorPlanner {
             Maneuver::KeepLane => {}
         }
 
+        // Forced merge: when the current target lane ends ahead (on-ramp
+        // deadline or lane drop), change into the merge target before the
+        // decision horizon runs out — immediately if the gap is clear, and
+        // unconditionally once the deadline is close enough that waiting
+        // would strand the ego on closing pavement.
+        if let Some(end) = road.lane_end_x(self.target_lane) {
+            let remaining = end - pos.x;
+            let target = road.merge_target(self.target_lane);
+            if remaining <= c.decision_distance
+                && (self.lane_clear(world, target, pos.x) || remaining <= c.change_distance + 10.0)
+            {
+                let from_lane = self.target_lane;
+                self.target_lane = target;
+                self.maneuver = Maneuver::Changing {
+                    from_x: pos.x,
+                    from_y: pos.y,
+                    from_lane,
+                };
+                return lane_change_path(
+                    road,
+                    pos.y,
+                    target,
+                    pos.x,
+                    c.change_distance,
+                    c.horizon,
+                    c.spacing,
+                    c.ref_speed,
+                );
+            }
+        }
+
         // Lane-change decision: a slower lead within decision distance in
         // the current target lane triggers a search for a clear lane,
-        // preferring the left (overtaking) side.
+        // preferring the left (overtaking) side. Lanes that are closed (or
+        // about to close) within the decision horizon are never candidates.
         if let Some(lead) = Self::lead_distance(world, self.target_lane, pos.x) {
             if lead < c.decision_distance {
                 let mut candidates = Vec::new();
@@ -200,6 +235,7 @@ impl BehaviorPlanner {
                 if self.target_lane > 0 {
                     candidates.push(self.target_lane - 1);
                 }
+                candidates.retain(|&lane| road.lane_open_at(lane, pos.x + c.decision_distance));
                 if let Some(&lane) = candidates
                     .iter()
                     .find(|&&lane| self.lane_clear(world, lane, pos.x))
@@ -254,8 +290,9 @@ impl BehaviorPlanner {
             // policy's imprecision would turn it into barrier strikes).
             let lane_y = road.lane_center_y(self.target_lane);
             let max_off = (road.lane_width - world.ego().params.width) / 2.0 - 0.2;
-            let max_left = (road.left_edge_y() - lane_y - 1.6).max(0.0);
-            let max_right = (lane_y - road.right_edge_y() - 1.6).max(0.0);
+            let (right_edge, left_edge) = road.edge_ys_at(pos.x);
+            let max_left = (left_edge - lane_y - 1.6).max(0.0);
+            let max_right = (lane_y - right_edge - 1.6).max(0.0);
             let offset = bias.clamp(-max_off, max_off).clamp(-max_right, max_left);
             path = drive_sim::waypoints::Path::new(
                 path.waypoints()
@@ -290,7 +327,10 @@ impl BehaviorPlanner {
             world
                 .npcs()
                 .iter()
-                .filter(|n| road.lane_of(n.vehicle.pose.position.y) == lane)
+                .filter(|n| {
+                    let p = n.vehicle.pose.position;
+                    road.lane_index_at(p.x, p.y) == lane
+                })
                 .filter(|n| n.vehicle.pose.position.x > pos.x)
                 .min_by(|a, b| {
                     a.vehicle
@@ -447,6 +487,42 @@ mod tests {
         let _ = p.plan(&world);
         assert_eq!(p.target_lane(), 1);
         assert_eq!(p.maneuver(), Maneuver::KeepLane);
+    }
+
+    #[test]
+    fn merges_out_of_an_ending_lane() {
+        // Ego keeps lane 2 of a lane-drop road; the drop is inside the
+        // decision horizon, so the planner must initiate a merge right.
+        let road = drive_sim::road::Road::lane_drop(3, 3.5, 1500.0, 40.0, 120.0);
+        let world = World::new(Scenario {
+            road,
+            ego_lane: 2,
+            npcs: vec![],
+            ..Default::default()
+        });
+        let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 2);
+        let _ = p.plan(&world);
+        assert_eq!(p.target_lane(), 1, "must merge out of the ending lane");
+        assert!(matches!(p.maneuver(), Maneuver::Changing { .. }));
+    }
+
+    #[test]
+    fn never_overtakes_into_a_closing_lane() {
+        // Slow lead ahead in lane 1; lane 2 closes within the decision
+        // horizon, so the planner must overtake right instead of left.
+        let road = drive_sim::road::Road::lane_drop(3, 3.5, 1500.0, 45.0, 120.0);
+        let world = World::new(Scenario {
+            road,
+            npcs: vec![NpcSpawn {
+                lane: 1,
+                x: 30.0,
+                speed: 6.0,
+            }],
+            ..Default::default()
+        });
+        let mut p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
+        let _ = p.plan(&world);
+        assert_eq!(p.target_lane(), 0, "lane 2 is closing, go right");
     }
 
     #[test]

@@ -345,6 +345,41 @@ fn fleet_rows() -> Vec<BenchResult> {
     ]
 }
 
+/// Seeded procedural scenario generation: 1000 scenarios per iteration,
+/// cycling the full axes grid (topology × density × speed mix × faults),
+/// each drawn from its own seed-tree node and validated on construction.
+fn bench_scenario_gen(c: &mut Criterion) {
+    use drive_sim::generate::{
+        generate, ScenarioAxes, SpeedMix, TopologyKind, TrafficDensity,
+    };
+    let mut axes = Vec::new();
+    for topology in TopologyKind::ALL {
+        for density in TrafficDensity::ALL {
+            for speed_mix in SpeedMix::ALL {
+                for fault_intensity in [0.0, 0.5] {
+                    axes.push(ScenarioAxes {
+                        topology,
+                        density,
+                        speed_mix,
+                        fault_intensity,
+                    });
+                }
+            }
+        }
+    }
+    c.bench_function("scenario_gen_1k", |b| {
+        let root = drive_seed::SeedTree::root(10_000).child("bench");
+        b.iter(|| {
+            let mut npcs = 0usize;
+            for i in 0..1000u64 {
+                let g = generate(axes[i as usize % axes.len()], &root.child(i));
+                npcs += g.spec.scenario().npcs.len();
+            }
+            black_box(npcs)
+        });
+    });
+}
+
 /// End-to-end virtual-time serving: one fixed-seed simulator run per
 /// iteration (arrival synthesis, batching, fault schedule, ladder).
 fn bench_serve_sim(c: &mut Criterion) {
@@ -450,6 +485,7 @@ fn main() {
     bench_sac_update(&mut c);
     bench_serve_micro_batch(&mut c);
     bench_fleet(&mut c);
+    bench_scenario_gen(&mut c);
     bench_serve_sim(&mut c);
     let mut serve_rows = serve_slo_rows();
     serve_rows.extend(fleet_rows());

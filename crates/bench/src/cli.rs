@@ -8,6 +8,8 @@
 //! * `--filter <substr>` — run every experiment whose name matches
 //! * `--all` — run the whole registry in order
 //! * `--smoke` (or `REPRO_SCALE=smoke`) — reduced evaluation scale
+//! * `--scale <smoke|paper>` — explicit evaluation scale (`paper`
+//!   overrides `REPRO_SCALE=smoke`)
 //! * `--quick` — quick-trained artifacts (CI preset, not paper numbers)
 //! * `--csv <dir>` / `--svg <dir>` — write data/figure outputs (a
 //!   `<name>.manifest.json` with per-file checksums lands next to them)
@@ -58,6 +60,9 @@ pub struct CliArgs {
     pub quick: bool,
     /// Use the reduced evaluation scale.
     pub smoke: bool,
+    /// Explicit `--scale paper`: forces the paper scale even when
+    /// `REPRO_SCALE=smoke` is set in the environment.
+    pub paper: bool,
     /// CSV output directory.
     pub csv: Option<PathBuf>,
     /// SVG output directory.
@@ -206,6 +211,27 @@ impl CliArgs {
                 "--all" | "all" => out.all = true,
                 "--quick" => out.quick = true,
                 "--smoke" => out.smoke = true,
+                "--scale" => {
+                    let raw = it
+                        .next()
+                        .ok_or_else(|| CliError::MissingValue("--scale".to_string()))?;
+                    match raw.as_str() {
+                        "smoke" => {
+                            out.smoke = true;
+                            out.paper = false;
+                        }
+                        "paper" => {
+                            out.paper = true;
+                            out.smoke = false;
+                        }
+                        _ => {
+                            return Err(CliError::InvalidValue(
+                                "--scale".to_string(),
+                                raw.clone(),
+                            ))
+                        }
+                    }
+                }
                 "--filter" => {
                     out.filter = Some(
                         it.next()
@@ -305,8 +331,12 @@ impl CliArgs {
         }
     }
 
-    /// The evaluation scale (`--smoke` flag or `REPRO_SCALE=smoke` env).
+    /// The evaluation scale (`--scale smoke|paper`, `--smoke`, or
+    /// `REPRO_SCALE=smoke` env; an explicit `--scale paper` wins).
     pub fn scale(&self) -> Scale {
+        if self.paper {
+            return Scale::paper();
+        }
         if self.smoke || std::env::var("REPRO_SCALE").is_ok_and(|v| v == "smoke") {
             Scale::smoke()
         } else {
@@ -593,6 +623,29 @@ mod tests {
         assert_eq!(args.perf_json.as_deref(), Some(Path::new("/tmp/p.json")));
         assert_eq!(args.select().unwrap().len(), 2);
         assert!(args.pipeline_config().dir.ends_with("a"));
+    }
+
+    #[test]
+    fn parses_scale_flag() {
+        let args = parse(&["scenario-matrix", "--scale", "smoke"]);
+        assert!(args.smoke && !args.paper);
+        assert_eq!(args.scale(), Scale::smoke());
+        let args = parse(&["scenario-matrix", "--scale", "paper"]);
+        assert!(args.paper && !args.smoke);
+        assert_eq!(args.scale(), Scale::paper());
+        // Last flag wins.
+        let args = parse(&["--smoke", "--scale", "paper"]);
+        assert_eq!(args.scale(), Scale::paper());
+        let bad: Vec<String> = vec!["--scale".into(), "huge".into()];
+        assert!(matches!(
+            CliArgs::parse(&bad),
+            Err(CliError::InvalidValue(..))
+        ));
+        let dangling: Vec<String> = vec!["--scale".into()];
+        assert!(matches!(
+            CliArgs::parse(&dangling),
+            Err(CliError::MissingValue(_))
+        ));
     }
 
     #[test]

@@ -191,6 +191,7 @@ static EXPERIMENTS: &[&dyn Experiment] = &[
     &crate::experiments::fig7::Fig7Experiment,
     &crate::experiments::fig8::Fig8Experiment,
     &crate::experiments::ablations::AblationsExperiment,
+    &crate::experiments::scenario_matrix::ScenarioMatrixExperiment,
 ];
 
 impl Registry {
@@ -408,7 +409,8 @@ mod tests {
                 "fig6",
                 "fig7",
                 "fig8",
-                "ablations"
+                "ablations",
+                "scenario-matrix"
             ],
             "fig8 must come after the fig5/fig7 sweeps it derives from"
         );

@@ -1,5 +1,5 @@
-//! One module per figure of the paper's evaluation, plus the §III baseline
-//! and the ablation studies.
+//! One module per figure of the paper's evaluation, plus the §III baseline,
+//! the ablation studies, and the generated scenario matrix.
 
 pub mod ablations;
 pub mod baseline;
@@ -8,3 +8,4 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod scenario_matrix;

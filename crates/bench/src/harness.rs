@@ -5,16 +5,18 @@
 use attack_core::adv_reward::AdvReward;
 use attack_core::budget::AttackBudget;
 use attack_core::defense::SimplexSwitcher;
-use attack_core::eval::run_attacked_episode;
 use attack_core::learned::LearnedAttacker;
 use attack_core::pipeline::{Artifacts, PipelineConfig};
 use attack_core::sensor::{AttackerSensor, SensorKind};
 use drive_agents::e2e::E2eAgent;
 use drive_agents::modular::{ModularAgent, ModularConfig};
 use drive_agents::Agent;
+use attack_core::eval::run_attacked_episode_with_faults;
 use drive_nn::gaussian::GaussianPolicy;
 use drive_sim::batch::Precision;
+use drive_sim::faults::{FaultInjector, FaultSchedule};
 use drive_sim::record::EpisodeRecord;
+use drive_sim::scenario::Scenario;
 
 /// The driving agents evaluated across the figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +120,33 @@ fn fleet_victim(kind: AgentKind, artifacts: &Artifacts) -> Option<&GaussianPolic
     }
 }
 
+/// A per-cell scenario override: an evaluation cell that runs on a
+/// scenario other than the pipeline's default freeway (the
+/// `scenario-matrix` experiment's generated worlds), optionally with a
+/// benign fault schedule in the loop.
+///
+/// The `fingerprint` is mixed into the journal cell key and label so a
+/// generated-scenario cell can never replay records from the default
+/// scenario (or from a differently generated one).
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCell<'a> {
+    /// The world the cell's episodes run in.
+    pub scenario: &'a Scenario,
+    /// Stable content hash of the scenario (see
+    /// `drive_sim::scenario::ScenarioSpec::fingerprint`).
+    pub fingerprint: u64,
+    /// Optional actuation-side fault schedule; `None` or a no-op schedule
+    /// leaves the loop fault-free.
+    pub faults: Option<&'a FaultSchedule>,
+}
+
+impl<'a> ScenarioCell<'a> {
+    /// Whether this cell injects actuation faults.
+    fn has_faults(&self) -> bool {
+        self.faults.is_some_and(|f| !f.is_noop())
+    }
+}
+
 /// Collects attacked episode records for one `(agent, attack policy,
 /// budget)` cell.
 ///
@@ -133,6 +162,24 @@ pub fn attacked_records(
     episodes: usize,
     seeds: &drive_seed::SeedTree,
 ) -> Vec<EpisodeRecord> {
+    attacked_records_in(kind, attack, budget, ctx, episodes, seeds, None)
+}
+
+/// [`attacked_records`] with an optional [`ScenarioCell`] override.
+///
+/// With `cell == None` this is byte-identical to [`attacked_records`] —
+/// same records, same journal keys — so every pre-existing experiment and
+/// journal is unaffected. With an override, the scenario fingerprint (and
+/// a fault tag, when scheduled) extends the cell label and journal key.
+pub fn attacked_records_in(
+    kind: AgentKind,
+    attack: Option<(&GaussianPolicy, SensorKind)>,
+    budget: AttackBudget,
+    ctx: &crate::engine::RunContext,
+    episodes: usize,
+    seeds: &drive_seed::SeedTree,
+    cell: Option<ScenarioCell<'_>>,
+) -> Vec<EpisodeRecord> {
     // Crash-safety fast path: a cell journaled by an earlier (killed) run
     // replays from its sidecar. The key pins everything the records are a
     // function of — the seed namespace, the run seed, and the cell's own
@@ -146,32 +193,52 @@ pub fn attacked_records(
     // Fleet-stepped Golden cells share the serial key (they are
     // byte-identical — see `attack_core::fleet`); Fast (`f32`) cells get a
     // distinct key so reduced-precision records can never be replayed into
-    // a golden run, or vice versa.
-    let fleet_routable = ctx.fleet.is_some() && fleet_victim(kind, ctx.artifacts).is_some();
+    // a golden run, or vice versa. Faulted cells carry per-step injector
+    // state that does not batch, so they stay on the serial path.
+    let fleet_routable = ctx.fleet.is_some()
+        && fleet_victim(kind, ctx.artifacts).is_some()
+        && !cell.is_some_and(|c| c.has_faults());
     let precision_tag = if fleet_routable && ctx.precision == Precision::Fast {
         "|f32"
     } else {
         ""
     };
+    // Scenario-override cells key on the scenario's content hash (and its
+    // fault schedule); the default scenario keeps the tagless legacy key.
+    let scenario_tag = match cell {
+        None => String::new(),
+        Some(c) => {
+            let fault_tag = match c.faults.filter(|f| !f.is_noop()) {
+                None => String::new(),
+                Some(f) => format!(
+                    "|flt={:016x}",
+                    drive_seed::fnv1a_64(format!("{f:?}").as_bytes())
+                ),
+            };
+            format!("|scn={:016x}{}", c.fingerprint, fault_tag)
+        }
+    };
     let cell_label = format!(
-        "{}|{}|{}|eps={}|{}ep{}",
+        "{}|{}|{}|eps={}|{}ep{}{}",
         seeds.path(),
         kind.label(),
         sensor_name,
         budget.epsilon(),
         episodes,
-        precision_tag
+        precision_tag,
+        scenario_tag
     );
     let cell_key = drive_seed::fnv1a_64(
         format!(
-            "cell|{}|{:016x}|{:?}|{}|{:016x}|{}{}",
+            "cell|{}|{:016x}|{:?}|{}|{:016x}|{}{}{}",
             seeds.path(),
             ctx.scale.seed,
             kind,
             sensor_name,
             budget.epsilon().to_bits(),
             episodes,
-            precision_tag
+            precision_tag,
+            scenario_tag
         )
         .as_bytes(),
     );
@@ -189,6 +256,8 @@ pub fn attacked_records(
     }
     let artifacts = ctx.artifacts;
     let config = ctx.config;
+    let scenario = cell.map_or(&config.scenario, |c| c.scenario);
+    let fault_schedule = cell.and_then(|c| c.faults.filter(|f| !f.is_noop()));
     let adv = AdvReward::default();
     // Fleet fast path: plain-GaussianPolicy victims batch across episodes
     // (one GEMM per layer per lockstep step). Golden precision is
@@ -207,7 +276,7 @@ pub fn attacked_records(
             imu: config.imu.clone(),
             budget,
             adv: AdvReward::default(),
-            scenario: config.scenario.clone(),
+            scenario: scenario.clone(),
         };
         let plan = attack_core::fleet::FleetPlan {
             batch,
@@ -261,14 +330,16 @@ pub fn attacked_records(
                     true,
                 ))
             });
-            run_attacked_episode(
+            let mut faults = fault_schedule.map(|s| FaultInjector::for_episode(s, seed));
+            run_attacked_episode_with_faults(
                 agent.as_mut(),
                 attacker
                     .as_mut()
                     .map(|a| a as &mut dyn drive_agents::runner::SteerAttacker),
                 &adv,
-                &config.scenario,
+                scenario,
                 seed,
+                faults.as_mut(),
             )
         },
     );
@@ -494,6 +565,87 @@ mod tests {
             "Fast must journal under its own cell key"
         );
         assert_eq!(golden.len(), fast.len());
+    }
+
+    /// A scenario-override cell must (a) journal under its own key, (b)
+    /// actually run on the overridden world, and (c) stay byte-identical
+    /// between the serial and fleet paths.
+    #[test]
+    fn scenario_override_keys_and_fleet_parity() {
+        use drive_sim::scenario::ScenarioSpec;
+        let (artifacts, config) = quick_setup();
+        let dir = std::env::temp_dir().join("repro-bench-scn-key-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+        let journal = std::sync::Arc::new(
+            crate::journal::JournalHandle::create(&dir, base.run_header()).unwrap(),
+        );
+        let mut ctx = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+        ctx.journal = Some(journal.clone());
+        let seeds = ctx.seeds.child("scn-test");
+        let default_records = attacked_records(
+            AgentKind::E2e,
+            None,
+            AttackBudget::ZERO,
+            &ctx,
+            2,
+            &seeds,
+        );
+        assert_eq!(journal.cell_count(), 1);
+        let spec = ScenarioSpec::on_ramp_merge();
+        let cell = ScenarioCell {
+            scenario: spec.scenario(),
+            fingerprint: spec.fingerprint(),
+            faults: None,
+        };
+        let overridden = attacked_records_in(
+            AgentKind::E2e,
+            None,
+            AttackBudget::ZERO,
+            &ctx,
+            2,
+            &seeds,
+            Some(cell),
+        );
+        assert_eq!(
+            journal.cell_count(),
+            2,
+            "override must journal under its own cell key"
+        );
+        assert_ne!(
+            default_records, overridden,
+            "override must actually run on the generated world"
+        );
+        // Fleet parity on the overridden scenario.
+        let mut fleet_ctx = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
+        fleet_ctx.fleet = Some(3);
+        let fleet = attacked_records_in(
+            AgentKind::E2e,
+            None,
+            AttackBudget::ZERO,
+            &fleet_ctx,
+            2,
+            &seeds,
+            Some(cell),
+        );
+        assert_eq!(fleet, overridden);
+        // A faulted cell keys differently from the fault-free override and
+        // stays off the fleet path (covered by the serial-only routing).
+        let schedule = FaultSchedule::benign(0.5, 7);
+        let faulted = attacked_records_in(
+            AgentKind::E2e,
+            None,
+            AttackBudget::ZERO,
+            &ctx,
+            2,
+            &seeds,
+            Some(ScenarioCell {
+                faults: Some(&schedule),
+                ..cell
+            }),
+        );
+        assert_eq!(journal.cell_count(), 3);
+        assert_eq!(faulted.len(), 2);
     }
 
     #[test]

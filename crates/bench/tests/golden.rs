@@ -34,7 +34,7 @@ fn out_dir(name: &str) -> PathBuf {
 }
 
 #[test]
-fn registry_covers_all_seven_experiments() {
+fn registry_covers_all_experiments() {
     let names: Vec<&str> = Registry::all().iter().map(|e| e.name()).collect();
     assert_eq!(
         names,
@@ -45,7 +45,8 @@ fn registry_covers_all_seven_experiments() {
             "fig6",
             "fig7",
             "fig8",
-            "ablations"
+            "ablations",
+            "scenario-matrix"
         ]
     );
 }

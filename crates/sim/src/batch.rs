@@ -430,6 +430,74 @@ mod tests {
         ]
     }
 
+    /// The batch path must stay bit-identical to serial on non-straight
+    /// topologies too: merge-steering NPCs and x-dependent barrier checks
+    /// all run inside the shared `begin_step`/`conclude_step` core.
+    #[test]
+    fn topology_scenarios_batch_identical_to_serial() {
+        use crate::scenario::ScenarioSpec;
+        let specs = [ScenarioSpec::on_ramp_merge(), ScenarioSpec::lane_drop()];
+        let scenario_at = |slot: u64| -> Scenario {
+            let spec = &specs[(slot % 2) as usize];
+            let mut s = spec
+                .scenario()
+                .clone()
+                .jittered(&mut StdRng::seed_from_u64(300 + slot));
+            s.max_steps = 60 + (slot as usize % 5) * 13;
+            s
+        };
+        let batch = 8usize;
+        // Serial references.
+        let serial: Vec<Vec<[u64; 4]>> = (0..batch as u64)
+            .map(|slot| {
+                let scenario = scenario_at(slot);
+                let script = action_script(slot, scenario.max_steps);
+                let mut w = World::new(scenario);
+                let mut trace = Vec::new();
+                for a in script {
+                    w.step(a);
+                    trace.push(ego_bits(&w));
+                    if w.is_done() {
+                        break;
+                    }
+                }
+                trace
+            })
+            .collect();
+        // Batched run, mirrored through compact().
+        let mut wb = WorldBatch::new(Precision::Golden);
+        for slot in 0..batch as u64 {
+            wb.push(World::new(scenario_at(slot)));
+        }
+        let scripts: Vec<Vec<Actuation>> = (0..batch as u64)
+            .map(|s| action_script(s, scenario_at(s).max_steps))
+            .collect();
+        let mut ids: Vec<usize> = (0..batch).collect();
+        let mut steps_seen: Vec<usize> = vec![0; batch];
+        let mut outcomes = Vec::new();
+        while !wb.is_empty() {
+            let actions: Vec<Actuation> = ids
+                .iter()
+                .zip(wb.worlds())
+                .map(|(&id, w)| scripts[id][w.step_index()])
+                .collect();
+            wb.step(&actions, &mut outcomes);
+            for (dense, w) in wb.worlds().iter().enumerate() {
+                let id = ids[dense];
+                let t = steps_seen[id];
+                assert_eq!(
+                    serial[id][t],
+                    ego_bits(w),
+                    "topology slot {id} step {t}: batch diverged from serial"
+                );
+                steps_seen[id] += 1;
+            }
+            wb.compact(|dense, _| {
+                ids.swap_remove(dense);
+            });
+        }
+    }
+
     /// The Golden batch path must reproduce serial episodes BIT-FOR-BIT at
     /// every step, across batch sizes and with slots retiring mid-flight.
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod batch;
 pub mod faults;
+pub mod generate;
 pub mod geometry;
 pub mod npc;
 pub mod perf;
@@ -45,18 +46,23 @@ pub mod prelude {
         FaultInjector, FaultKind, FaultSchedule, FaultSpec, FaultStats, FaultedCamera,
         FaultedFeatureExtractor, FaultedImu,
     };
+    pub use crate::generate::{
+        GeneratedScenario, ScenarioAxes, SpeedMix, TopologyKind, TrafficDensity,
+    };
     pub use crate::geometry::{normalize_angle, Obb, Pose, Vec2};
     pub use crate::npc::{LeadInfo, Npc};
     pub use crate::record::EpisodeRecord;
     pub use crate::render::{render_strip, RenderConfig};
-    pub use crate::road::Road;
-    pub use crate::scenario::{NpcSpawn, Scenario};
+    pub use crate::road::{Road, RoadTopology};
+    pub use crate::scenario::{NpcSpawn, Scenario, ScenarioSpec};
     pub use crate::sensors::{
         FeatureConfig, FeatureExtractor, Imu, ImuConfig, SemanticCamera, SemanticClass,
     };
     pub use crate::trace::{EpisodeTrace, StepTrace, VehicleSnapshot};
     pub use crate::vehicle::{Actuation, Vehicle, VehicleParams};
-    pub use crate::waypoints::{lane_change_path, lane_keep_path, Path, PathProjection, Waypoint};
+    pub use crate::waypoints::{
+        lane_change_path, lane_keep_path, route_path, Path, PathProjection, Waypoint,
+    };
     pub use crate::world::{
         classify_contact, CollisionEvent, CollisionKind, RelativeGeometry, StepOutcome,
         Termination, World,

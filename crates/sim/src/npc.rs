@@ -24,6 +24,14 @@ pub struct NpcControllerParams {
     pub time_headway: f64,
     /// Minimum standstill gap, meters.
     pub min_gap: f64,
+    /// Distance before an ending lane's merge deadline at which the NPC
+    /// starts steering for the merge target lane, meters.
+    #[serde(default = "default_merge_lookahead")]
+    pub merge_lookahead: f64,
+}
+
+fn default_merge_lookahead() -> f64 {
+    60.0
 }
 
 impl Default for NpcControllerParams {
@@ -34,6 +42,7 @@ impl Default for NpcControllerParams {
             k_speed: 0.5,
             time_headway: 1.5,
             min_gap: 6.0,
+            merge_lookahead: default_merge_lookahead(),
         }
     }
 }
@@ -73,22 +82,37 @@ impl Npc {
         }
     }
 
+    /// The lane this NPC is currently steering for: its assigned lane until
+    /// an upcoming merge deadline ([`Road::lane_end_x`]) forces it into the
+    /// merge target. On a straight road this is always the assigned lane.
+    pub fn active_lane(&self, road: &Road) -> usize {
+        match road.lane_end_x(self.lane) {
+            Some(end) if self.vehicle.pose.position.x + self.controller.merge_lookahead >= end => {
+                road.merge_target(self.lane)
+            }
+            _ => self.lane,
+        }
+    }
+
     /// Computes this NPC's actuation-variation command.
     ///
     /// `others` lists every other vehicle on the road (ego included); the
-    /// nearest one ahead in the same lane bounds the target speed through a
-    /// constant-time-headway rule.
+    /// nearest one ahead in the active lane bounds the target speed through
+    /// a constant-time-headway rule. When the assigned lane is ending, the
+    /// NPC steers for the merge target lane and yields to any vehicle
+    /// already alongside there.
     pub fn control(&self, road: &Road, others: &[LeadInfo]) -> Actuation {
         let p = &self.controller;
         let pos = self.vehicle.pose.position;
-        let offset = pos.y - road.lane_center_y(self.lane);
+        let lane = self.active_lane(road);
+        let offset = pos.y - road.lane_center_y(lane);
         let steer = -(p.k_lateral * offset + p.k_heading * self.vehicle.pose.heading);
 
-        // Car following: find the nearest lead in the same lane.
+        // Car following: find the nearest lead in the active lane.
         let mut target_speed = self.ref_speed;
         let lead = others
             .iter()
-            .filter(|o| o.lane == self.lane && o.x > pos.x)
+            .filter(|o| o.lane == lane && o.x > pos.x)
             .min_by(|a, b| a.x.total_cmp(&b.x));
         if let Some(lead) = lead {
             let gap = lead.x - pos.x;
@@ -100,6 +124,17 @@ impl Npc {
                 target_speed = target_speed.min(self.ref_speed);
             }
         }
+        if lane != self.lane {
+            // Mid-merge: if someone in the target lane is alongside, drop
+            // below their speed so the gap opens behind them.
+            let blocker = others
+                .iter()
+                .filter(|o| o.lane == lane && (o.x - pos.x).abs() < p.min_gap)
+                .min_by(|a, b| (a.x - pos.x).abs().total_cmp(&(b.x - pos.x).abs()));
+            if let Some(blocker) = blocker {
+                target_speed = target_speed.min((blocker.speed - 1.0).max(0.0));
+            }
+        }
         let thrust = p.k_speed * (target_speed - self.vehicle.speed);
         Actuation::new(steer, thrust)
     }
@@ -108,7 +143,7 @@ impl Npc {
     pub fn lead_info(&self, road: &Road) -> LeadInfo {
         LeadInfo {
             x: self.vehicle.pose.position.x,
-            lane: road.lane_of(self.vehicle.pose.position.y),
+            lane: road.lane_index_at(self.vehicle.pose.position.x, self.vehicle.pose.position.y),
             speed: self.vehicle.speed,
         }
     }
@@ -207,6 +242,64 @@ mod tests {
         let a = npc.control(&road, &[behind]);
         let a_free = npc.control(&road, &[]);
         assert_eq!(a, a_free);
+    }
+
+    #[test]
+    fn straight_road_never_merges() {
+        let road = Road::default();
+        let npc = npc_at(&road, 1, 1400.0, 6.0);
+        assert_eq!(npc.active_lane(&road), 1);
+    }
+
+    #[test]
+    fn ramp_npc_merges_into_lane_zero_before_deadline() {
+        let road = Road::on_ramp(3, 3.5, 1500.0, 0.0, 250.0, 330.0);
+        let mut npc = npc_at(&road, 3, 20.0, 8.0);
+        assert_eq!(npc.active_lane(&road), 3, "far from the deadline");
+        // Drive until past merge_start; the controller must have pulled the
+        // NPC onto the mainline by then.
+        while npc.vehicle.pose.position.x < 250.0 {
+            let a = npc.control(&road, &[]);
+            npc.vehicle.step(a, 0.1, 5);
+        }
+        assert_eq!(npc.active_lane(&road), 0);
+        let offset = npc.vehicle.pose.position.y - road.lane_center_y(0);
+        assert!(
+            offset.abs() < 0.6,
+            "should be in lane 0 at the deadline, offset {offset}"
+        );
+    }
+
+    #[test]
+    fn lane_drop_npc_merges_right() {
+        let road = Road::lane_drop(3, 3.5, 1500.0, 300.0, 380.0);
+        let mut npc = npc_at(&road, 2, 50.0, 8.0);
+        assert_eq!(npc.active_lane(&road), 2);
+        while npc.vehicle.pose.position.x < 300.0 {
+            let a = npc.control(&road, &[]);
+            npc.vehicle.step(a, 0.1, 5);
+        }
+        assert_eq!(npc.active_lane(&road), 1);
+        let offset = npc.vehicle.pose.position.y - road.lane_center_y(1);
+        assert!(offset.abs() < 0.6, "offset {offset}");
+    }
+
+    #[test]
+    fn merging_npc_yields_to_alongside_traffic() {
+        let road = Road::on_ramp(3, 3.5, 1500.0, 0.0, 250.0, 330.0);
+        // Inside the merge window with a mainline car right alongside.
+        let npc = npc_at(&road, 3, 220.0, 6.0);
+        let blocker = LeadInfo {
+            x: 221.0,
+            lane: 0,
+            speed: 6.0,
+        };
+        let a_yield = npc.control(&road, &[blocker]);
+        let a_free = npc.control(&road, &[]);
+        assert!(
+            a_yield.thrust < a_free.thrust,
+            "must brake to open a gap: {a_yield:?} vs {a_free:?}"
+        );
     }
 
     #[test]

@@ -139,8 +139,9 @@ impl FeatureExtractor {
         f.push((ego.speed / c.speed_norm) as f32);
         f.push(ego.actuation.steer as f32);
         f.push(ego.actuation.thrust as f32);
-        f.push(((road.left_edge_y() - pos.y) / road.width()) as f32);
-        f.push(((pos.y - road.right_edge_y()) / road.width()) as f32);
+        let (right_edge, left_edge) = road.edge_ys_at(pos.x);
+        f.push(((left_edge - pos.y) / road.width()) as f32);
+        f.push(((pos.y - right_edge) / road.width()) as f32);
         f.push((road.lane_of(pos.y) as f64 / (road.num_lanes.max(2) - 1) as f64) as f32);
         debug_assert_eq!(f.len(), EGO_FEATURES);
 
@@ -240,12 +241,13 @@ impl SemanticCamera {
                 let fx = (c as f64 + 0.5) / self.cols as f64;
                 let x = ego.x - self.range_behind + fx * (self.range_ahead + self.range_behind);
                 let p = Vec2::new(x, y);
+                let (right_edge, left_edge) = road.edge_ys_at(x);
                 let class = if obbs.iter().any(|o| o.contains(p)) {
                     SemanticClass::Vehicle
                 } else if road.on_road(p) {
                     SemanticClass::Road
-                } else if y.abs() <= road.left_edge_y() + road.barrier_thickness
-                    && y.abs() >= road.left_edge_y()
+                } else if (y >= left_edge && y <= left_edge + road.barrier_thickness)
+                    || (y <= right_edge && y >= right_edge - road.barrier_thickness)
                 {
                     SemanticClass::Barrier
                 } else {

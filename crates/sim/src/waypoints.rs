@@ -192,6 +192,53 @@ pub fn lane_change_path(
     Path::new(points)
 }
 
+/// Generates a topology-aware route along `lane`: identical to
+/// [`lane_keep_path`] on lanes that run the whole road, but when `lane`
+/// ends ([`Road::lane_end_x`]) the path blends into the merge target
+/// lane's center over the `merge_lookahead` meters before the deadline.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `spacing <= 0`, or `merge_lookahead <= 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn route_path(
+    road: &Road,
+    lane: usize,
+    x0: f64,
+    n: usize,
+    spacing: f64,
+    speed: f64,
+    merge_lookahead: f64,
+) -> Path {
+    assert!(merge_lookahead > 0.0, "merge lookahead must be positive");
+    let Some(end) = road.lane_end_x(lane) else {
+        return lane_keep_path(road, lane, x0, n, spacing, speed);
+    };
+    assert!(
+        n > 0 && spacing > 0.0,
+        "need n > 0 samples and positive spacing"
+    );
+    let y0 = road.lane_center_y(lane);
+    let y1 = road.lane_center_y(road.merge_target(lane));
+    let dy = y1 - y0;
+    let blend_start = end - merge_lookahead;
+    let points = (0..n)
+        .map(|i| {
+            let x = x0 + i as f64 * spacing;
+            let u = ((x - blend_start) / merge_lookahead).clamp(0.0, 1.0);
+            let y = y0 + dy * quintic_blend(u);
+            let dblend = 30.0 * u * u * (1.0 - u) * (1.0 - u);
+            let slope = dy * dblend / merge_lookahead;
+            Waypoint {
+                position: Vec2::new(x, y),
+                heading: slope.atan(),
+                target_speed: speed,
+            }
+        })
+        .collect();
+    Path::new(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +329,40 @@ mod tests {
     #[should_panic(expected = "at least one waypoint")]
     fn empty_path_rejected() {
         let _ = Path::new(vec![]);
+    }
+
+    #[test]
+    fn route_path_on_straight_equals_lane_keep() {
+        let r = road();
+        let keep = lane_keep_path(&r, 1, 5.0, 30, 2.0, 16.0);
+        let route = route_path(&r, 1, 5.0, 30, 2.0, 16.0, 60.0);
+        assert_eq!(keep.waypoints(), route.waypoints());
+    }
+
+    #[test]
+    fn route_path_merges_off_the_ramp() {
+        let r = Road::on_ramp(3, 3.5, 1500.0, 0.0, 250.0, 330.0);
+        let p = route_path(&r, 3, 0.0, 150, 2.0, 10.0, 60.0);
+        let first = p.waypoints().first().unwrap();
+        let last = p.waypoints().last().unwrap();
+        // Starts on the ramp center, ends on lane 0's center, level.
+        assert!((first.position.y - r.lane_center_y(3)).abs() < 1e-12);
+        assert!((last.position.y - r.lane_center_y(0)).abs() < 1e-9);
+        assert!(last.heading.abs() < 1e-9);
+        // The merge completes by the deadline.
+        let at_deadline = p
+            .waypoints()
+            .iter()
+            .find(|w| w.position.x >= 250.0)
+            .unwrap();
+        assert!((at_deadline.position.y - r.lane_center_y(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_path_merges_before_lane_drop() {
+        let r = Road::lane_drop(3, 3.5, 1500.0, 300.0, 380.0);
+        let p = route_path(&r, 2, 200.0, 80, 2.0, 12.0, 60.0);
+        let last = p.waypoints().last().unwrap();
+        assert!((last.position.y - r.lane_center_y(1)).abs() < 1e-9);
     }
 }

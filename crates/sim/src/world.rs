@@ -261,7 +261,10 @@ impl World {
             .collect();
         leads.push(LeadInfo {
             x: self.ego.pose.position.x,
-            lane: self.scenario.road.lane_of(self.ego.pose.position.y),
+            lane: self
+                .scenario
+                .road
+                .lane_index_at(self.ego.pose.position.x, self.ego.pose.position.y),
             speed: self.ego.speed,
         });
         let npc_controls: Vec<Actuation> = self
@@ -325,9 +328,10 @@ impl World {
         let road = &self.scenario.road;
         let ego_obb = self.ego.obb();
 
-        // Barrier: any ego corner beyond a road edge.
+        // Barrier: any ego corner beyond a road edge at that corner's x.
         for corner in ego_obb.corners() {
-            if corner.y >= road.left_edge_y() || corner.y <= road.right_edge_y() {
+            let (right_edge, left_edge) = road.edge_ys_at(corner.x);
+            if corner.y >= left_edge || corner.y <= right_edge {
                 return Some(CollisionEvent {
                     kind: CollisionKind::Barrier,
                     npc_index: None,

@@ -97,6 +97,8 @@ pub mod arbitrary {
         u8 => u8::MIN, u8::MAX;
         u16 => u16::MIN, u16::MAX;
         u32 => u32::MIN, u32::MAX;
+        u64 => u64::MIN, u64::MAX;
+        usize => usize::MIN, usize::MAX;
         i32 => i32::MIN, i32::MAX;
         i64 => i64::MIN, i64::MAX;
     }
