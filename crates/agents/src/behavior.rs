@@ -10,7 +10,7 @@
 
 use drive_sim::geometry::Vec2;
 use drive_sim::road::Road;
-use drive_sim::waypoints::{lane_change_path, lane_keep_path, Path};
+use drive_sim::waypoints::{lane_change_path_into, lane_keep_path_into, Path};
 use drive_sim::world::World;
 use serde::{Deserialize, Serialize};
 
@@ -65,15 +65,40 @@ pub enum Maneuver {
     },
 }
 
+/// Memoized lane-change path. The path produced by the `Changing` branch
+/// depends only on `(y0, target-lane center, x0)` and the planner's fixed
+/// config, and those stay constant for the entire maneuver — so the 40
+/// `atan` calls of `lane_change_path_into` run once per maneuver and every
+/// following step copies the cached waypoints instead.
+#[derive(Debug, Clone, Default)]
+struct ChangeCache {
+    /// `(y0, target-lane center y, x0)` as bits, when the cache is valid.
+    key: Option<(u64, u64, u64)>,
+    path: Path,
+}
+
 /// Stateful lane-change planner.
 ///
 /// One instance per episode; call [`BehaviorPlanner::plan`] every control
 /// step to obtain the current local waypoint path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BehaviorPlanner {
     config: BehaviorConfig,
     target_lane: usize,
     maneuver: Maneuver,
+    /// Not part of the logical planner state (pure memoization).
+    #[serde(skip, default)]
+    change_cache: ChangeCache,
+}
+
+// The cache is excluded from equality: a deserialized planner (empty
+// cache) must compare equal to the live planner it was saved from.
+impl PartialEq for BehaviorPlanner {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.target_lane == other.target_lane
+            && self.maneuver == other.maneuver
+    }
 }
 
 impl BehaviorPlanner {
@@ -83,7 +108,47 @@ impl BehaviorPlanner {
             config,
             target_lane: initial_lane,
             maneuver: Maneuver::KeepLane,
+            // Pre-sized so the first memoized maneuver allocates nothing.
+            change_cache: ChangeCache {
+                key: None,
+                path: Path::with_capacity(config.horizon),
+            },
         }
+    }
+
+    /// `lane_change_path_into` through the maneuver-lifetime memo: a hit
+    /// copies the cached waypoints (the inputs are bitwise those of the
+    /// cached build, so the output is bitwise identical too); a miss
+    /// builds normally and refreshes the cache.
+    #[allow(clippy::too_many_arguments)]
+    fn change_path_cached(
+        &mut self,
+        road: &Road,
+        y0: f64,
+        target_lane: usize,
+        x0: f64,
+        out: &mut Path,
+    ) {
+        let c = self.config;
+        let y1 = road.lane_center_y(target_lane);
+        let key = (y0.to_bits(), y1.to_bits(), x0.to_bits());
+        if self.change_cache.key == Some(key) {
+            out.copy_from(&self.change_cache.path);
+            return;
+        }
+        lane_change_path_into(
+            road,
+            y0,
+            target_lane,
+            x0,
+            c.change_distance,
+            c.horizon,
+            c.spacing,
+            c.ref_speed,
+            out,
+        );
+        self.change_cache.path.copy_from(out);
+        self.change_cache.key = Some(key);
     }
 
     /// The lane the planner is currently steering towards.
@@ -129,7 +194,20 @@ impl BehaviorPlanner {
 
     /// Updates the lane decision and returns the local waypoint plan from
     /// the ego vehicle's current position.
+    ///
+    /// Allocates a fresh [`Path`] per call; hot loops should hold a reused
+    /// buffer and call [`BehaviorPlanner::plan_into`] instead.
     pub fn plan(&mut self, world: &World) -> Path {
+        let mut out = Path::default();
+        self.plan_into(world, &mut out);
+        out
+    }
+
+    /// [`BehaviorPlanner::plan`], writing the waypoints into `out` (cleared
+    /// first). After warmup the call is allocation-free: the waypoint
+    /// buffer, the candidate-lane array, and the wide-berth offset all live
+    /// in reused or stack storage.
+    pub fn plan_into(&mut self, world: &World, out: &mut Path) {
         let road = &world.scenario().road;
         let ego = world.ego();
         let pos = ego.pose.position;
@@ -159,16 +237,8 @@ impl BehaviorPlanner {
                         from_y: pos.y,
                         from_lane: old_target,
                     };
-                    return lane_change_path(
-                        road,
-                        pos.y,
-                        from_lane,
-                        pos.x,
-                        c.change_distance,
-                        c.horizon,
-                        c.spacing,
-                        c.ref_speed,
-                    );
+                    self.change_path_cached(road, pos.y, from_lane, pos.x, out);
+                    return;
                 }
                 // Change completes once the blend distance has been covered
                 // and the ego is near the target center.
@@ -176,16 +246,8 @@ impl BehaviorPlanner {
                 if pos.x - from_x >= c.change_distance && (pos.y - target_y).abs() < 0.4 {
                     self.maneuver = Maneuver::KeepLane;
                 } else {
-                    return lane_change_path(
-                        road,
-                        from_y,
-                        self.target_lane,
-                        from_x,
-                        c.change_distance,
-                        c.horizon,
-                        c.spacing,
-                        c.ref_speed,
-                    );
+                    self.change_path_cached(road, from_y, self.target_lane, from_x, out);
+                    return;
                 }
             }
             Maneuver::KeepLane => {}
@@ -209,16 +271,8 @@ impl BehaviorPlanner {
                     from_y: pos.y,
                     from_lane,
                 };
-                return lane_change_path(
-                    road,
-                    pos.y,
-                    target,
-                    pos.x,
-                    c.change_distance,
-                    c.horizon,
-                    c.spacing,
-                    c.ref_speed,
-                );
+                self.change_path_cached(road, pos.y, target, pos.x, out);
+                return;
             }
         }
 
@@ -228,16 +282,21 @@ impl BehaviorPlanner {
         // about to close) within the decision horizon are never candidates.
         if let Some(lead) = Self::lead_distance(world, self.target_lane, pos.x) {
             if lead < c.decision_distance {
-                let mut candidates = Vec::new();
+                // At most two adjacent lanes, left preferred: a fixed-size
+                // candidate array keeps the decision allocation-free.
+                let mut candidates = [0usize; 2];
+                let mut n_cand = 0;
                 if self.target_lane + 1 < road.num_lanes {
-                    candidates.push(self.target_lane + 1);
+                    candidates[n_cand] = self.target_lane + 1;
+                    n_cand += 1;
                 }
                 if self.target_lane > 0 {
-                    candidates.push(self.target_lane - 1);
+                    candidates[n_cand] = self.target_lane - 1;
+                    n_cand += 1;
                 }
-                candidates.retain(|&lane| road.lane_open_at(lane, pos.x + c.decision_distance));
-                if let Some(&lane) = candidates
+                if let Some(&lane) = candidates[..n_cand]
                     .iter()
+                    .filter(|&&lane| road.lane_open_at(lane, pos.x + c.decision_distance))
                     .find(|&&lane| self.lane_clear(world, lane, pos.x))
                 {
                     let from_lane = self.target_lane;
@@ -247,16 +306,8 @@ impl BehaviorPlanner {
                         from_y: pos.y,
                         from_lane,
                     };
-                    return lane_change_path(
-                        road,
-                        pos.y,
-                        lane,
-                        pos.x,
-                        c.change_distance,
-                        c.horizon,
-                        c.spacing,
-                        c.ref_speed,
-                    );
+                    self.change_path_cached(road, pos.y, lane, pos.x, out);
+                    return;
                 }
             }
         }
@@ -265,13 +316,14 @@ impl BehaviorPlanner {
         // vehicle in an adjacent lane, bias the path away from it (within
         // the own lane) to maximize the margin a steering fault or attack
         // would have to cross.
-        let mut path = lane_keep_path(
+        lane_keep_path_into(
             road,
             self.target_lane,
             pos.x,
             c.horizon,
             c.spacing,
             c.ref_speed,
+            out,
         );
         let lane_y = road.lane_center_y(self.target_lane);
         let mut bias: f64 = 0.0;
@@ -294,20 +346,8 @@ impl BehaviorPlanner {
             let max_left = (left_edge - lane_y - 1.6).max(0.0);
             let max_right = (lane_y - right_edge - 1.6).max(0.0);
             let offset = bias.clamp(-max_off, max_off).clamp(-max_right, max_left);
-            path = drive_sim::waypoints::Path::new(
-                path.waypoints()
-                    .iter()
-                    .map(|w| drive_sim::waypoints::Waypoint {
-                        position: drive_sim::geometry::Vec2::new(
-                            w.position.x,
-                            w.position.y + offset,
-                        ),
-                        ..*w
-                    })
-                    .collect(),
-            );
+            out.offset_lateral(offset);
         }
-        path
     }
 
     /// Desired speed given the traffic ahead: the reference speed, reduced
@@ -638,6 +678,52 @@ mod tests {
         let p = BehaviorPlanner::new(BehaviorConfig::default(), 1);
         let v = p.desired_speed(&world);
         assert!(v < 6.0, "defensive brake expected, desired {v}");
+    }
+
+    #[test]
+    fn plan_into_matches_plan_through_a_full_episode() {
+        // Drive a scripted episode twice — once through the allocating
+        // `plan` and once through `plan_into` with one reused buffer — and
+        // require identical decisions and waypoints at every step.
+        let road = drive_sim::road::Road::lane_drop(3, 3.5, 1500.0, 300.0, 380.0);
+        let mut world = World::new(Scenario {
+            road,
+            npcs: vec![
+                NpcSpawn {
+                    lane: 1,
+                    x: 30.0,
+                    speed: 6.0,
+                },
+                NpcSpawn {
+                    lane: 2,
+                    x: 60.0,
+                    speed: 7.0,
+                },
+            ],
+            ..Default::default()
+        });
+        let mut a = BehaviorPlanner::new(BehaviorConfig::default(), 1);
+        let mut b = a.clone();
+        let mut buf = drive_sim::waypoints::Path::default();
+        let mut cap = 0usize;
+        for step in 0..120 {
+            let path = a.plan(&world);
+            b.plan_into(&world, &mut buf);
+            assert_eq!(path.waypoints(), buf.waypoints(), "step {step}");
+            assert_eq!(a.target_lane(), b.target_lane());
+            assert_eq!(a.maneuver(), b.maneuver());
+            if step == 0 {
+                cap = buf.len();
+            } else {
+                assert_eq!(buf.len(), cap, "horizon is fixed");
+            }
+            let proj = path.project(world.ego().pose.position, world.ego().pose.heading);
+            let steer = (-0.4 * proj.cross_track - 1.5 * proj.heading_error).clamp(-1.0, 1.0);
+            world.step(Actuation::new(steer, 0.2));
+            if world.is_done() {
+                break;
+            }
+        }
     }
 
     #[test]

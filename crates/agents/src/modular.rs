@@ -51,7 +51,7 @@ impl Default for ModularConfig {
 }
 
 /// The modular pipeline agent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModularAgent {
     config: ModularConfig,
     planner: BehaviorPlanner,
@@ -59,6 +59,21 @@ pub struct ModularAgent {
     speed_pid: Pid,
     /// Signed cross-track error of the last step, meters (for metrics).
     last_cross_track: f64,
+    /// Reused plan buffer; not part of the logical agent state.
+    #[serde(skip, default)]
+    plan_scratch: drive_sim::waypoints::Path,
+}
+
+// The scratch buffer is excluded from equality: a deserialized agent
+// (empty scratch) must compare equal to the live agent it was saved from.
+impl PartialEq for ModularAgent {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.planner == other.planner
+            && self.steer_pid == other.steer_pid
+            && self.speed_pid == other.speed_pid
+            && self.last_cross_track == other.last_cross_track
+    }
 }
 
 impl ModularAgent {
@@ -70,6 +85,7 @@ impl ModularAgent {
             speed_pid: Pid::new(config.speed_pid),
             config,
             last_cross_track: 0.0,
+            plan_scratch: drive_sim::waypoints::Path::default(),
         }
     }
 
@@ -97,13 +113,14 @@ impl Agent for ModularAgent {
         let dt = world.scenario().dt;
         let ego = world.ego();
         let pos = ego.pose.position;
-        let path = self.planner.plan(world);
+        self.planner.plan_into(world, &mut self.plan_scratch);
+        let path = &self.plan_scratch;
         let proj = path.project(pos, ego.pose.heading);
-        self.last_cross_track = proj.cross_track;
 
         // Pure-pursuit geometry to a lookahead waypoint, closed by a PID on
         // the realized steering actuation.
         let look = path.lookahead(pos, self.config.lookahead);
+        self.last_cross_track = proj.cross_track;
         let to = look.position - pos;
         let heading_err = angle_diff(to.angle(), ego.pose.heading);
         let ld = to.norm().max(1.0);

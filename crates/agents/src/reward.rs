@@ -36,12 +36,25 @@ impl Default for RewardConfig {
 
 /// Stateful reward computer: owns a privileged behaviour planner that
 /// provides the safe reference path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RewardShaper {
     config: RewardConfig,
     planner: BehaviorPlanner,
     /// Normalized cross-track deviation of the last step (for records).
     last_deviation: f64,
+    /// Reused plan buffer; not part of the logical shaper state.
+    #[serde(skip, default)]
+    plan_scratch: drive_sim::waypoints::Path,
+}
+
+// The scratch buffer is excluded from equality: a deserialized shaper
+// (empty scratch) must compare equal to the live shaper it was saved from.
+impl PartialEq for RewardShaper {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.planner == other.planner
+            && self.last_deviation == other.last_deviation
+    }
 }
 
 impl RewardShaper {
@@ -51,6 +64,7 @@ impl RewardShaper {
             config,
             planner: BehaviorPlanner::new(behavior, initial_lane),
             last_deviation: 0.0,
+            plan_scratch: drive_sim::waypoints::Path::default(),
         }
     }
 
@@ -72,7 +86,8 @@ impl RewardShaper {
     pub fn step(&mut self, world: &World, outcome: &StepOutcome) -> f64 {
         let c = self.config;
         let ego = world.ego();
-        let path = self.planner.plan(world);
+        self.planner.plan_into(world, &mut self.plan_scratch);
+        let path = &self.plan_scratch;
         let proj = path.project(ego.pose.position, ego.pose.heading);
         let wp = path.waypoints()[proj.index];
         let half_lane = world.scenario().road.lane_width / 2.0;

@@ -15,6 +15,7 @@ use attack_core::adv_reward::AdvReward;
 use attack_core::budget::AttackBudget;
 use attack_core::fleet::{FleetEval, FleetPlan};
 use criterion::{black_box, BenchResult, Criterion};
+use drive_agents::behavior::{BehaviorConfig, BehaviorPlanner};
 use drive_agents::modular::{ModularAgent, ModularConfig};
 use drive_agents::Agent;
 use drive_nn::batch::BatchPolicy;
@@ -32,6 +33,7 @@ use drive_sim::geometry::{Obb, Vec2};
 use drive_sim::scenario::Scenario;
 use drive_sim::sensors::{FeatureConfig, FeatureExtractor, Imu, ImuConfig, SemanticCamera};
 use drive_sim::vehicle::Actuation;
+use drive_sim::waypoints::Path;
 use drive_sim::world::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -232,6 +234,25 @@ fn bench_serve_micro_batch(c: &mut Criterion) {
     });
 }
 
+/// The allocation-free planner hot path: `BehaviorPlanner::plan_into`
+/// writing into a reused `Path`, as the fleet control loop runs it
+/// every slot-step. Measured against a live (non-trivial) traffic world
+/// so the lead scan and lane-clear checks are exercised.
+fn bench_planner_plan(c: &mut Criterion) {
+    c.bench_function("planner_plan_ns", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let world = World::new(Scenario::default().jittered(&mut rng));
+        let mut planner = BehaviorPlanner::new(BehaviorConfig::default(), 1);
+        let mut out = Path::default();
+        // Warm the reused buffer so the measurement is the steady state.
+        planner.plan_into(&world, &mut out);
+        b.iter(|| {
+            planner.plan_into(&world, &mut out);
+            black_box(out.len())
+        });
+    });
+}
+
 /// The batched evaluation engine's two hot paths at batch 128: one
 /// lockstep `WorldBatch` step across 128 live episodes (with compaction
 /// and refill, as the fleet driver runs it) and one wide inference pass
@@ -345,13 +366,61 @@ fn fleet_rows() -> Vec<BenchResult> {
     ]
 }
 
+/// Control-phase pseudo-row: nanoseconds of NPC control work per
+/// slot-step in a Golden batch-128 lockstep loop, read straight from the
+/// per-phase fleet counters (`record_fleet_phases`) rather than a wall
+/// clock around the whole step. This isolates the SoA lead-table +
+/// `control_batched` cost from integration, outcome checks, and
+/// inference, so a regression in the batched control kernels cannot hide
+/// behind improvements elsewhere in the step.
+fn control_phase_rows() -> Vec<BenchResult> {
+    let scenarios = (0..128u64).map(|i| {
+        let mut rng = StdRng::seed_from_u64(5000 + i);
+        let mut s = Scenario::default().jittered(&mut rng);
+        s.max_steps = 400;
+        s
+    });
+    let mut batch = WorldBatch::from_scenarios(scenarios, Precision::Golden);
+    let actions = vec![Actuation::new(0.0, 0.1); 128];
+    let mut outcomes = Vec::new();
+    let mut refill_seed = 50_000u64;
+    // Compaction + refill keeps all 128 slots live so the counters sample
+    // full-width batches; it runs between steps, outside the timed phases.
+    let mut step_and_refill = |batch: &mut WorldBatch| {
+        batch.step(&actions, &mut outcomes);
+        let before = batch.len();
+        batch.compact(|_, _| {});
+        for _ in batch.len()..before {
+            refill_seed += 1;
+            let mut rng = StdRng::seed_from_u64(refill_seed);
+            let mut s = Scenario::default().jittered(&mut rng);
+            s.max_steps = 400;
+            batch.push(World::new(s));
+        }
+    };
+    for _ in 0..20 {
+        step_and_refill(&mut batch);
+    }
+    let t0 = drive_sim::perf::fleet();
+    const STEPS: usize = 100;
+    for _ in 0..STEPS {
+        step_and_refill(&mut batch);
+    }
+    let d = drive_sim::perf::fleet().since(&t0);
+    let ns = d.control_ns_per_slot_step();
+    vec![BenchResult {
+        name: "npc_control_phase_batch128".to_string(),
+        median_ns: ns,
+        mean_ns: ns,
+        iters: d.slot_steps,
+    }]
+}
+
 /// Seeded procedural scenario generation: 1000 scenarios per iteration,
 /// cycling the full axes grid (topology × density × speed mix × faults),
 /// each drawn from its own seed-tree node and validated on construction.
 fn bench_scenario_gen(c: &mut Criterion) {
-    use drive_sim::generate::{
-        generate, ScenarioAxes, SpeedMix, TopologyKind, TrafficDensity,
-    };
+    use drive_sim::generate::{generate, ScenarioAxes, SpeedMix, TopologyKind, TrafficDensity};
     let mut axes = Vec::new();
     for topology in TopologyKind::ALL {
         for density in TrafficDensity::ALL {
@@ -484,10 +553,12 @@ fn main() {
     bench_replay_sample(&mut c);
     bench_sac_update(&mut c);
     bench_serve_micro_batch(&mut c);
+    bench_planner_plan(&mut c);
     bench_fleet(&mut c);
     bench_scenario_gen(&mut c);
     bench_serve_sim(&mut c);
     let mut serve_rows = serve_slo_rows();
+    serve_rows.extend(control_phase_rows());
     serve_rows.extend(fleet_rows());
     for r in &serve_rows {
         println!(

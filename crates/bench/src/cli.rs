@@ -225,10 +225,7 @@ impl CliArgs {
                             out.smoke = false;
                         }
                         _ => {
-                            return Err(CliError::InvalidValue(
-                                "--scale".to_string(),
-                                raw.clone(),
-                            ))
+                            return Err(CliError::InvalidValue("--scale".to_string(), raw.clone()))
                         }
                     }
                 }

@@ -105,7 +105,10 @@ pub fn generate_matrix(ns: &drive_seed::SeedTree) -> Vec<GeneratedScenario> {
             .child(axes.topology.label())
             .child(axes.density.label())
             .child(axes.speed_mix.label())
-            .child(format!("f{:03}", (axes.fault_intensity * 100.0).round() as u32));
+            .child(format!(
+                "f{:03}",
+                (axes.fault_intensity * 100.0).round() as u32
+            ));
         for variant in 0..VARIANTS {
             scenarios.push(generate(axes, &axes_node.child(variant)));
         }
@@ -384,8 +387,7 @@ mod tests {
         let ns = SeedTree::root(10_000).child("scenario-matrix");
         let scenarios = generate_matrix(&ns);
         assert!(scenarios.len() >= 100, "got {}", scenarios.len());
-        let fingerprints: HashSet<u64> =
-            scenarios.iter().map(|g| g.spec.fingerprint()).collect();
+        let fingerprints: HashSet<u64> = scenarios.iter().map(|g| g.spec.fingerprint()).collect();
         assert_eq!(fingerprints.len(), scenarios.len(), "fingerprint collision");
         let topologies: HashSet<&str> = scenarios
             .iter()

@@ -5,13 +5,13 @@
 use attack_core::adv_reward::AdvReward;
 use attack_core::budget::AttackBudget;
 use attack_core::defense::SimplexSwitcher;
+use attack_core::eval::run_attacked_episode_with_faults;
 use attack_core::learned::LearnedAttacker;
 use attack_core::pipeline::{Artifacts, PipelineConfig};
 use attack_core::sensor::{AttackerSensor, SensorKind};
 use drive_agents::e2e::E2eAgent;
 use drive_agents::modular::{ModularAgent, ModularConfig};
 use drive_agents::Agent;
-use attack_core::eval::run_attacked_episode_with_faults;
 use drive_nn::gaussian::GaussianPolicy;
 use drive_sim::batch::Precision;
 use drive_sim::faults::{FaultInjector, FaultSchedule};
@@ -583,14 +583,8 @@ mod tests {
         let mut ctx = crate::engine::RunContext::new(&artifacts, &config, Scale::smoke());
         ctx.journal = Some(journal.clone());
         let seeds = ctx.seeds.child("scn-test");
-        let default_records = attacked_records(
-            AgentKind::E2e,
-            None,
-            AttackBudget::ZERO,
-            &ctx,
-            2,
-            &seeds,
-        );
+        let default_records =
+            attacked_records(AgentKind::E2e, None, AttackBudget::ZERO, &ctx, 2, &seeds);
         assert_eq!(journal.cell_count(), 1);
         let spec = ScenarioSpec::on_ramp_merge();
         let cell = ScenarioCell {

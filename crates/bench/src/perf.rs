@@ -118,7 +118,7 @@ impl PerfReport {
             // batched engine, keeping serial-run exports unchanged.
             let fleet = if s.fleet.batches > 0 {
                 format!(
-                    ", \"fleet\": {{\"batches\": {}, \"episode_steps\": {}, \"episodes_in_flight\": {:.1}, \"occupancy\": {:.3}, \"infer_calls\": {}, \"infer_rows\": {}, \"infer_ns_per_row\": {:.1}}}",
+                    ", \"fleet\": {{\"batches\": {}, \"episode_steps\": {}, \"episodes_in_flight\": {:.1}, \"occupancy\": {:.3}, \"infer_calls\": {}, \"infer_rows\": {}, \"infer_ns_per_row\": {:.1}, \"control_ns_per_step\": {:.1}, \"integrate_ns_per_step\": {:.1}, \"outcome_ns_per_step\": {:.1}}}",
                     s.fleet.batches,
                     s.fleet.slot_steps,
                     s.fleet.episodes_in_flight(),
@@ -126,6 +126,9 @@ impl PerfReport {
                     s.fleet.infer_calls,
                     s.fleet.infer_rows,
                     s.fleet.infer_ns_per_row(),
+                    s.fleet.control_ns_per_slot_step(),
+                    s.fleet.integrate_ns_per_slot_step(),
+                    s.fleet.outcome_ns_per_slot_step(),
                 )
             } else {
                 String::new()
@@ -175,6 +178,13 @@ impl PerfReport {
                     s.fleet.episodes_in_flight(),
                     s.fleet.occupancy() * 100.0,
                     s.fleet.infer_ns_per_row()
+                ));
+                out.push_str(&format!(
+                    "[perf] {:<12} phases: {:.0} control / {:.0} integrate / {:.0} outcome ns per slot-step\n",
+                    "",
+                    s.fleet.control_ns_per_slot_step(),
+                    s.fleet.integrate_ns_per_slot_step(),
+                    s.fleet.outcome_ns_per_slot_step()
                 ));
             }
         }
@@ -289,6 +299,9 @@ mod tests {
                 infer_ns: 2_000_000,
                 infer_rows: 4000,
                 infer_calls: 50,
+                control_ns: 3_200_000,
+                integrate_ns: 1_600_000,
+                outcome_ns: 400_000,
             },
         }
     }
@@ -310,6 +323,9 @@ mod tests {
         assert!(json.contains("\"occupancy\": 0.625"), "{json}");
         assert!(json.contains("\"infer_ns_per_row\": 500.0"), "{json}");
         assert!(json.contains("\"episode_steps\": 4000"), "{json}");
+        assert!(json.contains("\"control_ns_per_step\": 800.0"), "{json}");
+        assert!(json.contains("\"integrate_ns_per_step\": 400.0"), "{json}");
+        assert!(json.contains("\"outcome_ns_per_step\": 100.0"), "{json}");
     }
 
     #[test]
@@ -320,6 +336,10 @@ mod tests {
         assert!(text.contains("fleet: 80.0 episodes in flight"), "{text}");
         assert!(text.contains("62% occupancy"), "{text}");
         assert!(text.contains("500 ns/inference"), "{text}");
+        assert!(
+            text.contains("phases: 800 control / 400 integrate / 100 outcome ns per slot-step"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -35,8 +35,8 @@ fn out_dir(name: &str) -> PathBuf {
 }
 
 fn fixture() -> String {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/data/fig4_smoke_quick_golden.csv");
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/fig4_smoke_quick_golden.csv");
     fs::read_to_string(path).expect("pre-refactor fixture is checked in")
 }
 

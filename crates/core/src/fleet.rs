@@ -207,15 +207,22 @@ impl<'a> FleetEval<'a> {
         let mut actions: Vec<Actuation> = Vec::new();
         let mut nominals: Vec<Actuation> = Vec::new();
         let mut outcomes = Vec::new();
+        let mut obs_buf: Vec<f32> = Vec::new();
         while !batch.is_empty() {
+            // Occupancy denominator: configured capacity per lockstep
+            // iteration. The numerator (slots actually advanced) is
+            // recorded by `WorldBatch::step` from its post-compaction
+            // in-flight count, so a slot that retires and is refilled in
+            // the same `compact` pass is counted exactly once.
             drive_sim::perf::record_fleet_capacity(plan.batch as u64);
             let n = batch.len();
 
             // Victim head: one staged forward pass over every live slot.
             let stage = victim.stage(n, &mut victim_scratch);
             for (i, slot) in slots.iter_mut().enumerate() {
-                let obs = slot.extractor.observe(&batch.worlds()[i]);
-                stage.row_mut(i).copy_from_slice(&obs);
+                slot.extractor
+                    .observe_into(&batch.worlds()[i], &mut obs_buf);
+                stage.row_mut(i).copy_from_slice(&obs_buf);
             }
             let t0 = Instant::now();
             let acts = victim.infer_staged(&mut victim_scratch);
@@ -232,8 +239,8 @@ impl<'a> FleetEval<'a> {
                 let stage = abp.stage(n, &mut attacker_scratch);
                 for (i, slot) in slots.iter_mut().enumerate() {
                     let sensor = slot.sensor.as_mut().expect("attacking cell has sensors");
-                    let obs = sensor.observe(&batch.worlds()[i]);
-                    stage.row_mut(i).copy_from_slice(&obs);
+                    sensor.observe_into(&batch.worlds()[i], &mut obs_buf);
+                    stage.row_mut(i).copy_from_slice(&obs_buf);
                 }
                 let t0 = Instant::now();
                 let raw = abp.infer_staged(&mut attacker_scratch);

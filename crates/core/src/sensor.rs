@@ -99,12 +99,22 @@ impl AttackerSensor {
 
     /// Produces the observation for the current world state. Call exactly
     /// once per control step (both sensors are stateful).
+    ///
+    /// Allocates the returned vector; hot loops should hold a reused
+    /// buffer and call [`AttackerSensor::observe_into`] instead.
     pub fn observe(&mut self, world: &World) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.observe_into(world, &mut out);
+        out
+    }
+
+    /// [`AttackerSensor::observe`], writing into `out` (cleared first).
+    pub fn observe_into(&mut self, world: &World, out: &mut Vec<f32>) {
         match self {
-            AttackerSensor::Camera(fx) => fx.observe(world),
+            AttackerSensor::Camera(fx) => fx.observe_into(world, out),
             AttackerSensor::Imu { imu, rng, .. } => {
                 imu.record(world, rng);
-                imu.window()
+                imu.window_into(out);
             }
         }
     }

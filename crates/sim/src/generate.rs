@@ -249,11 +249,7 @@ pub fn generate(axes: ScenarioAxes, node: &SeedTree) -> GeneratedScenario {
         FaultSchedule::none()
     };
 
-    GeneratedScenario {
-        spec,
-        faults,
-        axes,
-    }
+    GeneratedScenario { spec, faults, axes }
 }
 
 /// Sanity floor used by tests: the tightest generator gap must exceed a

@@ -168,7 +168,14 @@ impl fmt::Display for Vec2 {
 /// ```
 pub fn normalize_angle(a: f64) -> f64 {
     let two_pi = std::f64::consts::TAU;
-    let mut r = a % two_pi;
+    // `fmod` is exact, so for |a| < 2π it returns `a` unchanged; skipping
+    // the libm call on that (overwhelmingly common) range is bit-identical
+    // and keeps it off the per-substep integration path.
+    let mut r = if a > -two_pi && a < two_pi {
+        a
+    } else {
+        a % two_pi
+    };
     if r >= std::f64::consts::PI {
         r -= two_pi;
     } else if r < -std::f64::consts::PI {

@@ -22,6 +22,9 @@ static FLEET_CAPACITY: AtomicU64 = AtomicU64::new(0);
 static FLEET_INFER_NS: AtomicU64 = AtomicU64::new(0);
 static FLEET_INFER_ROWS: AtomicU64 = AtomicU64::new(0);
 static FLEET_INFER_CALLS: AtomicU64 = AtomicU64::new(0);
+static FLEET_CONTROL_NS: AtomicU64 = AtomicU64::new(0);
+static FLEET_INTEGRATE_NS: AtomicU64 = AtomicU64::new(0);
+static FLEET_OUTCOME_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Records `n` executed control steps.
 #[inline]
@@ -57,6 +60,16 @@ pub fn record_fleet_infer(ns: u64, rows: u64) {
     FLEET_INFER_CALLS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records the wall time one batch step spent in each non-inference
+/// phase: control (NPC policies + planners + sanitize), substep
+/// integration, and the collision/outcome phase.
+#[inline]
+pub fn record_fleet_phases(control_ns: u64, integrate_ns: u64, outcome_ns: u64) {
+    FLEET_CONTROL_NS.fetch_add(control_ns, Ordering::Relaxed);
+    FLEET_INTEGRATE_NS.fetch_add(integrate_ns, Ordering::Relaxed);
+    FLEET_OUTCOME_NS.fetch_add(outcome_ns, Ordering::Relaxed);
+}
+
 /// Snapshot of the fleet counters (process-wide monotonic totals).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FleetCounters {
@@ -72,6 +85,12 @@ pub struct FleetCounters {
     pub infer_rows: u64,
     /// Batched inference calls.
     pub infer_calls: u64,
+    /// Wall nanoseconds inside the batched control phase.
+    pub control_ns: u64,
+    /// Wall nanoseconds inside batched substep integration.
+    pub integrate_ns: u64,
+    /// Wall nanoseconds inside the batched collision/outcome phase.
+    pub outcome_ns: u64,
 }
 
 impl FleetCounters {
@@ -102,6 +121,29 @@ impl FleetCounters {
         }
     }
 
+    /// Amortized control-phase nanoseconds per advanced episode slot.
+    pub fn control_ns_per_slot_step(&self) -> f64 {
+        self.per_slot_step(self.control_ns)
+    }
+
+    /// Amortized integration nanoseconds per advanced episode slot.
+    pub fn integrate_ns_per_slot_step(&self) -> f64 {
+        self.per_slot_step(self.integrate_ns)
+    }
+
+    /// Amortized collision/outcome nanoseconds per advanced episode slot.
+    pub fn outcome_ns_per_slot_step(&self) -> f64 {
+        self.per_slot_step(self.outcome_ns)
+    }
+
+    fn per_slot_step(&self, ns: u64) -> f64 {
+        if self.slot_steps == 0 {
+            0.0
+        } else {
+            ns as f64 / self.slot_steps as f64
+        }
+    }
+
     /// Counter-wise difference `self - earlier` for interval probes.
     pub fn since(&self, earlier: &FleetCounters) -> FleetCounters {
         FleetCounters {
@@ -111,6 +153,9 @@ impl FleetCounters {
             infer_ns: self.infer_ns - earlier.infer_ns,
             infer_rows: self.infer_rows - earlier.infer_rows,
             infer_calls: self.infer_calls - earlier.infer_calls,
+            control_ns: self.control_ns - earlier.control_ns,
+            integrate_ns: self.integrate_ns - earlier.integrate_ns,
+            outcome_ns: self.outcome_ns - earlier.outcome_ns,
         }
     }
 }
@@ -124,6 +169,9 @@ pub fn fleet() -> FleetCounters {
         infer_ns: FLEET_INFER_NS.load(Ordering::Relaxed),
         infer_rows: FLEET_INFER_ROWS.load(Ordering::Relaxed),
         infer_calls: FLEET_INFER_CALLS.load(Ordering::Relaxed),
+        control_ns: FLEET_CONTROL_NS.load(Ordering::Relaxed),
+        integrate_ns: FLEET_INTEGRATE_NS.load(Ordering::Relaxed),
+        outcome_ns: FLEET_OUTCOME_NS.load(Ordering::Relaxed),
     }
 }
 
@@ -175,10 +223,16 @@ mod tests {
             infer_ns: 1_600,
             infer_rows: 32,
             infer_calls: 2,
+            control_ns: 6_400,
+            integrate_ns: 3_200,
+            outcome_ns: 1_600,
         };
         assert!((d.episodes_in_flight() - 16.0).abs() < 1e-12);
         assert!((d.occupancy() - 0.5).abs() < 1e-12);
         assert!((d.infer_ns_per_row() - 50.0).abs() < 1e-12);
+        assert!((d.control_ns_per_slot_step() - 200.0).abs() < 1e-12);
+        assert!((d.integrate_ns_per_slot_step() - 100.0).abs() < 1e-12);
+        assert!((d.outcome_ns_per_slot_step() - 50.0).abs() < 1e-12);
     }
 
     #[test]
@@ -187,5 +241,18 @@ mod tests {
         assert_eq!(d.episodes_in_flight(), 0.0);
         assert_eq!(d.occupancy(), 0.0);
         assert_eq!(d.infer_ns_per_row(), 0.0);
+        assert_eq!(d.control_ns_per_slot_step(), 0.0);
+        assert_eq!(d.integrate_ns_per_slot_step(), 0.0);
+        assert_eq!(d.outcome_ns_per_slot_step(), 0.0);
+    }
+
+    #[test]
+    fn phase_counters_accumulate() {
+        let t0 = fleet();
+        record_fleet_phases(100, 200, 300);
+        let d = fleet().since(&t0);
+        assert!(d.control_ns >= 100);
+        assert!(d.integrate_ns >= 200);
+        assert!(d.outcome_ns >= 300);
     }
 }

@@ -509,7 +509,9 @@ mod tests {
             "on_ramp"
         );
         assert_eq!(
-            Road::lane_drop(3, 3.5, 1500.0, 400.0, 480.0).topology.label(),
+            Road::lane_drop(3, 3.5, 1500.0, 400.0, 480.0)
+                .topology
+                .label(),
             "lane_drop"
         );
     }

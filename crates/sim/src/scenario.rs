@@ -525,7 +525,11 @@ mod tests {
         }
         // Topology presets actually carry their topologies.
         assert_eq!(
-            ScenarioSpec::on_ramp_merge().scenario().road.topology.label(),
+            ScenarioSpec::on_ramp_merge()
+                .scenario()
+                .road
+                .topology
+                .label(),
             "on_ramp"
         );
         assert_eq!(

@@ -88,6 +88,8 @@ impl FeatureConfig {
 pub struct FeatureExtractor {
     config: FeatureConfig,
     history: VecDeque<Vec<f32>>,
+    /// Reused per-frame NPC workspace for [`FeatureExtractor::observe_into`].
+    npc_scratch: Vec<(f64, Vec2, f64)>,
 }
 
 impl FeatureExtractor {
@@ -96,6 +98,7 @@ impl FeatureExtractor {
         FeatureExtractor {
             history: VecDeque::with_capacity(config.frames),
             config,
+            npc_scratch: Vec::new(),
         }
     }
 
@@ -111,63 +114,94 @@ impl FeatureExtractor {
 
     /// Extracts the current frame, pushes it onto the stack, and returns the
     /// stacked observation (most recent frame first).
+    ///
+    /// Allocates the returned vector; hot loops should hold a reused buffer
+    /// and call [`FeatureExtractor::observe_into`] instead.
     pub fn observe(&mut self, world: &World) -> Vec<f32> {
-        let frame = self.extract_frame(world);
-        if self.history.len() == self.config.frames {
-            self.history.pop_back();
-        }
+        let mut out = Vec::new();
+        self.observe_into(world, &mut out);
+        out
+    }
+
+    /// [`FeatureExtractor::observe`], writing the stacked observation into
+    /// `out` (resized to [`FeatureConfig::observation_dim`]). The evicted
+    /// frame buffer is reused for the incoming frame, so steady-state calls
+    /// are allocation-free.
+    pub fn observe_into(&mut self, world: &World, out: &mut Vec<f32>) {
+        let mut frame = if self.history.len() == self.config.frames {
+            self.history.pop_back().expect("history is non-empty")
+        } else {
+            Vec::with_capacity(self.config.frame_dim())
+        };
+        extract_frame_into(&self.config, world, &mut self.npc_scratch, &mut frame);
         self.history.push_front(frame);
         let dim = self.config.frame_dim();
-        let mut out = vec![0.0f32; self.config.observation_dim()];
+        out.clear();
+        out.resize(self.config.observation_dim(), 0.0);
         for (i, f) in self.history.iter().enumerate() {
             out[i * dim..(i + 1) * dim].copy_from_slice(f);
         }
-        out
     }
 
     /// Computes a single un-stacked frame.
     pub fn extract_frame(&self, world: &World) -> Vec<f32> {
-        let c = &self.config;
-        let road = &world.scenario().road;
-        let ego = world.ego();
-        let pos = ego.pose.position;
-        let half_lane = road.lane_width / 2.0;
+        let mut npcs = Vec::new();
+        let mut out = Vec::new();
+        extract_frame_into(&self.config, world, &mut npcs, &mut out);
+        out
+    }
+}
 
-        let mut f = Vec::with_capacity(c.frame_dim());
-        f.push((road.lane_offset(pos.y) / half_lane) as f32);
-        f.push(ego.pose.heading as f32);
-        f.push((ego.speed / c.speed_norm) as f32);
-        f.push(ego.actuation.steer as f32);
-        f.push(ego.actuation.thrust as f32);
-        let (right_edge, left_edge) = road.edge_ys_at(pos.x);
-        f.push(((left_edge - pos.y) / road.width()) as f32);
-        f.push(((pos.y - right_edge) / road.width()) as f32);
-        f.push((road.lane_of(pos.y) as f64 / (road.num_lanes.max(2) - 1) as f64) as f32);
-        debug_assert_eq!(f.len(), EGO_FEATURES);
+/// Writes one un-stacked feature frame into `out` (cleared first), using
+/// `npcs` as sort workspace. Shared by the allocating and the `_into`
+/// observation paths so the arithmetic has a single home.
+fn extract_frame_into(
+    c: &FeatureConfig,
+    world: &World,
+    npcs: &mut Vec<(f64, Vec2, f64)>,
+    out: &mut Vec<f32>,
+) {
+    let road = &world.scenario().road;
+    let ego = world.ego();
+    let pos = ego.pose.position;
+    let half_lane = road.lane_width / 2.0;
 
-        // Nearest NPCs by absolute longitudinal distance, keeping only those
-        // not already far behind.
-        let mut npcs: Vec<(f64, Vec2, f64)> = world
+    out.clear();
+    out.reserve(c.frame_dim());
+    out.push((road.lane_offset(pos.y) / half_lane) as f32);
+    out.push(ego.pose.heading as f32);
+    out.push((ego.speed / c.speed_norm) as f32);
+    out.push(ego.actuation.steer as f32);
+    out.push(ego.actuation.thrust as f32);
+    let (right_edge, left_edge) = road.edge_ys_at(pos.x);
+    out.push(((left_edge - pos.y) / road.width()) as f32);
+    out.push(((pos.y - right_edge) / road.width()) as f32);
+    out.push((road.lane_of(pos.y) as f64 / (road.num_lanes.max(2) - 1) as f64) as f32);
+    debug_assert_eq!(out.len(), EGO_FEATURES);
+
+    // Nearest NPCs by absolute longitudinal distance, keeping only those
+    // not already far behind.
+    npcs.clear();
+    npcs.extend(
+        world
             .npcs()
             .iter()
             .map(|n| {
                 let rel = n.vehicle.pose.position - pos;
                 (rel.x, rel, n.vehicle.speed)
             })
-            .filter(|(dx, _, _)| *dx > -c.range_lon / 2.0)
-            .collect();
-        npcs.sort_by(|a, b| a.0.abs().total_cmp(&b.0.abs()));
-        for k in 0..c.k_npcs {
-            if let Some((_, rel, speed)) = npcs.get(k) {
-                f.push((rel.x / c.range_lon).clamp(-1.0, 1.0) as f32);
-                f.push((rel.y / c.range_lat).clamp(-1.0, 1.0) as f32);
-                f.push(((speed - ego.speed) / c.speed_norm) as f32);
-                f.push(1.0);
-            } else {
-                f.extend_from_slice(&[0.0, 0.0, 0.0, 0.0]);
-            }
+            .filter(|(dx, _, _)| *dx > -c.range_lon / 2.0),
+    );
+    npcs.sort_by(|a, b| a.0.abs().total_cmp(&b.0.abs()));
+    for k in 0..c.k_npcs {
+        if let Some((_, rel, speed)) = npcs.get(k) {
+            out.push((rel.x / c.range_lon).clamp(-1.0, 1.0) as f32);
+            out.push((rel.y / c.range_lat).clamp(-1.0, 1.0) as f32);
+            out.push(((speed - ego.speed) / c.speed_norm) as f32);
+            out.push(1.0);
+        } else {
+            out.extend_from_slice(&[0.0, 0.0, 0.0, 0.0]);
         }
-        f
     }
 }
 
@@ -375,12 +409,20 @@ impl Imu {
     /// The current window flattened to `[ax_0, wz_0, ax_1, wz_1, ...]`,
     /// normalized to roughly unit scale.
     pub fn window(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.config.observation_dim());
+        let mut out = Vec::new();
+        self.window_into(&mut out);
+        out
+    }
+
+    /// [`Imu::window`], writing into `out` (cleared first) so hot loops can
+    /// reuse one buffer.
+    pub fn window_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.config.observation_dim());
         for &(ax, wz) in &self.buffer {
             out.push((ax / 10.0) as f32);
             out.push((wz / 2.0) as f32);
         }
-        out
     }
 }
 

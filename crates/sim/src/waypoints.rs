@@ -75,13 +75,37 @@ impl Path {
     /// Finds the nearest waypoint, then computes the signed cross-track
     /// error relative to that waypoint's tangent and the heading error.
     pub fn project(&self, position: Vec2, heading: f64) -> PathProjection {
-        let (index, _) = self
-            .points
+        // Argmin by squared distance: monotone in the true distance, so the
+        // winning index matches an argmin by `hypot` (exact ties keep the
+        // first index under both metrics) while the scan skips a libm call
+        // per waypoint. Two phases — an index-free 4-chain min reduction
+        // (ILP-friendly; `f64::min` is a single instruction) and then a
+        // first-index-equal scan — return exactly the sequential
+        // first-minimum index, because the scan compares the very same
+        // f64 values. This runs once per slot-step in the fleet's reward
+        // shaping, so the scalar-fold latency chain matters.
+        assert!(!self.points.is_empty(), "path is non-empty");
+        let pts = &self.points[..];
+        let d_at = |w: &Waypoint| (w.position - position).norm_sq();
+        let (mut m0, mut m1, mut m2, mut m3) =
+            (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut chunks = pts.chunks_exact(4);
+        for c in &mut chunks {
+            m0 = m0.min(d_at(&c[0]));
+            m1 = m1.min(d_at(&c[1]));
+            m2 = m2.min(d_at(&c[2]));
+            m3 = m3.min(d_at(&c[3]));
+        }
+        for w in chunks.remainder() {
+            m0 = m0.min(d_at(w));
+        }
+        let best = m0.min(m1).min(m2).min(m3);
+        let index = pts
             .iter()
-            .enumerate()
-            .map(|(i, w)| (i, w.position.distance(position)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("path is non-empty");
+            .position(|w| d_at(w) == best)
+            // All-NaN distances leave `best` at infinity with no exact
+            // match; the sequential fold would keep index 0 there too.
+            .unwrap_or(0);
         let w = self.points[index];
         let to_query = position - w.position;
         // Signed lateral offset: positive when the query point is to the
@@ -102,6 +126,30 @@ impl Path {
         let proj = self.project(position, 0.0);
         let idx = (proj.index + lookahead).min(self.points.len() - 1);
         self.points[idx]
+    }
+
+    /// Shifts every waypoint laterally by `dy`, in place (headings and
+    /// speeds are unchanged). Used for the planner's wide-berth bias.
+    pub fn offset_lateral(&mut self, dy: f64) {
+        for w in &mut self.points {
+            w.position.y += dy;
+        }
+    }
+
+    /// Replaces this path's waypoints with a copy of `other`'s, reusing
+    /// the existing buffer. Allocation-free once the buffer has grown to
+    /// `other.len()`.
+    pub fn copy_from(&mut self, other: &Path) {
+        self.points.clear();
+        self.points.extend_from_slice(&other.points);
+    }
+
+    /// Pre-allocates capacity for `n` waypoints (used by planners that
+    /// memoize a path so the cache never allocates mid-episode).
+    pub fn with_capacity(n: usize) -> Self {
+        Path {
+            points: Vec::with_capacity(n),
+        }
     }
 }
 
@@ -127,19 +175,37 @@ pub fn lane_keep_path(
     spacing: f64,
     speed: f64,
 ) -> Path {
+    let mut out = Path::default();
+    lane_keep_path_into(road, lane, x0, n, spacing, speed, &mut out);
+    out
+}
+
+/// [`lane_keep_path`], writing into `out` (cleared first) so the waypoint
+/// buffer can be reused across control steps without reallocating.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `spacing <= 0`.
+pub fn lane_keep_path_into(
+    road: &Road,
+    lane: usize,
+    x0: f64,
+    n: usize,
+    spacing: f64,
+    speed: f64,
+    out: &mut Path,
+) {
     assert!(
         n > 0 && spacing > 0.0,
         "need n > 0 samples and positive spacing"
     );
     let y = road.lane_center_y(lane);
-    let points = (0..n)
-        .map(|i| Waypoint {
-            position: Vec2::new(x0 + i as f64 * spacing, y),
-            heading: 0.0,
-            target_speed: speed,
-        })
-        .collect();
-    Path::new(points)
+    out.points.clear();
+    out.points.extend((0..n).map(|i| Waypoint {
+        position: Vec2::new(x0 + i as f64 * spacing, y),
+        heading: 0.0,
+        target_speed: speed,
+    }));
 }
 
 /// Generates a lane-change path: starting from lateral position `y0` at
@@ -163,6 +229,39 @@ pub fn lane_change_path(
     spacing: f64,
     speed: f64,
 ) -> Path {
+    let mut out = Path::default();
+    lane_change_path_into(
+        road,
+        y0,
+        target_lane,
+        x0,
+        change_distance,
+        n,
+        spacing,
+        speed,
+        &mut out,
+    );
+    out
+}
+
+/// [`lane_change_path`], writing into `out` (cleared first) so the waypoint
+/// buffer can be reused across control steps without reallocating.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `spacing <= 0`, or `change_distance <= 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn lane_change_path_into(
+    road: &Road,
+    y0: f64,
+    target_lane: usize,
+    x0: f64,
+    change_distance: f64,
+    n: usize,
+    spacing: f64,
+    speed: f64,
+    out: &mut Path,
+) {
     assert!(
         n > 0 && spacing > 0.0,
         "need n > 0 samples and positive spacing"
@@ -170,26 +269,24 @@ pub fn lane_change_path(
     assert!(change_distance > 0.0, "change distance must be positive");
     let y1 = road.lane_center_y(target_lane);
     let dy = y1 - y0;
-    let points = (0..n)
-        .map(|i| {
-            let x = x0 + i as f64 * spacing;
-            let u = ((x - x0) / change_distance).clamp(0.0, 1.0);
-            let y = y0 + dy * quintic_blend(u);
-            // Tangent from the derivative of the blend.
-            let du = 1.0 / change_distance;
-            let dblend = {
-                let u = u.clamp(0.0, 1.0);
-                30.0 * u * u * (1.0 - u) * (1.0 - u)
-            };
-            let slope = dy * dblend * du;
-            Waypoint {
-                position: Vec2::new(x, y),
-                heading: slope.atan(),
-                target_speed: speed,
-            }
-        })
-        .collect();
-    Path::new(points)
+    out.points.clear();
+    out.points.extend((0..n).map(|i| {
+        let x = x0 + i as f64 * spacing;
+        let u = ((x - x0) / change_distance).clamp(0.0, 1.0);
+        let y = y0 + dy * quintic_blend(u);
+        // Tangent from the derivative of the blend.
+        let du = 1.0 / change_distance;
+        let dblend = {
+            let u = u.clamp(0.0, 1.0);
+            30.0 * u * u * (1.0 - u) * (1.0 - u)
+        };
+        let slope = dy * dblend * du;
+        Waypoint {
+            position: Vec2::new(x, y),
+            heading: slope.atan(),
+            target_speed: speed,
+        }
+    }));
 }
 
 /// Generates a topology-aware route along `lane`: identical to
@@ -210,9 +307,32 @@ pub fn route_path(
     speed: f64,
     merge_lookahead: f64,
 ) -> Path {
+    let mut out = Path::default();
+    route_path_into(road, lane, x0, n, spacing, speed, merge_lookahead, &mut out);
+    out
+}
+
+/// [`route_path`], writing into `out` (cleared first) so the waypoint
+/// buffer can be reused across control steps without reallocating.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `spacing <= 0`, or `merge_lookahead <= 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn route_path_into(
+    road: &Road,
+    lane: usize,
+    x0: f64,
+    n: usize,
+    spacing: f64,
+    speed: f64,
+    merge_lookahead: f64,
+    out: &mut Path,
+) {
     assert!(merge_lookahead > 0.0, "merge lookahead must be positive");
     let Some(end) = road.lane_end_x(lane) else {
-        return lane_keep_path(road, lane, x0, n, spacing, speed);
+        lane_keep_path_into(road, lane, x0, n, spacing, speed, out);
+        return;
     };
     assert!(
         n > 0 && spacing > 0.0,
@@ -222,21 +342,19 @@ pub fn route_path(
     let y1 = road.lane_center_y(road.merge_target(lane));
     let dy = y1 - y0;
     let blend_start = end - merge_lookahead;
-    let points = (0..n)
-        .map(|i| {
-            let x = x0 + i as f64 * spacing;
-            let u = ((x - blend_start) / merge_lookahead).clamp(0.0, 1.0);
-            let y = y0 + dy * quintic_blend(u);
-            let dblend = 30.0 * u * u * (1.0 - u) * (1.0 - u);
-            let slope = dy * dblend / merge_lookahead;
-            Waypoint {
-                position: Vec2::new(x, y),
-                heading: slope.atan(),
-                target_speed: speed,
-            }
-        })
-        .collect();
-    Path::new(points)
+    out.points.clear();
+    out.points.extend((0..n).map(|i| {
+        let x = x0 + i as f64 * spacing;
+        let u = ((x - blend_start) / merge_lookahead).clamp(0.0, 1.0);
+        let y = y0 + dy * quintic_blend(u);
+        let dblend = 30.0 * u * u * (1.0 - u) * (1.0 - u);
+        let slope = dy * dblend / merge_lookahead;
+        Waypoint {
+            position: Vec2::new(x, y),
+            heading: slope.atan(),
+            target_speed: speed,
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -356,6 +474,53 @@ mod tests {
             .find(|w| w.position.x >= 250.0)
             .unwrap();
         assert!((at_deadline.position.y - r.lane_center_y(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_builders_match_allocating_builders_and_reuse_capacity() {
+        let r = Road::on_ramp(3, 3.5, 1500.0, 0.0, 250.0, 330.0);
+        let mut out = Path::default();
+        lane_keep_path_into(&r, 1, 3.0, 40, 2.0, 16.0, &mut out);
+        assert_eq!(
+            out.waypoints(),
+            lane_keep_path(&r, 1, 3.0, 40, 2.0, 16.0).waypoints()
+        );
+        let cap = out.points.capacity();
+        lane_change_path_into(
+            &r,
+            r.lane_center_y(1),
+            2,
+            5.0,
+            30.0,
+            40,
+            2.0,
+            16.0,
+            &mut out,
+        );
+        assert_eq!(
+            out.waypoints(),
+            lane_change_path(&r, r.lane_center_y(1), 2, 5.0, 30.0, 40, 2.0, 16.0).waypoints()
+        );
+        route_path_into(&r, 3, 0.0, 40, 2.0, 10.0, 60.0, &mut out);
+        assert_eq!(
+            out.waypoints(),
+            route_path(&r, 3, 0.0, 40, 2.0, 10.0, 60.0).waypoints()
+        );
+        assert_eq!(out.points.capacity(), cap, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn offset_lateral_shifts_positions_only() {
+        let r = road();
+        let mut p = lane_keep_path(&r, 1, 0.0, 10, 2.0, 16.0);
+        let before: Vec<_> = p.waypoints().to_vec();
+        p.offset_lateral(0.7);
+        for (w, b) in p.waypoints().iter().zip(&before) {
+            assert_eq!(w.position.x, b.position.x);
+            assert_eq!(w.position.y, b.position.y + 0.7);
+            assert_eq!(w.heading, b.heading);
+            assert_eq!(w.target_speed, b.target_speed);
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! reports the outcome.
 
 use crate::geometry::{Pose, Vec2};
-use crate::npc::{LeadInfo, Npc};
+use crate::npc::{LeadTable, Npc};
 use crate::scenario::Scenario;
 use crate::vehicle::{Actuation, Vehicle, VehicleParams};
 use serde::{Deserialize, Serialize};
@@ -66,6 +66,15 @@ pub struct StepOutcome {
     pub passed: usize,
 }
 
+/// Reusable per-step workspaces: the lead table and the NPC control
+/// buffer, retained across steps so the steady-state control phase makes
+/// no heap allocations.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    leads: LeadTable,
+    npc_controls: Vec<Actuation>,
+}
+
 /// One episode of the freeway scenario.
 #[derive(Debug, Clone)]
 pub struct World {
@@ -75,6 +84,7 @@ pub struct World {
     step: usize,
     terminated: Option<Termination>,
     nonfinite_actions: usize,
+    scratch: StepScratch,
 }
 
 impl World {
@@ -112,6 +122,7 @@ impl World {
             step: 0,
             terminated: None,
             nonfinite_actions: 0,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -195,12 +206,13 @@ impl World {
     /// Returns `None` only if the scenario has no NPCs.
     pub fn nearest_npc(&self) -> Option<(usize, &Npc)> {
         let ego_pos = self.ego.pose.position;
+        // Argmin by squared distance — same winner as by `hypot` (monotone;
+        // exact ties keep the earlier NPC either way), two libm calls
+        // cheaper per comparison.
         self.npcs.iter().enumerate().min_by(|a, b| {
-            a.1.vehicle
-                .pose
-                .position
-                .distance(ego_pos)
-                .total_cmp(&b.1.vehicle.pose.position.distance(ego_pos))
+            (a.1.vehicle.pose.position - ego_pos)
+                .norm_sq()
+                .total_cmp(&(b.1.vehicle.pose.position - ego_pos).norm_sq())
         })
     }
 
@@ -210,33 +222,33 @@ impl World {
     /// Calling after termination is a no-op that re-reports the existing
     /// termination (convenient for runners that overshoot by a step).
     pub fn step(&mut self, ego_variation: Actuation) -> StepOutcome {
-        let (ego_cmd, npc_controls) = match self.begin_step(ego_variation) {
-            Ok(phase) => phase,
+        let ego_cmd = match self.begin_step(ego_variation) {
+            Ok(cmd) => cmd,
             Err(done) => return done,
         };
-        let dt = self.scenario.dt;
-        let substeps = self.scenario.substeps;
-        self.ego.step(ego_cmd, dt, substeps);
-        for (npc, control) in self.npcs.iter_mut().zip(npc_controls) {
-            npc.vehicle.step(control, dt, substeps);
-        }
+        self.integrate_step(ego_cmd);
         self.conclude_step()
     }
 
     /// Control phase of [`World::step`]: sanitizes the command, re-reports
     /// termination (`Err`) for finished episodes, and computes the NPC
-    /// controls against the pre-step state. The caller must then integrate
-    /// the ego with the returned command and each NPC with its control
-    /// (either through [`Vehicle::step`] or the batched replica in
-    /// [`crate::batch`]) and finish with [`World::conclude_step`].
+    /// controls against the pre-step state, leaving them in the step
+    /// scratch (readable via [`World::npc_controls`]). The caller must
+    /// then integrate the ego with the returned command and each NPC with
+    /// its control (either through [`World::integrate_step`] or the
+    /// batched replica in [`crate::batch`]) and finish with
+    /// [`World::conclude_step`].
     ///
     /// Shared by the serial engine and both `WorldBatch` precision paths so
     /// every decision branch — sanitize accounting, post-termination
     /// re-reporting, lead bookkeeping, NPC policy — has exactly one home.
+    /// One lead table per world replaces the serial per-NPC `others` scan
+    /// (bit-identical winners; see [`LeadTable`]), and all buffers are
+    /// reused so the steady-state control phase is allocation-free.
     pub(crate) fn begin_step(
         &mut self,
         ego_variation: Actuation,
-    ) -> Result<(Actuation, Vec<Actuation>), StepOutcome> {
+    ) -> Result<Actuation, StepOutcome> {
         let ego_variation = self.sanitize_action(ego_variation);
         if let Some(term) = self.terminated {
             return Err(StepOutcome {
@@ -254,35 +266,46 @@ impl World {
 
         // NPC controls are computed against the pre-step state so ordering
         // between vehicles does not matter.
-        let mut leads: Vec<LeadInfo> = self
-            .npcs
-            .iter()
-            .map(|n| n.lead_info(&self.scenario.road))
-            .collect();
-        leads.push(LeadInfo {
-            x: self.ego.pose.position.x,
-            lane: self
-                .scenario
-                .road
-                .lane_index_at(self.ego.pose.position.x, self.ego.pose.position.y),
-            speed: self.ego.speed,
-        });
-        let npc_controls: Vec<Actuation> = self
-            .npcs
-            .iter()
-            .enumerate()
-            .map(|(i, n)| {
-                // Exclude the NPC's own entry from the lead list.
-                let others: Vec<LeadInfo> = leads
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .map(|(_, l)| *l)
-                    .collect();
-                n.control(&self.scenario.road, &others)
-            })
-            .collect();
-        Ok((ego_variation, npc_controls))
+        let World {
+            scenario,
+            ego,
+            npcs,
+            scratch,
+            ..
+        } = self;
+        let StepScratch {
+            leads,
+            npc_controls,
+        } = scratch;
+        leads.rebuild(&scenario.road, npcs, ego);
+        npc_controls.clear();
+        npc_controls.extend(
+            npcs.iter()
+                .enumerate()
+                .map(|(i, n)| n.control_batched(leads, i)),
+        );
+        Ok(ego_variation)
+    }
+
+    /// Integration phase of [`World::step`]: advances the ego with
+    /// `ego_cmd` and each NPC with the control computed by the preceding
+    /// [`World::begin_step`]. Only valid between `begin_step` and
+    /// [`World::conclude_step`].
+    pub(crate) fn integrate_step(&mut self, ego_cmd: Actuation) {
+        let dt = self.scenario.dt;
+        let substeps = self.scenario.substeps;
+        self.ego.step(ego_cmd, dt, substeps);
+        let controls = std::mem::take(&mut self.scratch.npc_controls);
+        for (npc, control) in self.npcs.iter_mut().zip(&controls) {
+            npc.vehicle.step(*control, dt, substeps);
+        }
+        self.scratch.npc_controls = controls;
+    }
+
+    /// NPC controls computed by the last [`World::begin_step`], in NPC
+    /// index order (for the batched integrator's gather phase).
+    pub(crate) fn npc_controls(&self) -> &[Actuation] {
+        &self.scratch.npc_controls
     }
 
     /// Outcome phase of [`World::step`]: advances the step counter, runs
@@ -290,10 +313,27 @@ impl World {
     /// integrated vehicle state. Only valid directly after a successful
     /// [`World::begin_step`] followed by integration of every vehicle.
     pub(crate) fn conclude_step(&mut self) -> StepOutcome {
+        self.conclude_step_pruned(true)
+    }
+
+    /// [`World::conclude_step`] with a batched broad-phase hint: a caller
+    /// that has proven from the SoA lanes that neither an NPC nor a
+    /// barrier can be in contact this step passes `contact_possible =
+    /// false` and skips the exact narrow phase (which would return
+    /// `None`). The hint must be conservative — debug builds verify it.
+    pub(crate) fn conclude_step_pruned(&mut self, contact_possible: bool) -> StepOutcome {
         let executed_step = self.step;
         self.step += 1;
 
-        let collision = self.detect_collision(executed_step);
+        let collision = if contact_possible {
+            self.detect_collision(executed_step)
+        } else {
+            debug_assert!(
+                self.detect_collision(executed_step).is_none(),
+                "broad-phase prune dropped a real contact"
+            );
+            None
+        };
         let termination = if let Some(c) = collision {
             Some(Termination::Collision(c))
         } else if self.step >= self.scenario.max_steps {
