@@ -30,6 +30,7 @@ use drive_serve::pipeline::{DetectorStream, Pipeline};
 use drive_serve::sim::{self, SimConfig};
 use drive_sim::batch::{Precision, WorldBatch};
 use drive_sim::geometry::{Obb, Vec2};
+use drive_sim::record::EpisodeRecord;
 use drive_sim::scenario::Scenario;
 use drive_sim::sensors::{FeatureConfig, FeatureExtractor, Imu, ImuConfig, SemanticCamera};
 use drive_sim::vehicle::Actuation;
@@ -37,6 +38,8 @@ use drive_sim::waypoints::Path;
 use drive_sim::world::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use repro_bench::journal::RunHeader;
+use repro_bench::{merge, ShardConfig, ShardState};
 use std::sync::Arc;
 
 fn bench_world_step(c: &mut Criterion) {
@@ -416,6 +419,90 @@ fn control_phase_rows() -> Vec<BenchResult> {
     }]
 }
 
+/// The shard coordinator's per-cell overhead: one `O_EXCL` lease claim
+/// (create + checksummed body + fsync + progress row) followed by the
+/// owner-checked release (read-back + unlink). This is pure coordination
+/// cost a sharded worker pays on top of each cell's compute, so it must
+/// stay orders of magnitude below the cheapest cell.
+fn bench_lease_claim(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("repro-bench-perf-lease");
+    let _ = std::fs::remove_dir_all(&dir);
+    let header = RunHeader {
+        seed: 7,
+        config_hash: 7,
+        box_episodes: 4,
+        scatter_rounds: 1,
+    };
+    let state =
+        ShardState::open(ShardConfig::new(&dir, "perf"), &header).expect("open shard state");
+    c.bench_function("lease_claim_ns", |b| {
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            let claimed = state.try_acquire(key, "perf");
+            state.release(key);
+            black_box(claimed)
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Merge-scale pseudo-row: wall time of `merge::verify_shard` over a
+/// 432-cell shard (the scenario-matrix grid size) — every sidecar's
+/// checkpoint checksum re-verified, records decoded, canonical digests
+/// compared for conflicts. This is the fixed verification cost a
+/// `repro_bench merge` pays before assembling outputs; the shard is
+/// built once through the real lease/publish path and the row reports
+/// the median of several verification sweeps.
+fn shard_merge_rows() -> Vec<BenchResult> {
+    let dir = std::env::temp_dir().join("repro-bench-perf-shard-merge");
+    let _ = std::fs::remove_dir_all(&dir);
+    let header = RunHeader {
+        seed: 77,
+        config_hash: 0x5eed,
+        box_episodes: 4,
+        scatter_rounds: 1,
+    };
+    let state =
+        ShardState::open(ShardConfig::new(&dir, "perf"), &header).expect("open shard state");
+    const CELLS: u64 = 432;
+    const EPISODES: usize = 4;
+    for key in 1..=CELLS {
+        let records: Vec<EpisodeRecord> = (0..EPISODES)
+            .map(|i| EpisodeRecord {
+                steps: 10 + (key as usize + i) % 50,
+                ..EpisodeRecord::default()
+            })
+            .collect();
+        let label = format!("perf/cell{key}");
+        let out = state.run_cell(key, &label, EPISODES, || (records, true));
+        assert_eq!(out.len(), EPISODES);
+    }
+    state.release_all();
+    let reps = if std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0") {
+        3
+    } else {
+        9
+    };
+    let mut samples: Vec<f64> = Vec::new();
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let cells = merge::verify_shard(&dir).expect("verify shard");
+        assert_eq!(cells as u64, CELLS);
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    vec![BenchResult {
+        name: "shard_merge_432cells".to_string(),
+        median_ns: median,
+        mean_ns: mean,
+        iters: reps as u64,
+    }]
+}
+
 /// Seeded procedural scenario generation: 1000 scenarios per iteration,
 /// cycling the full axes grid (topology × density × speed mix × faults),
 /// each drawn from its own seed-tree node and validated on construction.
@@ -555,11 +642,13 @@ fn main() {
     bench_serve_micro_batch(&mut c);
     bench_planner_plan(&mut c);
     bench_fleet(&mut c);
+    bench_lease_claim(&mut c);
     bench_scenario_gen(&mut c);
     bench_serve_sim(&mut c);
     let mut serve_rows = serve_slo_rows();
     serve_rows.extend(control_phase_rows());
     serve_rows.extend(fleet_rows());
+    serve_rows.extend(shard_merge_rows());
     for r in &serve_rows {
         println!(
             "{:<40} value {:>14.1}  ({} n)",

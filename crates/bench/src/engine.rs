@@ -111,6 +111,19 @@ pub struct RunContext<'a> {
     /// are journaled under a distinct key so `f32` results can never
     /// masquerade as golden ones.
     pub precision: Precision,
+    /// Sharded multi-process coordination ([`crate::shard`]): when set,
+    /// every grid cell goes through the lease protocol — load a peer's
+    /// published sidecar, claim-and-compute, or wait — instead of the
+    /// single-process journal path. Mutually exclusive with
+    /// [`RunContext::journal`] by construction (the shard worker driver
+    /// never sets both).
+    pub shard: Option<Arc<crate::shard::ShardState>>,
+    /// Strict-replay probe used by `repro_bench merge`: when set, a cell
+    /// that the journal cannot replay records its label here and yields
+    /// default-filled episodes instead of simulating, so one cheap pass
+    /// over the real experiment grid enumerates exactly which cells a
+    /// sharded run is still missing.
+    pub missing_cells: Option<Arc<Mutex<Vec<String>>>>,
     cache: Mutex<HashMap<&'static str, Arc<dyn Any + Send + Sync>>>,
 }
 
@@ -131,6 +144,8 @@ impl<'a> RunContext<'a> {
             journal: None,
             fleet: None,
             precision: Precision::Golden,
+            shard: None,
+            missing_cells: None,
             cache: Mutex::new(HashMap::new()),
         }
     }

@@ -242,10 +242,40 @@ pub fn attacked_records_in(
         )
         .as_bytes(),
     );
+    // Sharded multi-process path: the lease coordinator decides whether
+    // this worker loads a peer's published sidecar, computes the cell
+    // under an exclusive lease, or waits out (and eventually steals from)
+    // the current owner. It owns its own shutdown safe points.
+    if let Some(shard) = &ctx.shard {
+        return shard.run_cell(cell_key, &cell_label, episodes, || {
+            compute_cell(
+                kind,
+                attack,
+                budget,
+                ctx,
+                episodes,
+                seeds,
+                cell,
+                fleet_routable,
+                &cell_label,
+            )
+        });
+    }
     if let Some(journal) = &ctx.journal {
         if let Some(records) = journal.load_cell(cell_key, episodes) {
             return records;
         }
+    }
+    // Merge probe: with a missing-cells collector installed, a cell the
+    // journal cannot replay is *recorded* rather than simulated (default
+    // episodes keep downstream aggregation well-formed), so one cheap
+    // pass enumerates a sharded run's gaps.
+    if let Some(missing) = &ctx.missing_cells {
+        missing
+            .lock()
+            .expect("missing-cells lock")
+            .push(cell_label.clone());
+        return vec![EpisodeRecord::default(); episodes];
     }
     // Graceful-shutdown safe point: between cells every completed cell is
     // already journaled, so unwinding out here leaves a run the CLI can
@@ -254,6 +284,46 @@ pub fn attacked_records_in(
     if drive_core::shutdown::requested() {
         std::panic::panic_any(drive_core::shutdown::ShutdownRequested);
     }
+    let (records, clean) = compute_cell(
+        kind,
+        attack,
+        budget,
+        ctx,
+        episodes,
+        seeds,
+        cell,
+        fleet_routable,
+        &cell_label,
+    );
+    // Journal only clean, complete cells: a cell with retried-out episodes
+    // is partial and must be recomputed on resume. Journal failures cost a
+    // recomputation later, never correctness — warn and continue.
+    if let Some(journal) = &ctx.journal {
+        if clean && records.len() == episodes {
+            if let Err(e) = journal.store_cell(cell_key, &cell_label, episodes, &records) {
+                eprintln!("warning: could not journal cell {cell_label}: {e}");
+            }
+        }
+    }
+    records
+}
+
+/// The compute body of one cell, shared by the single-process and sharded
+/// paths: fleet fast path (with serial fallback on panic) or the hardened
+/// serial executor. Returns the records plus a clean flag (`true` when
+/// every episode succeeded), which gates journaling / sidecar publication.
+#[allow(clippy::too_many_arguments)]
+fn compute_cell(
+    kind: AgentKind,
+    attack: Option<(&GaussianPolicy, SensorKind)>,
+    budget: AttackBudget,
+    ctx: &crate::engine::RunContext,
+    episodes: usize,
+    seeds: &drive_seed::SeedTree,
+    cell: Option<ScenarioCell<'_>>,
+    fleet_routable: bool,
+    cell_label: &str,
+) -> (Vec<EpisodeRecord>, bool) {
     let artifacts = ctx.artifacts;
     let config = ctx.config;
     let scenario = cell.map_or(&config.scenario, |c| c.scenario);
@@ -286,14 +356,7 @@ pub fn attacked_records_in(
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             eval.run(episodes, base_seed, plan)
         })) {
-            Ok(records) => {
-                if let Some(journal) = &ctx.journal {
-                    if let Err(e) = journal.store_cell(cell_key, &cell_label, episodes, &records) {
-                        eprintln!("warning: could not journal cell {cell_label}: {e}");
-                    }
-                }
-                return records;
-            }
+            Ok(records) => return (records, true),
             Err(payload) => {
                 // The graceful-shutdown sentinel must reach the top-level
                 // driver, not the serial fallback.
@@ -352,18 +415,7 @@ pub fn attacked_records_in(
         );
     }
     let clean = outcome.failures.is_empty();
-    let records = outcome.into_records();
-    // Journal only clean, complete cells: a cell with retried-out episodes
-    // is partial and must be recomputed on resume. Journal failures cost a
-    // recomputation later, never correctness — warn and continue.
-    if let Some(journal) = &ctx.journal {
-        if clean && records.len() == episodes {
-            if let Err(e) = journal.store_cell(cell_key, &cell_label, episodes, &records) {
-                eprintln!("warning: could not journal cell {cell_label}: {e}");
-            }
-        }
-    }
-    records
+    (outcome.into_records(), clean)
 }
 
 /// Experiment scale: the paper's episode counts or a fast smoke preset.

@@ -103,14 +103,23 @@ impl RunHeader {
         }
     }
 
-    fn encode(&self) -> String {
+    /// Renders the header as its single-line WAL record. Public so the
+    /// shard coordinator can reuse the exact same pinning format for its
+    /// shared-directory run header and per-worker WALs.
+    pub fn encode(&self) -> String {
         format!(
             "run {:016x} {:016x} {} {}",
             self.seed, self.config_hash, self.box_episodes, self.scatter_rounds
         )
     }
 
-    fn decode(line: &str) -> Result<RunHeader, JournalError> {
+    /// Parses a header line produced by [`RunHeader::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Corrupt`] for anything that is not a well-formed
+    /// `run ...` record.
+    pub fn decode(line: &str) -> Result<RunHeader, JournalError> {
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 5 || parts[0] != "run" {
             return Err(JournalError::Corrupt(format!(
@@ -273,6 +282,13 @@ impl JournalHandle {
                 header.scatter_rounds,
             )));
         }
+        // The WAL is the source of truth; `progress.csv` is a derived,
+        // flush-per-row human log. A kill can leave the two out of step —
+        // a torn final CSV row (flushed mid-write), or a journaled cell
+        // whose progress row never flushed — so resume reconciles by
+        // rebuilding the CSV from the recovered WAL records rather than
+        // blindly appending after whatever tail the kill left behind.
+        let mut progress = CsvSink::create(dir.join("progress.csv"), PROGRESS_HEADERS)?;
         let mut cells = HashMap::new();
         let mut experiments = HashSet::new();
         for line in &records[1..] {
@@ -287,9 +303,18 @@ impl JournalHandle {
                         continue; // checksummed but unparseable: skip, recompute
                     };
                     cells.insert(key, CellEntry { digest, episodes });
+                    let label = parts[4..].join(" ");
+                    let _ = progress.row([
+                        "cell",
+                        &label,
+                        &episodes.to_string(),
+                        &format!("{digest:016x}"),
+                    ]);
                 }
                 Some(&"exp") if parts.len() >= 3 => {
-                    experiments.insert(parts[2..].join(" "));
+                    let name = parts[2..].join(" ");
+                    let _ = progress.row(["experiment", &name, "-", parts[1]]);
+                    experiments.insert(name);
                 }
                 _ => {} // unknown record kind: forward compatibility
             }
@@ -310,7 +335,6 @@ impl JournalHandle {
         use std::io::Seek as _;
         wal.seek(std::io::SeekFrom::End(0))?;
         std::fs::create_dir_all(dir.join("cells"))?;
-        let progress = CsvSink::append_or_create(dir.join("progress.csv"), PROGRESS_HEADERS)?;
         Ok(JournalHandle {
             dir,
             header,
@@ -556,6 +580,42 @@ mod tests {
         drop(j);
         let j = JournalHandle::resume(&dir, header()).unwrap();
         assert_eq!(j.cell_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_reconciles_progress_csv_against_the_wal() {
+        let dir = temp("repro-bench-journal-reconcile");
+        let j = JournalHandle::create(&dir, header()).unwrap();
+        j.store_cell(1, "cell-a", 4, &records(4)).unwrap();
+        j.store_cell(2, "cell-b", 4, &records(4)).unwrap();
+        j.record_experiment("fig4", 0xfeed).unwrap();
+        drop(j);
+
+        // A kill mid-flush can tear the final CSV row while the WAL record
+        // survived (WAL is appended first). Simulate the torn row, plus an
+        // extra garbage row the WAL knows nothing about.
+        let progress_path = dir.join("progress.csv");
+        let full = std::fs::read_to_string(&progress_path).unwrap();
+        let torn = format!("{}cell,cell-c,4,deadbe", full.trim_end_matches('\n'));
+        std::fs::write(&progress_path, torn).unwrap();
+
+        let j = JournalHandle::resume(&dir, header()).unwrap();
+        let rebuilt = std::fs::read_to_string(&progress_path).unwrap();
+        let lines: Vec<&str> = rebuilt.lines().collect();
+        // Header + exactly one row per WAL record: the torn row is gone
+        // and every journaled cell/experiment is restored (WAL preferred).
+        assert_eq!(lines.len(), 4, "rebuilt rows:\n{rebuilt}");
+        assert!(lines[1].starts_with("cell,cell-a,4,"));
+        assert!(lines[2].starts_with("cell,cell-b,4,"));
+        assert!(lines[3].starts_with("experiment,fig4,-,"));
+        assert!(!rebuilt.contains("cell-c"), "torn row must not survive");
+        assert_eq!(j.cell_count(), 2);
+        // Post-resume appends land on a clean tail.
+        j.store_cell(3, "cell-d", 4, &records(4)).unwrap();
+        let appended = std::fs::read_to_string(&progress_path).unwrap();
+        assert_eq!(appended.lines().count(), 5);
+        assert!(appended.lines().last().unwrap().starts_with("cell,cell-d"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

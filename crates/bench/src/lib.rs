@@ -22,9 +22,11 @@ pub mod journal;
 mod json;
 pub mod loadgen;
 pub mod manifest;
+pub mod merge;
 pub mod perf;
 pub mod resilience;
 pub mod servecli;
+pub mod shard;
 
 pub use benchcmp::{compare_files, BenchDelta, BenchStatus, Comparison};
 pub use engine::{execute, EngineRun, Experiment, ExperimentOutput, Registry, RunContext};
@@ -34,3 +36,4 @@ pub use loadgen::{find_max_qps, run_loadgen, LoadgenConfig, LoadgenReport, Logic
 pub use manifest::{Manifest, OutputEntry};
 pub use perf::{PerfReport, PerfSample, ThroughputProbe};
 pub use resilience::{run_cell, CellOutcome, ResilienceConfig};
+pub use shard::{ShardConfig, ShardHeader, ShardState};

@@ -45,6 +45,28 @@ impl RetryPolicy {
         }
     }
 
+    /// The lease-acquisition contention policy used by the sharded
+    /// multi-process coordinator (`repro_bench shard`): short, heavily
+    /// jittered exponential waits. N workers racing for the same
+    /// `O_EXCL` lease all lose except one; the losers re-poll on
+    /// decorrelated schedules (each worker seeds [`backoff_for`] from
+    /// its own `SeedTree` stream) instead of thundering in lockstep,
+    /// while a fixed worker seed reproduces the exact same waits.
+    ///
+    /// `max_attempts` here bounds the *exponent*, not the caller's
+    /// loop: contention loops poll indefinitely (until the lease frees,
+    /// goes stale, or shutdown latches) and clamp their attempt index
+    /// to this policy's range.
+    ///
+    /// [`backoff_for`]: RetryPolicy::backoff_for
+    pub fn lease_contention() -> Self {
+        RetryPolicy::attempts(8).with_backoff(
+            Duration::from_millis(2),
+            Duration::from_millis(250),
+            0.5,
+        )
+    }
+
     /// Adds exponential backoff: `base * 2^retry`, clamped to `max`,
     /// scaled by the jitter fraction.
     pub fn with_backoff(mut self, base: Duration, max: Duration, jitter: f64) -> Self {
@@ -227,6 +249,18 @@ mod tests {
             j.backoff_for(0, 2),
             "different seeds decorrelate"
         );
+    }
+
+    #[test]
+    fn lease_contention_policy_is_jittered_and_deterministic() {
+        let p = RetryPolicy::lease_contention();
+        assert!(p.jitter > 0.0, "contention waits must decorrelate");
+        assert!(!p.base_backoff.is_zero());
+        // Deterministic per (attempt, seed); distinct across worker seeds.
+        assert_eq!(p.backoff_for(3, 7), p.backoff_for(3, 7));
+        assert_ne!(p.backoff_for(0, 1), p.backoff_for(0, 2));
+        // Bounded even for clamped attempt indices far past the policy.
+        assert!(p.backoff_for(1000, 9) <= p.max_backoff);
     }
 
     #[test]

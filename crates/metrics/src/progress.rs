@@ -1,0 +1,109 @@
+//! Per-worker progress rows for sharded multi-process runs.
+//!
+//! Each shard worker appends one flush-per-row CSV line per lease event
+//! (claimed, computed, loaded, stolen, released, waited) to its own
+//! `progress.csv`, so a human tailing a long distributed run can see who
+//! owns what — and a post-mortem can reconstruct the claim history of any
+//! cell. Rows are observability only: the WAL and sidecars remain the
+//! source of truth, and a lost progress row costs nothing.
+
+use crate::export::CsvSink;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Column schema shared by every worker progress log.
+pub const PROGRESS_HEADERS: [&str; 4] = ["worker", "event", "cell", "detail"];
+
+/// Flush-per-row progress log for one shard worker.
+///
+/// Wraps a [`CsvSink`] with the fixed shard schema and keeps per-event
+/// counters so the worker can print an end-of-run summary without
+/// re-reading its own log.
+pub struct WorkerProgress {
+    sink: CsvSink,
+    worker: String,
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl WorkerProgress {
+    /// Creates (or truncates) the worker's progress log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>, worker: impl Into<String>) -> std::io::Result<Self> {
+        Ok(WorkerProgress {
+            sink: CsvSink::create(path, PROGRESS_HEADERS)?,
+            worker: worker.into(),
+            counts: BTreeMap::new(),
+        })
+    }
+
+    /// Appends (and flushes) one event row. `event` is a short verb
+    /// (`claimed`, `computed`, `loaded`, `stolen`, `released`, `waited`),
+    /// `cell` the cell label or key, `detail` free-form context (previous
+    /// owner of a stolen lease, wait duration, ...).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers typically warn and continue
+    /// (a lost row costs observability, never correctness).
+    pub fn event(&mut self, event: &'static str, cell: &str, detail: &str) -> std::io::Result<()> {
+        *self.counts.entry(event).or_insert(0) += 1;
+        self.sink.row([self.worker.as_str(), event, cell, detail])
+    }
+
+    /// How many rows of `event` have been logged.
+    pub fn count(&self, event: &str) -> u64 {
+        self.counts.get(event).copied().unwrap_or(0)
+    }
+
+    /// One-line `event=count` summary in deterministic (alphabetical)
+    /// order, e.g. `computed=12 loaded=420 stolen=1`.
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(event, n)| format!("{event}={n}"))
+            .collect();
+        parts.join(" ")
+    }
+}
+
+impl std::fmt::Debug for WorkerProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerProgress")
+            .field("worker", &self.worker)
+            .field("counts", &self.counts)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_flush_and_counters_track_events() {
+        let dir = std::env::temp_dir().join("drive-metrics-progress-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("progress.csv");
+        let mut log = WorkerProgress::create(&path, "w1").unwrap();
+        log.event("claimed", "cell-a", "").unwrap();
+        log.event("computed", "cell-a", "1.2s").unwrap();
+        log.event("loaded", "cell-b", "from w2").unwrap();
+        log.event("loaded", "cell-c", "from w2").unwrap();
+
+        // Flush-per-row: visible on disk while the sink is still open.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5, "{text}");
+        assert!(text.starts_with("worker,event,cell,detail\n"));
+        assert!(text.contains("w1,computed,cell-a,1.2s"));
+
+        assert_eq!(log.count("loaded"), 2);
+        assert_eq!(log.count("stolen"), 0);
+        assert_eq!(log.summary(), "claimed=1 computed=1 loaded=2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
